@@ -1,0 +1,47 @@
+"""Section 8.2 preliminary experiment: connected heaps vs unconnected heaps.
+
+The paper's table reports that back-pointer based cross-heap deletion beats
+linear-search deletion by 25% up to ~10x, growing with the amount of
+uncertainty and the attribute range (both of which grow the heap).  The
+benchmarks below replay the window-sweep access pattern (insert, evict by one
+order, probe by two value orders) against both implementations.
+"""
+
+import random
+
+import pytest
+
+from repro.algorithms.connected_heap import ConnectedHeap, NaiveMultiHeap
+from repro.harness.figures import _heap_workload
+
+
+def _records(items: int, attribute_range: int, seed: int = 0):
+    rng = random.Random(seed)
+    return [
+        (
+            i,
+            rng.uniform(-attribute_range, attribute_range),
+            rng.uniform(-attribute_range, attribute_range),
+        )
+        for i in range(items)
+    ]
+
+
+@pytest.mark.parametrize("attribute_range", [2000, 15000, 30000])
+@pytest.mark.parametrize("uncertainty", [0.01, 0.05])
+def test_connected_heap_sweep(benchmark, uncertainty, attribute_range):
+    items = 2000
+    window = max(8, int(items * uncertainty * attribute_range / 10000))
+    records = _records(items, attribute_range)
+    benchmark.extra_info.update({"uncertainty": uncertainty, "range": attribute_range})
+    benchmark(_heap_workload, ConnectedHeap, records, window)
+
+
+@pytest.mark.parametrize("attribute_range", [2000, 15000, 30000])
+@pytest.mark.parametrize("uncertainty", [0.01, 0.05])
+def test_unconnected_heap_sweep(benchmark, uncertainty, attribute_range):
+    items = 2000
+    window = max(8, int(items * uncertainty * attribute_range / 10000))
+    records = _records(items, attribute_range)
+    benchmark.extra_info.update({"uncertainty": uncertainty, "range": attribute_range})
+    benchmark(_heap_workload, NaiveMultiHeap, records, window)

@@ -1,0 +1,49 @@
+"""Figure 11: sorting and top-k runtimes per method.
+
+Paper shape: Imp (native sweep) is the fastest uncertain method (3.5x-10x over
+Det), Rewr is the slowest AU-DB method (roughly MCDB20 territory), and top-k
+with a small k is much cheaper than full sorting for Imp while MCDB / Rewr are
+insensitive to k.
+"""
+
+import pytest
+
+from repro.baselines.det import det_sort, det_topk
+from repro.baselines.mcdb import mcdb_sort_bounds
+from repro.ranking.topk import sort as au_sort, topk as au_topk
+
+ORDER_BY = ["a"]
+
+
+def test_det_full_sort(benchmark, sort_workload):
+    benchmark(det_sort, sort_workload, ORDER_BY)
+
+
+def test_imp_full_sort(benchmark, sort_audb):
+    benchmark(au_sort, sort_audb, ORDER_BY, method="native")
+
+
+def test_rewr_full_sort(benchmark, sort_audb):
+    benchmark(au_sort, sort_audb, ORDER_BY, method="rewrite")
+
+
+@pytest.mark.parametrize("samples", [10, 20])
+def test_mcdb_full_sort(benchmark, sort_workload, samples):
+    benchmark(
+        mcdb_sort_bounds, sort_workload, ORDER_BY, key_attribute="rid", samples=samples, seed=0
+    )
+
+
+@pytest.mark.parametrize("k", [2, 10])
+def test_det_topk(benchmark, sort_workload, k):
+    benchmark(det_topk, sort_workload, ORDER_BY, k)
+
+
+@pytest.mark.parametrize("k", [2, 10])
+def test_imp_topk(benchmark, sort_audb, k):
+    benchmark(au_topk, sort_audb, ORDER_BY, k, method="native")
+
+
+@pytest.mark.parametrize("k", [2, 10])
+def test_rewr_topk(benchmark, sort_audb, k):
+    benchmark(au_topk, sort_audb, ORDER_BY, k, method="rewrite")

@@ -1,0 +1,51 @@
+"""Figure 12: sorting approximation quality (and the cost of measuring it).
+
+Paper shape: Imp/Rewr over-approximate the exact position bounds (estimated
+value range >= 1, recall = 1); MCDB under-approximates (range <= 1, recall
+< 1) and degrades as uncertainty / ranges grow.  The benchmark times the
+quality pipeline at one sweep point and records the measured ratios as
+extra_info so the shape can be read off the benchmark report.
+"""
+
+from repro.baselines.mcdb import mcdb_sort_bounds
+from repro.baselines.symb import symb_sort_bounds
+from repro.harness.adapters import audb_from_workload, audb_sort_bounds
+from repro.metrics.quality import compare_bounds
+from repro.workloads.synthetic import SyntheticConfig, generate_sort_table
+
+CONFIG = SyntheticConfig(rows=64, uncertainty=0.08, attribute_range=32, domain=640, seed=0)
+
+
+def _workload():
+    return generate_sort_table(CONFIG)
+
+
+def test_quality_imp_vs_exact(benchmark):
+    workload = _workload()
+    audb = audb_from_workload(workload)
+    truth = symb_sort_bounds(workload, ["a"], key_attribute="rid")
+
+    def run():
+        return compare_bounds(audb_sort_bounds(audb, ["a"], key_attribute="rid"), truth)
+
+    report = benchmark(run)
+    benchmark.extra_info["range_ratio"] = report.range_ratio
+    benchmark.extra_info["recall"] = report.recall
+    assert report.recall == 1.0
+    assert report.range_ratio >= 1.0
+
+
+def test_quality_mcdb_vs_exact(benchmark):
+    workload = _workload()
+    truth = symb_sort_bounds(workload, ["a"], key_attribute="rid")
+
+    def run():
+        return compare_bounds(
+            mcdb_sort_bounds(workload, ["a"], key_attribute="rid", samples=10, seed=1), truth
+        )
+
+    report = benchmark(run)
+    benchmark.extra_info["range_ratio"] = report.range_ratio
+    benchmark.extra_info["accuracy"] = report.accuracy
+    assert report.accuracy == 1.0
+    assert report.range_ratio <= 1.0

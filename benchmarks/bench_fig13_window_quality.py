@@ -1,0 +1,51 @@
+"""Figure 13: windowed-aggregation approximation quality.
+
+Paper shape: as for sorting, but the over-approximation of the AU-DB methods
+is larger (windowed aggregation ignores correlations between window
+membership and values), while MCDB still under-approximates.
+"""
+
+from repro.baselines.mcdb import mcdb_window_bounds
+from repro.baselines.symb import symb_window_bounds
+from repro.harness.adapters import audb_from_workload, audb_window_bounds
+from repro.metrics.quality import compare_bounds
+from repro.window.spec import WindowSpec
+from repro.workloads.synthetic import SyntheticConfig, generate_window_table
+
+CONFIG = SyntheticConfig(rows=48, uncertainty=0.08, attribute_range=24, domain=480, seed=0)
+SPEC = WindowSpec(function="sum", attribute="v", output="w_sum", order_by=("o",), frame=(-2, 0))
+
+
+def _workload():
+    return generate_window_table(CONFIG, partitions=1)
+
+
+def test_quality_imp_vs_exact(benchmark):
+    workload = _workload()
+    audb = audb_from_workload(workload)
+    truth = symb_window_bounds(workload, SPEC, key_attribute="rid")
+
+    def run():
+        return compare_bounds(audb_window_bounds(audb, SPEC, key_attribute="rid"), truth)
+
+    report = benchmark(run)
+    benchmark.extra_info["range_ratio"] = report.range_ratio
+    benchmark.extra_info["recall"] = report.recall
+    assert report.recall == 1.0
+    assert report.range_ratio >= 1.0
+
+
+def test_quality_mcdb_vs_exact(benchmark):
+    workload = _workload()
+    truth = symb_window_bounds(workload, SPEC, key_attribute="rid")
+
+    def run():
+        return compare_bounds(
+            mcdb_window_bounds(workload, SPEC, key_attribute="rid", samples=10, seed=1), truth
+        )
+
+    report = benchmark(run)
+    benchmark.extra_info["range_ratio"] = report.range_ratio
+    benchmark.extra_info["accuracy"] = report.accuracy
+    assert report.accuracy == 1.0
+    assert report.range_ratio <= 1.0

@@ -1,0 +1,70 @@
+"""Figure 14: sorting runtime vs data size.
+
+Paper shape: Det < Imp < MCDB10 < MCDB20 ~ Rewr, all growing near-linearly
+(n log n for Imp, quadratically for Rewr), while the exact methods (Symb,
+PT-k) are orders of magnitude slower and only feasible on the smallest sizes.
+"""
+
+import pytest
+
+from repro.baselines.det import det_sort
+from repro.baselines.mcdb import mcdb_sort_bounds
+from repro.baselines.ptk import topk_probabilities_montecarlo
+from repro.baselines.symb import symb_sort_bounds
+from repro.harness.adapters import audb_from_workload
+from repro.ranking.topk import sort as au_sort
+from repro.workloads.synthetic import SyntheticConfig, generate_sort_table
+
+SIZES = [64, 128, 256, 512]
+
+
+def _workload(size):
+    config = SyntheticConfig(
+        rows=size, uncertainty=0.05, attribute_range=max(4, size // 2), domain=10 * size, seed=0
+    )
+    return generate_sort_table(config)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_det_scaling(benchmark, size):
+    workload = _workload(size)
+    benchmark(det_sort, workload, ["a"])
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_imp_scaling(benchmark, size):
+    audb = audb_from_workload(_workload(size))
+    benchmark(au_sort, audb, ["a"], method="native")
+
+
+@pytest.mark.parametrize("size", SIZES[:3])
+def test_rewr_scaling(benchmark, size):
+    audb = audb_from_workload(_workload(size))
+    benchmark(au_sort, audb, ["a"], method="rewrite")
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_mcdb10_scaling(benchmark, size):
+    workload = _workload(size)
+    benchmark(mcdb_sort_bounds, workload, ["a"], key_attribute="rid", samples=10, seed=0)
+
+
+@pytest.mark.parametrize("size", [64, 128])
+def test_symb_small_only(benchmark, size):
+    """Exact enumeration — only feasible on the smallest inputs (panel a)."""
+    workload = _workload(size)
+    benchmark(symb_sort_bounds, workload, ["a"], key_attribute="rid", world_limit=100_000)
+
+
+@pytest.mark.parametrize("size", [64, 128])
+def test_ptk_small_only(benchmark, size):
+    workload = _workload(size)
+    benchmark(
+        topk_probabilities_montecarlo,
+        workload,
+        ["a"],
+        k=max(2, size // 4),
+        key_attribute="rid",
+        samples=50,
+        seed=0,
+    )

@@ -1,0 +1,51 @@
+"""Figure 15: windowed aggregation runtime vs data size.
+
+Paper shape: Imp tracks MCDB10; the rewrite method is far slower (its
+range-overlap reasoning is quadratic) and is only run on the smaller sizes.
+"""
+
+import pytest
+
+from repro.baselines.det import det_window
+from repro.baselines.mcdb import mcdb_window_bounds
+from repro.harness.adapters import audb_from_workload
+from repro.window.native import window_native
+from repro.window.semantics import window_rewrite
+from repro.window.spec import WindowSpec
+from repro.workloads.synthetic import SyntheticConfig, generate_window_table
+
+SIZES = [64, 128, 256]
+SPEC = WindowSpec(function="sum", attribute="v", output="w_sum", order_by=("o",), frame=(-2, 0))
+
+
+def _workload(size):
+    config = SyntheticConfig(
+        rows=size, uncertainty=0.05, attribute_range=max(4, size // 2), domain=10 * size, seed=0
+    )
+    return generate_window_table(config, partitions=1)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_det_scaling(benchmark, size):
+    benchmark(det_window, _workload(size), SPEC)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_imp_scaling(benchmark, size):
+    audb = audb_from_workload(_workload(size))
+    benchmark(window_native, audb, SPEC)
+
+
+@pytest.mark.parametrize("size", SIZES[:2])
+def test_rewr_scaling(benchmark, size):
+    audb = audb_from_workload(_workload(size))
+    benchmark(window_rewrite, audb, SPEC)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("samples", [10, 20])
+def test_mcdb_scaling(benchmark, size, samples):
+    workload = _workload(size)
+    benchmark(
+        mcdb_window_bounds, workload, SPEC, key_attribute="rid", samples=samples, seed=0
+    )

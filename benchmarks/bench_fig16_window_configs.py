@@ -1,0 +1,78 @@
+"""Figure 16: windowed aggregation runtimes across window specifications.
+
+Panel (a): order-by only queries run with the native operator (Imp); window
+size, attribute range, and uncertainty rate have only mild impact.
+Panel (b): order-by + partition-by queries run with the rewrite method (the
+native operator delegates uncertain partitions to it), which is orders of
+magnitude slower — the paper's motivation for the native design.
+"""
+
+import pytest
+
+from repro.baselines.det import det_window
+from repro.baselines.mcdb import mcdb_window_bounds
+from repro.harness.adapters import audb_from_workload
+from repro.window.native import window_native
+from repro.window.semantics import window_rewrite
+from repro.window.spec import WindowSpec
+from repro.workloads.synthetic import SyntheticConfig, generate_window_table
+
+CONFIGS_A = [
+    ("w3_r1k_u5", 3, 1000, 0.05),
+    ("w3_r10k_u5", 3, 10000, 0.05),
+    ("w3_r1k_u20", 3, 1000, 0.20),
+    ("w6_r1k_u5", 6, 1000, 0.05),
+]
+
+CONFIGS_B = [
+    ("w3_r1k_u5", 3, 1000, 0.05),
+    ("w3_r1k_u20", 3, 1000, 0.20),
+]
+
+
+def _spec(window, partitioned):
+    return WindowSpec(
+        function="sum",
+        attribute="v",
+        output="w_sum",
+        order_by=("o",),
+        partition_by=("g",) if partitioned else (),
+        frame=(-(window - 1), 0),
+    )
+
+
+@pytest.mark.parametrize("label,window,attribute_range,uncertainty", CONFIGS_A)
+def test_imp_order_by_only(benchmark, label, window, attribute_range, uncertainty):
+    config = SyntheticConfig(rows=200, uncertainty=uncertainty, attribute_range=attribute_range, seed=0)
+    audb = audb_from_workload(generate_window_table(config, partitions=1))
+    benchmark.extra_info["config"] = label
+    benchmark(window_native, audb, _spec(window, partitioned=False))
+
+
+@pytest.mark.parametrize("label,window,attribute_range,uncertainty", CONFIGS_A[:2])
+def test_det_order_by_only(benchmark, label, window, attribute_range, uncertainty):
+    config = SyntheticConfig(rows=200, uncertainty=uncertainty, attribute_range=attribute_range, seed=0)
+    workload = generate_window_table(config, partitions=1)
+    benchmark(det_window, workload, _spec(window, partitioned=False))
+
+
+@pytest.mark.parametrize("label,window,attribute_range,uncertainty", CONFIGS_A[:2])
+def test_mcdb20_order_by_only(benchmark, label, window, attribute_range, uncertainty):
+    config = SyntheticConfig(rows=200, uncertainty=uncertainty, attribute_range=attribute_range, seed=0)
+    workload = generate_window_table(config, partitions=1)
+    benchmark(
+        mcdb_window_bounds,
+        workload,
+        _spec(window, partitioned=False),
+        key_attribute="rid",
+        samples=20,
+        seed=0,
+    )
+
+
+@pytest.mark.parametrize("label,window,attribute_range,uncertainty", CONFIGS_B)
+def test_rewr_with_partition_by(benchmark, label, window, attribute_range, uncertainty):
+    config = SyntheticConfig(rows=96, uncertainty=uncertainty, attribute_range=attribute_range, seed=0)
+    audb = audb_from_workload(generate_window_table(config, partitions=4))
+    benchmark.extra_info["config"] = label
+    benchmark(window_rewrite, audb, _spec(window, partitioned=True))

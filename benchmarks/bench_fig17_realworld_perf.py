@@ -1,0 +1,84 @@
+"""Figure 17: runtimes of the real-world rank and window queries.
+
+Paper shape: across the Iceberg / Crimes / Healthcare queries the native
+operator (Imp) beats MCDB20 and is within a small factor of Det; the rewrite
+method is competitive on the small pre-aggregated rank inputs but much slower
+on window queries over larger tables.
+"""
+
+import pytest
+
+from repro.baselines.det import det_topk, det_window
+from repro.baselines.mcdb import mcdb_sort_bounds, mcdb_window_bounds
+from repro.harness.adapters import audb_from_workload
+from repro.ranking.topk import topk as au_topk
+from repro.window.native import window_native
+from repro.workloads.realworld import REAL_WORLD_DATASETS
+
+DATASETS = {bundle.name: bundle for bundle in REAL_WORLD_DATASETS(scale=0.25, seed=0)}
+NAMES = sorted(DATASETS)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_rank_det(benchmark, name):
+    bundle = DATASETS[name]
+    query = bundle.rank_query
+    benchmark(
+        det_topk, bundle.rank_table, list(query.order_by), query.k, descending=query.descending
+    )
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_rank_imp(benchmark, name):
+    bundle = DATASETS[name]
+    query = bundle.rank_query
+    audb = audb_from_workload(bundle.rank_table)
+    benchmark(
+        au_topk,
+        audb,
+        list(query.order_by),
+        query.k,
+        method="native",
+        descending=query.descending,
+    )
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_rank_mcdb20(benchmark, name):
+    bundle = DATASETS[name]
+    query = bundle.rank_query
+    benchmark(
+        mcdb_sort_bounds,
+        bundle.rank_table,
+        list(query.order_by),
+        key_attribute=query.key_attribute,
+        samples=20,
+        seed=0,
+        descending=query.descending,
+    )
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_window_det(benchmark, name):
+    bundle = DATASETS[name]
+    benchmark(det_window, bundle.window_table, bundle.window_query)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_window_imp(benchmark, name):
+    bundle = DATASETS[name]
+    audb = audb_from_workload(bundle.window_table)
+    benchmark(window_native, audb, bundle.window_query)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_window_mcdb20(benchmark, name):
+    bundle = DATASETS[name]
+    benchmark(
+        mcdb_window_bounds,
+        bundle.window_table,
+        bundle.window_query,
+        key_attribute=bundle.key_attribute,
+        samples=20,
+        seed=0,
+    )

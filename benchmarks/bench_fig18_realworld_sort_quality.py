@@ -1,0 +1,70 @@
+"""Figure 18: sort-position bound quality on the real-world datasets.
+
+Paper shape: Imp/Rewr bounds have recall 1 and accuracy close to 1 (lowest on
+Iceberg, whose pre-aggregation widens the ranges); MCDB20 has accuracy 1 but
+loses recall on the datasets with more uncertain tuples.
+"""
+
+import pytest
+
+from repro.baselines.mcdb import mcdb_sort_bounds
+from repro.baselines.symb import symb_sort_bounds
+from repro.harness.adapters import audb_from_workload, audb_sort_bounds
+from repro.metrics.quality import compare_bounds
+from repro.workloads.realworld import REAL_WORLD_DATASETS
+
+DATASETS = {bundle.name: bundle for bundle in REAL_WORLD_DATASETS(scale=0.05, seed=0)}
+NAMES = sorted(DATASETS)
+
+
+def _truth(bundle):
+    query = bundle.rank_query
+    return symb_sort_bounds(
+        bundle.rank_table,
+        list(query.order_by),
+        key_attribute=query.key_attribute,
+        descending=query.descending,
+    )
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_imp_quality(benchmark, name):
+    bundle = DATASETS[name]
+    query = bundle.rank_query
+    truth = _truth(bundle)
+    audb = audb_from_workload(bundle.rank_table)
+
+    def run():
+        estimate = audb_sort_bounds(
+            audb,
+            list(query.order_by),
+            key_attribute=query.key_attribute,
+            descending=query.descending,
+        )
+        return compare_bounds(estimate, truth)
+
+    report = benchmark(run)
+    benchmark.extra_info.update({"accuracy": report.accuracy, "recall": report.recall})
+    assert report.recall == 1.0
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_mcdb20_quality(benchmark, name):
+    bundle = DATASETS[name]
+    query = bundle.rank_query
+    truth = _truth(bundle)
+
+    def run():
+        estimate = mcdb_sort_bounds(
+            bundle.rank_table,
+            list(query.order_by),
+            key_attribute=query.key_attribute,
+            samples=20,
+            seed=0,
+            descending=query.descending,
+        )
+        return compare_bounds(estimate, truth)
+
+    report = benchmark(run)
+    benchmark.extra_info.update({"accuracy": report.accuracy, "recall": report.recall})
+    assert report.accuracy == 1.0

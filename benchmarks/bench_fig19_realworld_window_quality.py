@@ -1,0 +1,60 @@
+"""Figure 19: window-aggregate bound quality on the real-world datasets.
+
+Paper shape: Imp/Rewr keep recall 1 with accuracy near 1 (the healthcare
+count query is exact up to grouping); MCDB20 keeps accuracy 1 but misses
+possible results (recall < 1) where uncertainty is higher.
+"""
+
+import pytest
+
+from repro.baselines.mcdb import mcdb_window_bounds
+from repro.baselines.symb import symb_window_bounds
+from repro.harness.adapters import audb_from_workload, audb_window_bounds
+from repro.metrics.quality import compare_bounds
+from repro.workloads.realworld import REAL_WORLD_DATASETS
+
+DATASETS = {bundle.name: bundle for bundle in REAL_WORLD_DATASETS(scale=0.05, seed=0)}
+NAMES = sorted(DATASETS)
+
+
+def _truth(bundle):
+    return symb_window_bounds(
+        bundle.window_table, bundle.window_query, key_attribute=bundle.key_attribute
+    )
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_imp_quality(benchmark, name):
+    bundle = DATASETS[name]
+    truth = _truth(bundle)
+    audb = audb_from_workload(bundle.window_table)
+
+    def run():
+        estimate = audb_window_bounds(
+            audb, bundle.window_query, key_attribute=bundle.key_attribute
+        )
+        return compare_bounds(estimate, truth)
+
+    report = benchmark(run)
+    benchmark.extra_info.update({"accuracy": report.accuracy, "recall": report.recall})
+    assert report.recall == 1.0
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_mcdb20_quality(benchmark, name):
+    bundle = DATASETS[name]
+    truth = _truth(bundle)
+
+    def run():
+        estimate = mcdb_window_bounds(
+            bundle.window_table,
+            bundle.window_query,
+            key_attribute=bundle.key_attribute,
+            samples=20,
+            seed=0,
+        )
+        return compare_bounds(estimate, truth)
+
+    report = benchmark(run)
+    benchmark.extra_info.update({"accuracy": report.accuracy, "recall": report.recall})
+    assert report.accuracy == 1.0

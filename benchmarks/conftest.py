@@ -1,0 +1,53 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every module in this directory regenerates one table or figure of the paper's
+evaluation (Section 9) or the connected-heap preliminary experiment
+(Section 8.2).  Workload sizes default to values that keep the whole suite in
+the minutes range on a laptop; the experiment harness
+(``python -m repro.harness <figure>``) prints the corresponding paper-style
+tables and accepts larger scales.
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.harness.adapters import audb_from_workload  # noqa: E402
+from repro.workloads.synthetic import (  # noqa: E402
+    SyntheticConfig,
+    generate_sort_table,
+    generate_window_table,
+)
+
+#: Default microbenchmark scale (rows) for the performance benchmarks.
+SORT_ROWS = int(os.environ.get("REPRO_BENCH_SORT_ROWS", "300"))
+WINDOW_ROWS = int(os.environ.get("REPRO_BENCH_WINDOW_ROWS", "200"))
+
+
+@pytest.fixture(scope="session")
+def sort_workload():
+    """The Figure 11/14 style sorting workload (5% uncertainty, range 1k)."""
+    config = SyntheticConfig(rows=SORT_ROWS, uncertainty=0.05, attribute_range=1000, seed=0)
+    return generate_sort_table(config)
+
+
+@pytest.fixture(scope="session")
+def sort_audb(sort_workload):
+    return audb_from_workload(sort_workload)
+
+
+@pytest.fixture(scope="session")
+def window_workload():
+    """The Figure 15/16 style window workload (5% uncertainty, range 1k)."""
+    config = SyntheticConfig(rows=WINDOW_ROWS, uncertainty=0.05, attribute_range=1000, seed=0)
+    return generate_window_table(config, partitions=1)
+
+
+@pytest.fixture(scope="session")
+def window_audb(window_workload):
+    return audb_from_workload(window_workload)

@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make ``src/`` importable without installation.
+
+The library is normally installed with ``pip install -e .`` (or
+``python setup.py develop`` in offline environments without the ``wheel``
+package); this shim keeps the test and benchmark suites runnable straight
+from a source checkout either way.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

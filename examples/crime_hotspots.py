@@ -1,0 +1,81 @@
+"""Domain scenario: ranking crime hotspots from dirty incident counts.
+
+Incident reports are aggregated per district, but entity resolution over the
+raw reports is ambiguous: some incidents may belong to either of two
+districts, so the per-district counts are ranges.  The example asks for the
+top-3 districts by incident count and contrasts three answers:
+
+* the deterministic answer over the "best guess" counts (what a conventional
+  system reports),
+* the AU-DB answer, which also says which districts are *certainly* in the
+  top-3 and which are only *possibly* there, and
+* the MCDB sampling estimate, which can miss possible answers.
+
+Run with::
+
+    python examples/crime_hotspots.py
+"""
+
+import random
+
+from repro import UncertainRelation, lift_xtuples, topk
+from repro.baselines.det import det_topk
+from repro.baselines.mcdb import mcdb_sort_bounds
+
+
+def build_counts(*, districts: int = 12, seed: int = 3) -> UncertainRelation:
+    """Per-district incident counts ``(rid, district, incidents)`` with ranges."""
+    rng = random.Random(seed)
+    counts = UncertainRelation(["rid", "district", "incidents"])
+    for rid in range(districts):
+        base = rng.randint(40, 400)
+        name = f"district-{rid:02d}"
+        if rng.random() < 0.4:
+            ambiguous = rng.randint(5, 60)
+            counts.add_alternatives(
+                [
+                    (rid, name, base - ambiguous),
+                    (rid, name, base),
+                    (rid, name, base + ambiguous),
+                ],
+                [0.2, 0.6, 0.2],
+                sg_index=1,
+            )
+        else:
+            counts.add_certain((rid, name, base))
+    return counts
+
+
+def main() -> None:
+    counts = build_counts()
+    audb = lift_xtuples(counts)
+
+    print("Deterministic top-3 over the best-guess counts:")
+    for row, _mult in sorted(det_topk(counts, ["incidents"], 3, descending=True)):
+        print(f"  {row[1]:<13} incidents={row[2]}")
+
+    print("\nAU-DB top-3 (certain vs possible hotspots):")
+    ranked = topk(audb, ["incidents"], k=3, descending=True)
+    for tup, mult in sorted(ranked, key=lambda pair: pair[0].value("pos").sg):
+        kind = "certain" if mult.lb > 0 else "possible"
+        print(
+            f"  {tup.value('district').sg:<13} incidents={tup.value('incidents')} "
+            f"rank={tup.value('pos')}  [{kind}]"
+        )
+
+    print("\nMCDB (10 samples) rank estimates, for comparison:")
+    estimates = mcdb_sort_bounds(
+        counts, ["incidents"], key_attribute="rid", samples=10, seed=0, descending=True
+    )
+    possibly_top3 = {rid for rid, (low, _high) in estimates.items() if low < 3}
+    print(f"  districts estimated as possibly top-3: {sorted(possibly_top3)}")
+    audb_possible = {
+        tup.value("rid").sg for tup, mult in ranked if mult.possibly_exists
+    }
+    missed = audb_possible - possibly_top3
+    if missed:
+        print(f"  note: sampling missed possible hotspots with rid {sorted(missed)}")
+
+
+if __name__ == "__main__":
+    main()

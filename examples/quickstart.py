@@ -1,0 +1,54 @@
+"""Quickstart: uncertain top-k and windowed aggregation over an AU-DB.
+
+Builds a small sales table with uncertain values (ranges), asks for the two
+highest-selling terms, and computes a rolling sum — printing, for every
+answer, the range of values and the answer class (certain vs possible).
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import AURelation, RangeValue, WindowSpec, topk, window_native
+
+
+def main() -> None:
+    # A sales table with attribute-level uncertainty: each value is either a
+    # plain scalar (certain) or a [lower / selected-guess / upper] range.
+    sales = AURelation.from_rows(
+        ["term", "sales"],
+        [
+            ((1, RangeValue(2, 2, 3)), (1, 1, 1)),
+            ((2, RangeValue(2, 3, 3)), (1, 1, 1)),
+            ((RangeValue(3, 3, 5), RangeValue(4, 7, 7)), (1, 1, 1)),
+            ((4, RangeValue(4, 4, 7)), (1, 1, 1)),
+        ],
+    )
+    print("Input AU-DB relation:")
+    print(sales.to_table())
+
+    # Top-2 terms by sales (descending).  The result's multiplicity triples
+    # classify answers: lower bound 1 -> certain, upper bound 1 with lower
+    # bound 0 -> merely possible.
+    best = topk(sales, ["sales"], k=2, descending=True)
+    print("\nTop-2 by sales (pos = possible rank range):")
+    print(best.to_table())
+    for tup, mult in best:
+        kind = "certain" if mult.lb > 0 else "possible"
+        print(f"  term {tup.value('term')} is a {kind} top-2 answer")
+
+    # Rolling sum over the current and next term (CURRENT ROW AND 1 FOLLOWING).
+    spec = WindowSpec(
+        function="sum",
+        attribute="sales",
+        output="rolling",
+        order_by=("term",),
+        frame=(0, 1),
+    )
+    rolling = window_native(sales, spec)
+    print("\nRolling sum of sales over [current term, next term]:")
+    print(rolling.to_table())
+
+
+if __name__ == "__main__":
+    main()

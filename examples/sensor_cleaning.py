@@ -1,0 +1,79 @@
+"""Domain scenario: rolling aggregates over imputed sensor readings.
+
+A temperature sensor occasionally drops readings; a cleaning step imputes the
+missing values, producing *ranges* instead of a single guess.  The example
+lifts the cleaned data into an AU-DB, computes a rolling 3-reading average
+band, and flags the time steps whose rolling maximum possibly exceeds an
+alarm threshold — distinguishing alarms that are *certain* from ones that are
+merely *possible* given the imputation uncertainty.
+
+Run with::
+
+    python examples/sensor_cleaning.py
+"""
+
+import random
+
+from repro import WindowSpec, lift_xtuples, UncertainRelation
+from repro.core.expressions import attr
+from repro.core.operators.select import select
+from repro.window.native import window_native
+
+ALARM_THRESHOLD = 28.0
+
+
+def build_readings(*, steps: int = 40, seed: int = 7) -> UncertainRelation:
+    """Simulated sensor table ``(t, temp)`` with imputed (range-valued) gaps."""
+    rng = random.Random(seed)
+    readings = UncertainRelation(["t", "temp"])
+    temperature = 21.0
+    for step in range(steps):
+        temperature += rng.uniform(-0.8, 1.0)
+        if rng.random() < 0.15:
+            # Dropped reading: the cleaning step imputes a range around the
+            # neighbouring values instead of a single number.
+            low = round(temperature - 1.5, 2)
+            high = round(temperature + 1.5, 2)
+            guess = round(temperature, 2)
+            readings.add_alternatives(
+                [(step, low), (step, guess), (step, high)],
+                [0.2, 0.6, 0.2],
+                sg_index=1,
+            )
+        else:
+            readings.add_certain((step, round(temperature, 2)))
+    return readings
+
+
+def main() -> None:
+    readings = build_readings()
+    audb = lift_xtuples(readings)
+    print(f"{len(audb)} readings, {readings.uncertain_count} of them imputed as ranges")
+
+    spec = WindowSpec(
+        function="max",
+        attribute="temp",
+        output="rolling_max",
+        order_by=("t",),
+        frame=(-2, 0),
+    )
+    rolling = window_native(audb, spec)
+
+    alarms = select(rolling, attr("rolling_max").gt(ALARM_THRESHOLD))
+    print(f"\nTime steps whose rolling 3-reading maximum may exceed {ALARM_THRESHOLD}°C:")
+    certain = 0
+    possible = 0
+    for tup, mult in sorted(alarms, key=lambda pair: pair[0].value("t").sg):
+        kind = "CERTAIN " if mult.lb > 0 else "possible"
+        if mult.lb > 0:
+            certain += 1
+        else:
+            possible += 1
+        print(
+            f"  t={tup.value('t').sg:>3}  rolling max {tup.value('rolling_max')}  -> {kind} alarm"
+        )
+    print(f"\n{certain} certain alarms, {possible} additional possible alarms")
+
+
+if __name__ == "__main__":
+    main()

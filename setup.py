@@ -1,0 +1,9 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so the package can be installed in
+environments without the ``wheel`` package (``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

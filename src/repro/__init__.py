@@ -1,0 +1,78 @@
+"""repro — reproduction of *Efficient Approximation of Certain and Possible
+Answers for Ranking and Window Queries over Uncertain Data* (VLDB 2023).
+
+The package provides:
+
+* ``repro.core`` — the AU-DB data model (range-annotated values, ``N³``
+  multiplicities, relations, bound-preserving relational operators),
+* ``repro.relational`` — the deterministic bag-relational substrate,
+* ``repro.incomplete`` — possible worlds and x-tuple uncertainty models,
+* ``repro.ranking`` — uncertain sorting and top-k (rewrite + native sweep),
+* ``repro.window`` — uncertain windowed aggregation (rewrite + native sweep),
+* ``repro.algorithms`` — the connected heap data structure,
+* ``repro.baselines`` — Det, MCDB, Symb, PT-k, U-Top, U-Rank, … competitors,
+* ``repro.workloads`` — synthetic and simulated real-world workloads,
+* ``repro.metrics`` / ``repro.harness`` — bound-quality metrics and the
+  experiment harness regenerating every table and figure of the paper.
+
+Quickstart::
+
+    from repro import AURelation, RangeValue, topk
+
+    sales = AURelation.from_rows(
+        ["term", "sales"],
+        [
+            ((1, RangeValue(2, 2, 3)), (1, 1, 1)),
+            ((2, RangeValue(2, 3, 3)), (1, 1, 1)),
+            ((RangeValue(3, 3, 5), RangeValue(4, 7, 7)), (1, 1, 1)),
+            ((4, RangeValue(4, 4, 7)), (1, 1, 1)),
+        ],
+    )
+    best = topk(sales, ["sales"], k=2, descending=True)
+"""
+
+from repro.core import (
+    AURelation,
+    AUTuple,
+    Multiplicity,
+    RangeBool,
+    RangeValue,
+    Schema,
+    attr,
+    bounds_world,
+    bounds_worlds,
+    const,
+)
+from repro.incomplete import PossibleWorlds, UncertainRelation, XTuple, lift_worlds, lift_xtuples
+from repro.ranking import sort, sort_native, sort_rewrite, topk
+from repro.relational import Relation
+from repro.window import WindowSpec, window_native, window_rewrite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AURelation",
+    "AUTuple",
+    "Multiplicity",
+    "RangeBool",
+    "RangeValue",
+    "Schema",
+    "attr",
+    "const",
+    "bounds_world",
+    "bounds_worlds",
+    "PossibleWorlds",
+    "UncertainRelation",
+    "XTuple",
+    "lift_worlds",
+    "lift_xtuples",
+    "Relation",
+    "sort",
+    "sort_native",
+    "sort_rewrite",
+    "topk",
+    "WindowSpec",
+    "window_native",
+    "window_rewrite",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Shared algorithmic building blocks (connected heaps, sweep helpers)."""
+
+from repro.algorithms.connected_heap import ConnectedHeap, NaiveMultiHeap
+
+__all__ = ["ConnectedHeap", "NaiveMultiHeap"]

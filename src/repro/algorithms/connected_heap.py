@@ -1,0 +1,269 @@
+"""Connected heaps (Section 8.2 of the paper).
+
+A *connected heap* is a set of ``H`` binary min-heaps over a shared set of
+records, each heap with its own sort key.  Every record keeps one backwards
+pointer per component heap (its current slot in that heap's array), so that
+popping the root of one heap can remove the record from **all** heaps in
+``O(H · log n)`` — without the linear search a collection of independent
+heaps would need.
+
+The windowed-aggregation sweep (Algorithm 3) keeps the tuples possibly inside
+a window in a three-way connected heap sorted on the position upper bound
+(for eviction), on the aggregation attribute's lower bound (to pick the
+contributors that minimise a sum), and on the negated upper bound (to pick
+the contributors that maximise it).
+
+:class:`NaiveMultiHeap` implements the same interface with independent heaps
+and linear-search deletion; it exists as the baseline for the preliminary
+experiment reproduced in ``benchmarks/bench_connected_heap.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generic, Iterable, Sequence, TypeVar
+
+from repro.errors import OperatorError
+
+__all__ = ["ConnectedHeap", "NaiveMultiHeap"]
+
+T = TypeVar("T")
+
+
+class _Record(Generic[T]):
+    """A payload plus its keys and current slot in every component heap."""
+
+    __slots__ = ("payload", "keys", "slots", "alive")
+
+    def __init__(self, payload: T, keys: tuple[Any, ...], heap_count: int):
+        self.payload = payload
+        self.keys = keys
+        self.slots = [-1] * heap_count
+        self.alive = True
+
+
+class _ComponentHeap(Generic[T]):
+    """One array-based binary min-heap storing records, maintaining backpointers."""
+
+    __slots__ = ("index", "nodes")
+
+    def __init__(self, index: int):
+        self.index = index
+        self.nodes: list[_Record[T]] = []
+
+    # -- heap primitives -------------------------------------------------------
+
+    def _key(self, record: _Record[T]) -> Any:
+        return record.keys[self.index]
+
+    def _set(self, slot: int, record: _Record[T]) -> None:
+        self.nodes[slot] = record
+        record.slots[self.index] = slot
+
+    def _sift_up(self, slot: int) -> None:
+        record = self.nodes[slot]
+        key = self._key(record)
+        while slot > 0:
+            parent = (slot - 1) // 2
+            if self._key(self.nodes[parent]) <= key:
+                break
+            self._set(slot, self.nodes[parent])
+            slot = parent
+        self._set(slot, record)
+
+    def _sift_down(self, slot: int) -> None:
+        size = len(self.nodes)
+        record = self.nodes[slot]
+        key = self._key(record)
+        while True:
+            child = 2 * slot + 1
+            if child >= size:
+                break
+            right = child + 1
+            if right < size and self._key(self.nodes[right]) < self._key(self.nodes[child]):
+                child = right
+            if self._key(self.nodes[child]) >= key:
+                break
+            self._set(slot, self.nodes[child])
+            slot = child
+        self._set(slot, record)
+
+    # -- operations --------------------------------------------------------------
+
+    def insert(self, record: _Record[T]) -> None:
+        self.nodes.append(record)
+        record.slots[self.index] = len(self.nodes) - 1
+        self._sift_up(len(self.nodes) - 1)
+
+    def peek(self) -> _Record[T]:
+        if not self.nodes:
+            raise OperatorError("peek on an empty heap")
+        return self.nodes[0]
+
+    def remove(self, record: _Record[T]) -> None:
+        """Remove a record given its backpointer (O(log n))."""
+        slot = record.slots[self.index]
+        last = self.nodes.pop()
+        record.slots[self.index] = -1
+        if slot == len(self.nodes):
+            return
+        self._set(slot, last)
+        # The replacement may violate the heap property upwards or downwards.
+        if slot > 0 and self._key(last) < self._key(self.nodes[(slot - 1) // 2]):
+            self._sift_up(slot)
+        else:
+            self._sift_down(slot)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+class ConnectedHeap(Generic[T]):
+    """``H`` synchronized min-heaps over a shared record set.
+
+    ``key_functions`` supplies one key extractor per component heap.  Records
+    are inserted into every heap; popping from one heap removes the record
+    from all of them using the backwards pointers.
+    """
+
+    def __init__(self, key_functions: Sequence[Callable[[T], Any]]):
+        if not key_functions:
+            raise OperatorError("a connected heap needs at least one component heap")
+        self._key_functions = tuple(key_functions)
+        self._heaps = [_ComponentHeap[T](i) for i in range(len(key_functions))]
+        self._size = 0
+
+    # -- properties ------------------------------------------------------------------
+
+    @property
+    def heap_count(self) -> int:
+        return len(self._heaps)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def is_empty(self) -> bool:
+        return self._size == 0
+
+    # -- operations ---------------------------------------------------------------------
+
+    def insert(self, payload: T) -> None:
+        """Insert a payload into every component heap (``O(H log n)``)."""
+        keys = tuple(fn(payload) for fn in self._key_functions)
+        record = _Record(payload, keys, len(self._heaps))
+        for heap in self._heaps:
+            heap.insert(record)
+        self._size += 1
+
+    def peek(self, heap: int = 0) -> T:
+        """The payload with the smallest key of component heap ``heap``."""
+        return self._heaps[heap].peek().payload
+
+    def peek_key(self, heap: int = 0) -> Any:
+        """The smallest key of component heap ``heap``."""
+        record = self._heaps[heap].peek()
+        return record.keys[heap]
+
+    def pop(self, heap: int = 0) -> T:
+        """Remove and return the smallest payload of component heap ``heap``.
+
+        The record is removed from every other component heap as well, using
+        the backwards pointers (``O(H log n)`` total).
+        """
+        record = self._heaps[heap].peek()
+        self._remove_record(record)
+        return record.payload
+
+    def _remove_record(self, record: _Record[T]) -> None:
+        for component in self._heaps:
+            component.remove(record)
+        record.alive = False
+        self._size -= 1
+
+    def pop_while(self, heap: int, predicate: Callable[[T], bool]) -> list[T]:
+        """Pop payloads from ``heap`` while ``predicate`` holds for its root."""
+        popped: list[T] = []
+        while self._size and predicate(self.peek(heap)):
+            popped.append(self.pop(heap))
+        return popped
+
+    def items(self) -> list[T]:
+        """All live payloads (no particular order)."""
+        return [record.payload for record in self._heaps[0].nodes]
+
+
+class NaiveMultiHeap(Generic[T]):
+    """Independent heaps with linear-search deletion — the comparison baseline.
+
+    Functionally equivalent to :class:`ConnectedHeap`; deleting a record that
+    is not the root of a component heap requires a linear scan of that heap,
+    which is what the paper's preliminary experiment (Section 8.2) measures
+    against the backwards-pointer design.
+    """
+
+    def __init__(self, key_functions: Sequence[Callable[[T], Any]]):
+        if not key_functions:
+            raise OperatorError("a naive multi-heap needs at least one component heap")
+        self._key_functions = tuple(key_functions)
+        # Each component heap is a plain list managed with heapq-style sifting
+        # but without backpointers: entries are (key, serial, payload).
+        self._heaps: list[list[tuple[Any, int, T]]] = [[] for _ in key_functions]
+        self._serial = 0
+        self._size = 0
+
+    @property
+    def heap_count(self) -> int:
+        return len(self._heaps)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def is_empty(self) -> bool:
+        return self._size == 0
+
+    def insert(self, payload: T) -> None:
+        import heapq
+
+        self._serial += 1
+        for index, fn in enumerate(self._key_functions):
+            heapq.heappush(self._heaps[index], (fn(payload), self._serial, payload))
+        self._size += 1
+
+    def peek(self, heap: int = 0) -> T:
+        if not self._heaps[heap]:
+            raise OperatorError("peek on an empty heap")
+        return self._heaps[heap][0][2]
+
+    def peek_key(self, heap: int = 0) -> Any:
+        if not self._heaps[heap]:
+            raise OperatorError("peek on an empty heap")
+        return self._heaps[heap][0][0]
+
+    def pop(self, heap: int = 0) -> T:
+        import heapq
+
+        if not self._heaps[heap]:
+            raise OperatorError("pop on an empty heap")
+        _key, serial, payload = heapq.heappop(self._heaps[heap])
+        # Linear search in every other heap to remove the same record.
+        for index, component in enumerate(self._heaps):
+            if index == heap:
+                continue
+            for slot, entry in enumerate(component):
+                if entry[1] == serial:
+                    component[slot] = component[-1]
+                    component.pop()
+                    if slot < len(component):
+                        heapq._siftup(component, slot)  # noqa: SLF001 - stdlib helper
+                        heapq._siftdown(component, 0, slot)  # noqa: SLF001
+                    break
+        self._size -= 1
+        return payload
+
+    def pop_while(self, heap: int, predicate: Callable[[T], bool]) -> list[T]:
+        popped: list[T] = []
+        while self._size and predicate(self.peek(heap)):
+            popped.append(self.pop(heap))
+        return popped
+
+    def items(self) -> list[T]:
+        return [entry[2] for entry in self._heaps[0]]

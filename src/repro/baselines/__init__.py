@@ -1,0 +1,45 @@
+"""Baseline methods the paper evaluates against (Det, MCDB, Symb, PT-k, …)."""
+
+from repro.baselines.det import det_sort, det_topk, det_window, selected_guess_relation
+from repro.baselines.mcdb import mcdb_sort_bounds, mcdb_window_bounds, run_per_world
+from repro.baselines.symb import symb_sort_bounds, symb_window_bounds
+from repro.baselines.ptk import (
+    certain_topk_answers,
+    possible_topk_answers,
+    ptk_query,
+    topk_probabilities_exact,
+    topk_probabilities_montecarlo,
+)
+from repro.baselines.rank_semantics import (
+    certain_answers,
+    expected_rank_topk,
+    expected_ranks,
+    global_topk,
+    possible_answers,
+    u_rank,
+    u_top,
+)
+
+__all__ = [
+    "det_sort",
+    "det_topk",
+    "det_window",
+    "selected_guess_relation",
+    "mcdb_sort_bounds",
+    "mcdb_window_bounds",
+    "run_per_world",
+    "symb_sort_bounds",
+    "symb_window_bounds",
+    "topk_probabilities_exact",
+    "topk_probabilities_montecarlo",
+    "ptk_query",
+    "certain_topk_answers",
+    "possible_topk_answers",
+    "u_top",
+    "u_rank",
+    "global_topk",
+    "expected_ranks",
+    "expected_rank_topk",
+    "certain_answers",
+    "possible_answers",
+]

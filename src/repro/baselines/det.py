@@ -1,0 +1,78 @@
+"""``Det`` baseline: deterministic query evaluation that ignores uncertainty.
+
+The paper reports Det to expose the overhead of the uncertainty-aware
+methods.  Det evaluates the query over a single deterministic relation — the
+selected-guess world — using the deterministic substrate, and therefore
+reports neither certain nor possible answers.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.relation import AURelation
+from repro.incomplete.xtuples import UncertainRelation
+from repro.relational.relation import Relation
+from repro.relational.sort import sort_operator, topk as det_topk_operator
+from repro.relational.window import window_aggregate
+from repro.window.spec import WindowSpec
+
+__all__ = ["selected_guess_relation", "det_sort", "det_topk", "det_window"]
+
+
+def selected_guess_relation(source: AURelation | UncertainRelation | Relation) -> Relation:
+    """Extract the deterministic relation Det operates on (the SG world)."""
+    if isinstance(source, Relation):
+        return source
+    if isinstance(source, UncertainRelation):
+        return source.selected_guess_world()
+    relation = Relation(source.schema)
+    for row, mult in source.selected_guess_rows().items():
+        relation.add(row, mult)
+    return relation
+
+
+def det_sort(
+    source: AURelation | UncertainRelation | Relation,
+    order_by: Sequence[str],
+    *,
+    position_attribute: str = "pos",
+    descending: bool = False,
+) -> Relation:
+    """Deterministic sort of the selected-guess world."""
+    return sort_operator(
+        selected_guess_relation(source),
+        order_by,
+        position_attribute=position_attribute,
+        descending=descending,
+    )
+
+
+def det_topk(
+    source: AURelation | UncertainRelation | Relation,
+    order_by: Sequence[str],
+    k: int,
+    *,
+    descending: bool = False,
+) -> Relation:
+    """Deterministic top-k of the selected-guess world."""
+    return det_topk_operator(
+        selected_guess_relation(source), order_by, k, descending=descending
+    )
+
+
+def det_window(
+    source: AURelation | UncertainRelation | Relation,
+    spec: WindowSpec,
+) -> Relation:
+    """Deterministic windowed aggregation over the selected-guess world."""
+    return window_aggregate(
+        selected_guess_relation(source),
+        function=spec.function,
+        attribute=None if spec.attribute in (None, "*") else spec.attribute,
+        output=spec.output,
+        order_by=spec.order_by,
+        partition_by=spec.partition_by,
+        frame=spec.frame,
+        descending=spec.descending,
+    )

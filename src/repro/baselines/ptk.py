@@ -1,0 +1,133 @@
+"""``PT-k`` baseline: probabilistic threshold top-k (Hua et al. [32]).
+
+PT-k returns every tuple whose probability of belonging to the top-k exceeds
+a user-supplied threshold.  Setting the threshold to 1 yields certain
+answers; any positive threshold below that yields (a superset of) likely
+answers, and a threshold of (effectively) 0 yields all possible answers.
+
+Two evaluation strategies are provided:
+
+* :func:`topk_probabilities_exact` — the dynamic-programming algorithm for
+  tuple-independent tables (each x-tuple has one alternative with an
+  existence probability): the probability that tuple ``t`` is in the top-k is
+  ``p(t) · Pr(at most k-1 better tuples exist)``, computed with a
+  Poisson-binomial recurrence over the tuples sorted by score.
+* :func:`topk_probabilities_montecarlo` — a sampling fallback for general
+  x-tuples with uncertain scores (the setting of the paper's attribute-level
+  microbenchmarks, where the authors likewise ran the original PT-k binary on
+  discretised inputs).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.core.ranges import Scalar
+from repro.errors import WorkloadError
+from repro.incomplete.xtuples import UncertainRelation
+from repro.relational.sort import topk as det_topk
+
+__all__ = [
+    "topk_probabilities_exact",
+    "topk_probabilities_montecarlo",
+    "ptk_query",
+    "certain_topk_answers",
+    "possible_topk_answers",
+]
+
+
+def topk_probabilities_exact(
+    relation: UncertainRelation,
+    score_attribute: str,
+    k: int,
+    *,
+    key_attribute: str,
+    descending: bool = True,
+) -> dict[Scalar, float]:
+    """Exact Pr(tuple ∈ top-k) for tuple-independent tables.
+
+    Every x-tuple must have exactly one alternative (a certain score); its
+    existence probability is the alternative's probability.
+    """
+    score_idx = relation.schema.index_of(score_attribute)
+    key_idx = relation.schema.index_of(key_attribute)
+    entries: list[tuple[float, Scalar, float]] = []  # (score, key, probability)
+    for xt in relation.xtuples:
+        if len(xt.alternatives) != 1:
+            raise WorkloadError(
+                "the exact PT-k algorithm requires tuple-independent tables "
+                "(one alternative per x-tuple); use topk_probabilities_montecarlo instead"
+            )
+        row = xt.alternatives[0]
+        entries.append((row[score_idx], row[key_idx], xt.probabilities[0]))
+
+    entries.sort(key=lambda e: e[0], reverse=descending)
+
+    # dp[j] = probability that exactly j of the already-processed (better)
+    # tuples exist.  Only the first k entries matter.
+    dp = [1.0] + [0.0] * k
+    probabilities: dict[Scalar, float] = {}
+    for score, key, prob in entries:
+        probabilities[key] = prob * sum(dp[:k])
+        # Fold this tuple into the Poisson-binomial distribution of the
+        # number of better tuples.
+        new_dp = [0.0] * (k + 1)
+        for j in range(k + 1):
+            if dp[j] == 0.0:
+                continue
+            new_dp[j] += dp[j] * (1.0 - prob)
+            if j + 1 <= k:
+                new_dp[j + 1] += dp[j] * prob
+            else:
+                # Mass beyond k slots can never re-enter the top-k; drop it.
+                pass
+        dp = new_dp
+        del score
+    return probabilities
+
+
+def topk_probabilities_montecarlo(
+    relation: UncertainRelation,
+    order_by: Sequence[str],
+    k: int,
+    *,
+    key_attribute: str,
+    samples: int = 200,
+    seed: int | None = None,
+    descending: bool = True,
+) -> dict[Scalar, float]:
+    """Monte-Carlo estimate of Pr(tuple ∈ top-k) for general x-tuples."""
+    key_counts: dict[Scalar, int] = {}
+    rng = random.Random(seed)
+    key_idx_schema = relation.schema.index_of(key_attribute)
+    for xt in relation.xtuples:
+        for alt in xt.alternatives:
+            key_counts.setdefault(alt[key_idx_schema], 0)
+    for _ in range(samples):
+        world = relation.sample_world(rng)
+        result = det_topk(world, order_by, k, descending=descending)
+        key_idx = result.schema.index_of(key_attribute)
+        seen: set[Scalar] = set()
+        for row, _mult in result:
+            seen.add(row[key_idx])
+        for key in seen:
+            key_counts[key] = key_counts.get(key, 0) + 1
+    return {key: count / samples for key, count in key_counts.items()}
+
+
+def ptk_query(probabilities: dict[Scalar, float], threshold: float) -> list[Scalar]:
+    """Keys whose top-k probability meets the threshold (sorted by probability)."""
+    selected = [(prob, key) for key, prob in probabilities.items() if prob >= threshold]
+    selected.sort(key=lambda item: (-item[0], str(item[1])))
+    return [key for _prob, key in selected]
+
+
+def certain_topk_answers(probabilities: dict[Scalar, float], *, tolerance: float = 1e-9) -> list[Scalar]:
+    """PT(1): tuples in the top-k of every world."""
+    return ptk_query(probabilities, 1.0 - tolerance)
+
+
+def possible_topk_answers(probabilities: dict[Scalar, float], *, tolerance: float = 1e-9) -> list[Scalar]:
+    """PT(>0): tuples in the top-k of at least one (sampled/enumerated) world."""
+    return ptk_query(probabilities, tolerance)

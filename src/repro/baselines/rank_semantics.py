@@ -1,0 +1,185 @@
+"""Alternative uncertain top-k semantics from related work (Section 2, Fig. 1).
+
+These baselines operate on an explicit :class:`PossibleWorlds` instance and
+implement the classic competing semantics the paper contrasts with AU-DBs:
+
+* **U-Top** [56] — the most probable top-k *list*.
+* **U-Rank** [56] — for every rank, the tuple most likely to occupy it.
+* **Global-Top-k** [64] — the k tuples with the highest probability of being
+  in the top-k.
+* **Expected rank** [19] — the k tuples with the smallest expected rank
+  (a tuple absent from a world is ranked after every present tuple).
+
+They exist to reproduce the running example (Fig. 1b-1e) and to demonstrate
+why the AU-DB semantics — which reports both certain and possible answers and
+stays closed under further queries — differs from each of them.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.ranges import Scalar
+from repro.incomplete.worlds import PossibleWorlds
+from repro.relational.relation import Relation, Row
+from repro.relational.sort import sort_operator
+
+__all__ = ["u_top", "u_rank", "global_topk", "expected_ranks", "expected_rank_topk"]
+
+
+def _ranked_world(
+    world: Relation,
+    order_by: Sequence[str],
+    descending: bool,
+    project: Sequence[str] | None = None,
+) -> list[Row]:
+    """The rows of a world in rank order (duplicates expanded).
+
+    With ``project`` set, every ranked row is projected onto those attributes;
+    this is how the classic semantics identify answers by key (e.g. "term")
+    rather than by the full row.
+    """
+    ranked = sort_operator(world, order_by, descending=descending)
+    pos_idx = ranked.schema.index_of("pos")
+    rows = sorted(ranked.rows(), key=lambda row: row[pos_idx])
+    rows = [row[:pos_idx] + row[pos_idx + 1:] for row in rows]
+    if project is not None:
+        idx = world.schema.indexes_of(project)
+        rows = [tuple(row[i] for i in idx) for row in rows]
+    return rows
+
+
+def u_top(
+    worlds: PossibleWorlds,
+    order_by: Sequence[str],
+    k: int,
+    *,
+    descending: bool = False,
+    project: Sequence[str] | None = None,
+) -> list[Row]:
+    """U-Top: the top-k list with the highest total probability."""
+    weights: dict[tuple[Row, ...], float] = {}
+    for world, probability in worlds:
+        prefix = tuple(_ranked_world(world, order_by, descending, project)[:k])
+        weights[prefix] = weights.get(prefix, 0.0) + probability
+    best = max(weights.items(), key=lambda item: item[1])
+    return list(best[0])
+
+
+def u_rank(
+    worlds: PossibleWorlds,
+    order_by: Sequence[str],
+    k: int,
+    *,
+    descending: bool = False,
+    project: Sequence[str] | None = None,
+) -> list[Row]:
+    """U-Rank: for every rank position, the row most likely to occupy it."""
+    result: list[Row] = []
+    for rank in range(k):
+        weights: dict[Row, float] = {}
+        for world, probability in worlds:
+            ranked = _ranked_world(world, order_by, descending, project)
+            if rank < len(ranked):
+                row = ranked[rank]
+                weights[row] = weights.get(row, 0.0) + probability
+        if not weights:
+            break
+        best = max(weights.items(), key=lambda item: item[1])
+        result.append(best[0])
+    return result
+
+
+def global_topk(
+    worlds: PossibleWorlds,
+    order_by: Sequence[str],
+    k: int,
+    *,
+    descending: bool = False,
+    project: Sequence[str] | None = None,
+) -> list[Row]:
+    """Global-Top-k: the k rows with the highest probability of being in the top-k."""
+    weights: dict[Row, float] = {}
+    for world, probability in worlds:
+        for row in set(_ranked_world(world, order_by, descending, project)[:k]):
+            weights[row] = weights.get(row, 0.0) + probability
+    ordered = sorted(weights.items(), key=lambda item: (-item[1], str(item[0])))
+    return [row for row, _weight in ordered[:k]]
+
+
+def expected_ranks(
+    worlds: PossibleWorlds,
+    order_by: Sequence[str],
+    *,
+    descending: bool = False,
+    project: Sequence[str] | None = None,
+) -> dict[Row, float]:
+    """Expected rank of every possible row across the worlds.
+
+    Following Cormode et al. [19], a row absent from a world is assigned that
+    world's size as its rank (it comes after every present row).
+    """
+    all_rows: dict[Row, None] = {}
+    per_world: list[tuple[list[Row], float]] = []
+    for world, probability in worlds:
+        ranked = _ranked_world(world, order_by, descending, project)
+        per_world.append((ranked, probability))
+        for row in ranked:
+            all_rows.setdefault(row, None)
+    totals: dict[Row, float] = {row: 0.0 for row in all_rows}
+    for ranked, probability in per_world:
+        positions: dict[Row, int] = {}
+        for position, row in enumerate(ranked):
+            positions.setdefault(row, position)
+        size = len(ranked)
+        for row in totals:
+            totals[row] += probability * positions.get(row, size)
+    return totals
+
+
+def expected_rank_topk(
+    worlds: PossibleWorlds,
+    order_by: Sequence[str],
+    k: int,
+    *,
+    descending: bool = False,
+    project: Sequence[str] | None = None,
+) -> list[Row]:
+    """The k rows with the smallest expected rank."""
+    ranks = expected_ranks(worlds, order_by, descending=descending, project=project)
+    ordered = sorted(ranks.items(), key=lambda item: (item[1], str(item[0])))
+    return [row for row, _rank in ordered[:k]]
+
+
+def certain_answers(
+    worlds: PossibleWorlds,
+    order_by: Sequence[str],
+    k: int,
+    *,
+    descending: bool = False,
+    project: Sequence[str] | None = None,
+) -> list[Row]:
+    """Rows that belong to the top-k of every world (PT(1)-style certain answers)."""
+    survivors: set[Row] | None = None
+    for world, _probability in worlds:
+        prefix = set(_ranked_world(world, order_by, descending, project)[:k])
+        survivors = prefix if survivors is None else survivors & prefix
+    return sorted(survivors or set(), key=str)
+
+
+def possible_answers(
+    worlds: PossibleWorlds,
+    order_by: Sequence[str],
+    k: int,
+    *,
+    descending: bool = False,
+    project: Sequence[str] | None = None,
+) -> list[Row]:
+    """Rows that belong to the top-k of at least one world (PT(>0)-style)."""
+    union: set[Row] = set()
+    for world, _probability in worlds:
+        union |= set(_ranked_world(world, order_by, descending, project)[:k])
+    return sorted(union, key=str)
+
+
+__all__ += ["certain_answers", "possible_answers"]

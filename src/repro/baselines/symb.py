@@ -1,0 +1,92 @@
+"""``Symb`` baseline: exact certain/possible bounds by possible-world reasoning.
+
+The paper's Symb method encodes ranks and aggregation results as symbolic
+expressions and uses the Z3 SMT solver to derive *tight* bounds.  SMT solving
+is unavailable offline, so this module obtains the same tight bounds by
+exhaustively enumerating the possible worlds of the (x-tuple encoded)
+incomplete relation and evaluating the deterministic query in each world.
+
+Both approaches share the property the evaluation relies on: they are exact
+but intractable beyond small inputs.  Enumeration beyond
+``DEFAULT_WORLD_LIMIT`` worlds raises
+:class:`~repro.errors.EnumerationLimitError`, mirroring the crashes /
+timeouts the paper reports for Z3 past ~1k tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.ranges import Scalar
+from repro.errors import WorkloadError
+from repro.incomplete.xtuples import UncertainRelation
+from repro.relational.relation import Relation
+from repro.relational.sort import sort_operator
+from repro.relational.window import window_aggregate
+from repro.window.spec import WindowSpec
+
+__all__ = ["symb_sort_bounds", "symb_window_bounds", "DEFAULT_WORLD_LIMIT"]
+
+DEFAULT_WORLD_LIMIT = 200_000
+
+
+def _collect(
+    results: list[Relation], key_attribute: str, value_attribute: str
+) -> dict[Scalar, tuple[float, float]]:
+    bounds: dict[Scalar, tuple[float, float]] = {}
+    for result in results:
+        key_idx = result.schema.index_of(key_attribute)
+        value_idx = result.schema.index_of(value_attribute)
+        for row, _mult in result:
+            key = row[key_idx]
+            value = row[value_idx]
+            if key in bounds:
+                low, high = bounds[key]
+                bounds[key] = (min(low, value), max(high, value))
+            else:
+                bounds[key] = (value, value)
+    return bounds
+
+
+def symb_sort_bounds(
+    relation: UncertainRelation,
+    order_by: Sequence[str],
+    *,
+    key_attribute: str,
+    descending: bool = False,
+    world_limit: int = DEFAULT_WORLD_LIMIT,
+) -> dict[Scalar, tuple[float, float]]:
+    """Exact per-tuple sort-position bounds across every possible world."""
+    if key_attribute not in relation.schema:
+        raise WorkloadError(f"key attribute {key_attribute!r} missing from schema")
+    results = [
+        sort_operator(world, order_by, descending=descending)
+        for world, _p in relation.iter_worlds(limit=world_limit)
+    ]
+    return _collect(results, key_attribute, "pos")
+
+
+def symb_window_bounds(
+    relation: UncertainRelation,
+    spec: WindowSpec,
+    *,
+    key_attribute: str,
+    world_limit: int = DEFAULT_WORLD_LIMIT,
+) -> dict[Scalar, tuple[float, float]]:
+    """Exact per-tuple window-aggregate bounds across every possible world."""
+    if key_attribute not in relation.schema:
+        raise WorkloadError(f"key attribute {key_attribute!r} missing from schema")
+    results = [
+        window_aggregate(
+            world,
+            function=spec.function,
+            attribute=None if spec.attribute in (None, "*") else spec.attribute,
+            output=spec.output,
+            order_by=spec.order_by,
+            partition_by=spec.partition_by,
+            frame=spec.frame,
+            descending=spec.descending,
+        )
+        for world, _p in relation.iter_worlds(limit=world_limit)
+    ]
+    return _collect(results, key_attribute, spec.output)

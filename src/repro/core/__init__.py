@@ -1,0 +1,38 @@
+"""Core AU-DB data model: range-annotated values, tuples, relations, operators."""
+
+from repro.core.booleans import RangeBool
+from repro.core.ranges import RangeValue, as_range
+from repro.core.multiplicity import Multiplicity
+from repro.core.schema import Schema
+from repro.core.tuples import AUTuple
+from repro.core.relation import AURelation
+from repro.core.expressions import attr, const, Attribute, Constant, Expression
+from repro.core.bounding import (
+    assert_bounds_world,
+    assert_bounds_worlds,
+    bounds_world,
+    bounds_worlds,
+)
+from repro.core.encoding import decode, encode, encoded_schema
+
+__all__ = [
+    "RangeBool",
+    "RangeValue",
+    "as_range",
+    "Multiplicity",
+    "Schema",
+    "AUTuple",
+    "AURelation",
+    "attr",
+    "const",
+    "Attribute",
+    "Constant",
+    "Expression",
+    "bounds_world",
+    "bounds_worlds",
+    "assert_bounds_world",
+    "assert_bounds_worlds",
+    "encode",
+    "decode",
+    "encoded_schema",
+]

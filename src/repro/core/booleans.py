@@ -1,0 +1,114 @@
+"""Three-valued bounding triples for Boolean expressions over AU-DBs.
+
+Section 5 of the paper evaluates Boolean expressions over range-annotated
+values to a *bounding triple* ``[lb / sg / ub]`` using the order
+``False < True``:
+
+* ``lb`` — the expression is **certainly** true (true in every world bounded
+  by the inputs),
+* ``sg`` — the expression is true in the **selected-guess** world,
+* ``ub`` — the expression is **possibly** true (true in at least one bounded
+  world).
+
+:class:`RangeBool` implements that triple together with the three-valued
+connectives used by the bound-preserving expression semantics of [24].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InvalidRangeError
+
+__all__ = ["RangeBool", "CERTAIN_TRUE", "CERTAIN_FALSE", "UNKNOWN"]
+
+
+@dataclass(frozen=True, slots=True)
+class RangeBool:
+    """A bounding triple ``[lb / sg / ub]`` over Booleans with ``False < True``.
+
+    ``lb`` implies ``sg`` implies ``ub`` must *not* necessarily hold for the
+    selected guess (``sg`` is an independent witness world), but the bounds
+    themselves must be ordered: ``lb <= ub`` and ``lb <= sg <= ub``.
+    """
+
+    lb: bool
+    sg: bool
+    ub: bool
+
+    def __post_init__(self) -> None:
+        if (self.lb and not self.ub) or (self.lb and not self.sg) or (self.sg and not self.ub):
+            raise InvalidRangeError(
+                f"invalid boolean bounding triple [{self.lb}/{self.sg}/{self.ub}]"
+            )
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def certain(value: bool) -> "RangeBool":
+        """A triple with no uncertainty (``value`` in every bounded world)."""
+        return RangeBool(value, value, value)
+
+    @staticmethod
+    def from_bounds(lb: bool, sg: bool, ub: bool) -> "RangeBool":
+        """Build a triple, validating the ordering constraints."""
+        return RangeBool(lb, sg, ub)
+
+    # -- predicates ---------------------------------------------------------
+
+    @property
+    def is_certain(self) -> bool:
+        """True when the triple carries no uncertainty."""
+        return self.lb == self.sg == self.ub
+
+    @property
+    def certainly_true(self) -> bool:
+        return self.lb
+
+    @property
+    def possibly_true(self) -> bool:
+        return self.ub
+
+    @property
+    def certainly_false(self) -> bool:
+        return not self.ub
+
+    # -- three-valued connectives -------------------------------------------
+
+    def and_(self, other: "RangeBool") -> "RangeBool":
+        """Conjunction: bound-preserving pointwise ``and``."""
+        return RangeBool(self.lb and other.lb, self.sg and other.sg, self.ub and other.ub)
+
+    def or_(self, other: "RangeBool") -> "RangeBool":
+        """Disjunction: bound-preserving pointwise ``or``."""
+        return RangeBool(self.lb or other.lb, self.sg or other.sg, self.ub or other.ub)
+
+    def not_(self) -> "RangeBool":
+        """Negation: swaps and negates the bounds."""
+        return RangeBool(not self.ub, not self.sg, not self.lb)
+
+    def __and__(self, other: "RangeBool") -> "RangeBool":
+        return self.and_(other)
+
+    def __or__(self, other: "RangeBool") -> "RangeBool":
+        return self.or_(other)
+
+    def __invert__(self) -> "RangeBool":
+        return self.not_()
+
+    # -- conversions ---------------------------------------------------------
+
+    def bounds(self, value: bool) -> bool:
+        """Whether a deterministic Boolean ``value`` is bounded by this triple."""
+        if value:
+            return self.ub
+        return not self.lb
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        fmt = lambda b: "T" if b else "F"  # noqa: E731 - tiny local formatter
+        return f"[{fmt(self.lb)}/{fmt(self.sg)}/{fmt(self.ub)}]"
+
+
+CERTAIN_TRUE = RangeBool.certain(True)
+CERTAIN_FALSE = RangeBool.certain(False)
+UNKNOWN = RangeBool(False, False, True)

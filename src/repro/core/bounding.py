@@ -1,0 +1,129 @@
+"""Bounding checks: does an AU-DB relation bound a deterministic world?
+
+Section 3.2 of the paper defines ``R ⊏ R̄`` through *tuple matchings*: the
+multiplicity of every deterministic tuple must be fully distributable over the
+AU-tuples whose hypercubes contain it, such that the total multiplicity
+received by each AU-tuple falls within its annotation range.
+
+Deciding whether such a matching exists is a transportation (feasible-flow)
+problem with lower bounds; we solve it exactly with a min-cost-flow reduction
+(via :mod:`networkx`).  These checks are the oracle used by the property-based
+tests of Theorems 1 and 2 (bound preservation of sorting and windowed
+aggregation).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.core.relation import AURelation
+from repro.errors import BoundViolationError
+from repro.incomplete.worlds import PossibleWorlds
+from repro.relational.relation import Relation
+
+__all__ = [
+    "bounds_world",
+    "bounds_worlds",
+    "assert_bounds_world",
+    "assert_bounds_worlds",
+    "sg_world_matches",
+]
+
+
+def bounds_world(audb: AURelation, world: Relation) -> bool:
+    """Whether ``audb`` bounds the deterministic bag relation ``world``.
+
+    The check builds a bipartite feasible-flow instance: deterministic rows
+    supply their multiplicity, AU-tuples accept between ``lb`` and ``ub``
+    units, and a row may only send flow to AU-tuples whose hypercube contains
+    it.  ``audb`` bounds ``world`` iff the instance is feasible.
+    """
+    if len(audb.schema) != len(world.schema):
+        return False
+
+    au_rows = list(audb)
+    det_rows = list(world)
+
+    # Quick necessary conditions before building the flow network.
+    total_det = sum(mult for _row, mult in det_rows)
+    total_ub = sum(mult.ub for _tup, mult in au_rows)
+    total_lb = sum(mult.lb for _tup, mult in au_rows)
+    if total_det > total_ub or total_det < total_lb:
+        return False
+    for row, _mult in det_rows:
+        if not any(tup.bounds_row(row) for tup, _m in au_rows):
+            return False
+
+    # Feasible flow with lower bounds, as a min-cost-flow problem.  networkx
+    # uses the convention inflow - outflow = demand.  An edge lower bound l is
+    # removed by reducing its capacity by l and shifting l into the demands of
+    # its endpoints (+l at the tail, -l at the head is the inflow/outflow
+    # bookkeeping below).
+    graph = nx.DiGraph()
+    source = ("source",)
+    sink = ("sink",)
+    demand: dict[object, int] = {source: -total_det, sink: total_det}
+
+    for i, (row, mult) in enumerate(det_rows):
+        node = ("det", i)
+        demand.setdefault(node, 0)
+        graph.add_edge(source, node, capacity=mult, weight=0)
+        for j, (tup, _m) in enumerate(au_rows):
+            if tup.bounds_row(row):
+                graph.add_edge(node, ("au", j), capacity=mult, weight=0)
+
+    for j, (_tup, mult) in enumerate(au_rows):
+        node = ("au", j)
+        demand.setdefault(node, 0)
+        lower, upper = mult.lb, mult.ub
+        if upper > lower:
+            graph.add_edge(node, sink, capacity=upper - lower, weight=0)
+        if lower:
+            # Forcing `lower` units over (node -> sink): the node must now
+            # absorb `lower` units (demand +lower) and the sink needs `lower`
+            # fewer (demand -lower).
+            demand[node] += lower
+            demand[sink] -= lower
+
+    for node, value in demand.items():
+        graph.add_node(node, demand=value)
+    for node in list(graph.nodes):
+        graph.nodes[node].setdefault("demand", 0)
+
+    try:
+        nx.min_cost_flow(graph)
+    except nx.NetworkXUnfeasible:
+        return False
+    return True
+
+
+def bounds_worlds(audb: AURelation, worlds: PossibleWorlds, *, check_sg: bool = False) -> bool:
+    """Whether ``audb`` bounds every possible world (and optionally the SG world)."""
+    if check_sg and not sg_world_matches(audb, worlds):
+        return False
+    return all(bounds_world(audb, world) for world in worlds.worlds)
+
+
+def sg_world_matches(audb: AURelation, worlds: PossibleWorlds) -> bool:
+    """Whether the AU-DB's selected-guess world is one of the possible worlds."""
+    sg_rows = audb.selected_guess_rows()
+    sg_relation = Relation(audb.schema)
+    for row, mult in sg_rows.items():
+        sg_relation.add(row, mult)
+    return any(sg_relation == world for world in worlds.worlds)
+
+
+def assert_bounds_world(audb: AURelation, world: Relation, *, context: str = "") -> None:
+    """Raise :class:`BoundViolationError` when ``audb`` does not bound ``world``."""
+    if not bounds_world(audb, world):
+        prefix = f"{context}: " if context else ""
+        raise BoundViolationError(
+            f"{prefix}AU-DB relation does not bound the given world\n"
+            f"AU-DB:\n{audb.to_table(limit=30)}\nworld:\n{world.to_table(limit=30)}"
+        )
+
+
+def assert_bounds_worlds(audb: AURelation, worlds: PossibleWorlds, *, context: str = "") -> None:
+    """Raise :class:`BoundViolationError` unless ``audb`` bounds every world."""
+    for i, world in enumerate(worlds.worlds):
+        assert_bounds_world(audb, world, context=f"{context} (world {i})" if context else f"world {i}")

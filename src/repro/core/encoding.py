@@ -1,0 +1,73 @@
+"""Flat relational encoding of AU-DB relations.
+
+Section 7/8 of the paper stores AU-DBs inside a classical DBMS by encoding
+every range-annotated attribute ``A`` as three columns ``A__lb``, ``A__sg``,
+``A__ub`` and the multiplicity triple as ``__mult_lb``, ``__mult_sg``,
+``__mult_ub``.  The same encoding is used here to move AU-relations into the
+deterministic engine (e.g. for the rewrite-based implementation or for
+export).
+"""
+
+from __future__ import annotations
+
+from repro.core.multiplicity import Multiplicity
+from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation
+from repro.core.schema import Schema
+from repro.core.tuples import AUTuple
+from repro.errors import SchemaError
+from repro.relational.relation import Relation
+
+__all__ = [
+    "encode",
+    "decode",
+    "encoded_schema",
+    "MULT_LB",
+    "MULT_SG",
+    "MULT_UB",
+]
+
+MULT_LB = "__mult_lb"
+MULT_SG = "__mult_sg"
+MULT_UB = "__mult_ub"
+
+
+def encoded_schema(schema: Schema) -> Schema:
+    """The flat schema encoding ``schema``: three columns per attribute plus multiplicities."""
+    columns: list[str] = []
+    for name in schema:
+        columns.extend([f"{name}__lb", f"{name}__sg", f"{name}__ub"])
+    columns.extend([MULT_LB, MULT_SG, MULT_UB])
+    return Schema(columns)
+
+
+def encode(relation: AURelation) -> Relation:
+    """Encode an AU-relation as a flat deterministic relation."""
+    flat_schema = encoded_schema(relation.schema)
+    out = Relation(flat_schema)
+    for tup, mult in relation:
+        row: list = []
+        for value in tup.values:
+            row.extend([value.lb, value.sg, value.ub])
+        row.extend([mult.lb, mult.sg, mult.ub])
+        out.add(tuple(row), 1)
+    return out
+
+
+def decode(flat: Relation, schema: Schema) -> AURelation:
+    """Decode a flat relation produced by :func:`encode` back into an AU-relation."""
+    expected = encoded_schema(schema)
+    if flat.schema != expected:
+        raise SchemaError(
+            f"flat relation schema {flat.schema} does not match expected encoding {expected}"
+        )
+    out = AURelation(schema)
+    arity = len(schema)
+    for row, count in flat:
+        values = []
+        for i in range(arity):
+            lb, sg, ub = row[3 * i], row[3 * i + 1], row[3 * i + 2]
+            values.append(RangeValue(lb, sg, ub))
+        mult = Multiplicity(row[3 * arity], row[3 * arity + 1], row[3 * arity + 2]).scale(count)
+        out.add(AUTuple(schema, tuple(values)), mult)
+    return out

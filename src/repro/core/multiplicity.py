@@ -1,0 +1,127 @@
+"""Tuple multiplicity triples — the ``N³`` annotations of AU-DBs.
+
+An AU-DB tuple is annotated with ``(lb, sg, ub)`` where ``lb`` is a lower
+bound on the tuple's *certain* multiplicity (it appears at least ``lb`` times
+in every bounded world), ``sg`` is its multiplicity in the selected-guess
+world, and ``ub`` is an upper bound on its possible multiplicity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.booleans import RangeBool
+from repro.errors import InvalidMultiplicityError
+
+__all__ = ["Multiplicity", "ZERO", "ONE"]
+
+
+@dataclass(frozen=True, slots=True)
+class Multiplicity:
+    """An element of the ``N³`` semiring: ``(lb, sg, ub)`` with ``lb <= sg <= ub``."""
+
+    lb: int
+    sg: int
+    ub: int
+
+    def __post_init__(self) -> None:
+        if self.lb < 0 or self.sg < 0 or self.ub < 0:
+            raise InvalidMultiplicityError(
+                f"multiplicities must be non-negative, got ({self.lb},{self.sg},{self.ub})"
+            )
+        if not (self.lb <= self.sg <= self.ub):
+            raise InvalidMultiplicityError(
+                f"multiplicity triple requires lb <= sg <= ub, got ({self.lb},{self.sg},{self.ub})"
+            )
+
+    # -- constructors ---------------------------------------------------------
+
+    @staticmethod
+    def certain(count: int) -> "Multiplicity":
+        """A tuple occurring exactly ``count`` times in every bounded world."""
+        return Multiplicity(count, count, count)
+
+    @staticmethod
+    def possible(count: int = 1, sg: int = 0) -> "Multiplicity":
+        """A tuple that may occur up to ``count`` times but is not certain."""
+        return Multiplicity(0, sg, count)
+
+    # -- semiring operations --------------------------------------------------
+
+    def add(self, other: "Multiplicity") -> "Multiplicity":
+        """Semiring addition (bag union): pointwise sum."""
+        return Multiplicity(self.lb + other.lb, self.sg + other.sg, self.ub + other.ub)
+
+    def mul(self, other: "Multiplicity") -> "Multiplicity":
+        """Semiring multiplication (join): pointwise product."""
+        return Multiplicity(self.lb * other.lb, self.sg * other.sg, self.ub * other.ub)
+
+    def filter(self, condition: RangeBool) -> "Multiplicity":
+        """Apply a selection condition evaluated to a bounding triple.
+
+        The certain multiplicity survives only if the condition is certainly
+        true; the possible multiplicity survives if the condition is possibly
+        true; the selected-guess multiplicity survives if the condition holds
+        in the selected-guess world.  This is the AU-DB selection semantics of
+        [23, 24].
+        """
+        return Multiplicity(
+            self.lb if condition.lb else 0,
+            self.sg if condition.sg else 0,
+            self.ub if condition.ub else 0,
+        )
+
+    def scale(self, factor: int) -> "Multiplicity":
+        """Multiply every bound by a non-negative deterministic factor."""
+        if factor < 0:
+            raise InvalidMultiplicityError("multiplicity scale factor must be non-negative")
+        return Multiplicity(self.lb * factor, self.sg * factor, self.ub * factor)
+
+    def monus(self, other: "Multiplicity") -> "Multiplicity":
+        """Bound-preserving bag difference (truncated subtraction).
+
+        The certain output multiplicity removes as many duplicates as *may*
+        exist on the right; the possible output removes only what *must*
+        exist — the standard bound-preserving semantics of set/bag difference
+        over AU-DBs.
+        """
+        lb = max(0, self.lb - other.ub)
+        sg = max(0, self.sg - other.sg)
+        ub = max(0, self.ub - other.lb)
+        # Re-normalise: the independent bounds may violate lb <= sg <= ub only
+        # if the inputs were inconsistent, but guard anyway.
+        sg = max(lb, min(sg, ub))
+        return Multiplicity(lb, sg, ub)
+
+    # -- predicates ------------------------------------------------------------
+
+    @property
+    def is_certain(self) -> bool:
+        return self.lb == self.sg == self.ub
+
+    @property
+    def certainly_exists(self) -> bool:
+        return self.lb > 0
+
+    @property
+    def possibly_exists(self) -> bool:
+        return self.ub > 0
+
+    def bounds(self, count: int) -> bool:
+        """Whether a deterministic multiplicity falls inside the triple."""
+        return self.lb <= count <= self.ub
+
+    # -- sugar ------------------------------------------------------------------
+
+    def __add__(self, other: "Multiplicity") -> "Multiplicity":
+        return self.add(other)
+
+    def __mul__(self, other: "Multiplicity") -> "Multiplicity":
+        return self.mul(other)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.lb},{self.sg},{self.ub})"
+
+
+ZERO = Multiplicity(0, 0, 0)
+ONE = Multiplicity(1, 1, 1)

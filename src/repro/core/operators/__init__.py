@@ -1,0 +1,26 @@
+"""Bound-preserving relational operators over AU-DB relations (from [23, 24]).
+
+These operators are the substrate the paper's new order-based operators
+compose with: AU-DBs are closed under ``RA`` with aggregation, so the output
+of uncertain sorting / windowed aggregation can feed into further selections,
+joins, and aggregates.
+"""
+
+from repro.core.operators.select import select
+from repro.core.operators.project import project, extend, rename
+from repro.core.operators.union import union
+from repro.core.operators.join import cross, join
+from repro.core.operators.aggregate import groupby_aggregate
+from repro.core.operators.distinct import distinct
+
+__all__ = [
+    "select",
+    "project",
+    "extend",
+    "rename",
+    "union",
+    "cross",
+    "join",
+    "groupby_aggregate",
+    "distinct",
+]

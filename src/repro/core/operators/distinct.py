@@ -1,0 +1,21 @@
+"""Duplicate elimination (set projection) over AU-DB relations."""
+
+from __future__ import annotations
+
+from repro.core.multiplicity import Multiplicity
+from repro.core.relation import AURelation
+
+__all__ = ["distinct"]
+
+
+def distinct(relation: AURelation) -> AURelation:
+    """Cap every multiplicity triple at one copy.
+
+    A tuple that certainly exists keeps a certain multiplicity of one; a tuple
+    that only possibly exists keeps a possible multiplicity of one.  This is
+    the standard bound-preserving duplicate-elimination semantics.
+    """
+    out = relation.empty_like()
+    for tup, mult in relation:
+        out.add(tup, Multiplicity(min(1, mult.lb), min(1, mult.sg), min(1, mult.ub)))
+    return out

@@ -1,0 +1,68 @@
+"""Cross product and join over AU-DB relations.
+
+Multiplicities multiply pointwise (the ``N³`` semiring product); join
+predicates evaluate to bounding triples and filter the product's annotations
+exactly like selection does.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.booleans import RangeBool, CERTAIN_TRUE
+from repro.core.expressions import Expression
+from repro.core.relation import AURelation
+from repro.core.tuples import AUTuple
+from repro.errors import OperatorError
+
+__all__ = ["cross", "join"]
+
+
+def cross(left: AURelation, right: AURelation) -> AURelation:
+    """Cross product; clashing attribute names on the right get ``_r`` suffixes."""
+    schema = left.schema.concat(right.schema, disambiguate=True)
+    out = AURelation(schema)
+    for ltup, lmult in left:
+        for rtup, rmult in right:
+            combined = AUTuple(schema, ltup.values + rtup.values)
+            out.add(combined, lmult.mul(rmult))
+    return out
+
+
+def join(
+    left: AURelation,
+    right: AURelation,
+    predicate: Expression | Callable[[AUTuple], RangeBool] | None = None,
+    *,
+    on: Sequence[str] | None = None,
+) -> AURelation:
+    """Theta or equi-join over AU-DBs.
+
+    With ``on``, pairs of tuples join when their ranges on the named
+    attributes *possibly* intersect; the certain/possible multiplicities are
+    filtered by the bounding triple of the equality condition.  Otherwise the
+    ``predicate`` is evaluated over the concatenated tuple.
+    """
+    if on is None and predicate is None:
+        raise OperatorError("join requires either a predicate or an `on` attribute list")
+
+    schema = left.schema.concat(right.schema, disambiguate=True)
+    out = AURelation(schema)
+    for ltup, lmult in left:
+        for rtup, rmult in right:
+            combined = AUTuple(schema, ltup.values + rtup.values)
+            condition = CERTAIN_TRUE
+            if on is not None:
+                for name in on:
+                    condition = condition.and_(ltup.value(name).eq(rtup.value(name)))
+            if predicate is not None:
+                extra = (
+                    predicate.eval_range(combined)
+                    if isinstance(predicate, Expression)
+                    else predicate(combined)
+                )
+                condition = condition.and_(extra)
+            mult = lmult.mul(rmult).filter(condition)
+            if mult.possibly_exists:
+                out.add(combined, mult)
+    return out

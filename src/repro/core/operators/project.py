@@ -1,0 +1,47 @@
+"""Projection, extension, and renaming over AU-DB relations."""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.core.expressions import Expression
+from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation
+from repro.core.schema import Schema
+from repro.core.tuples import AUTuple
+
+__all__ = ["project", "extend", "rename"]
+
+
+def project(relation: AURelation, attributes: Sequence[str]) -> AURelation:
+    """Bag projection: tuples with equal projected hypercubes merge (annotations add)."""
+    schema = relation.schema.project(attributes)
+    out = AURelation(schema)
+    for tup, mult in relation:
+        out.add(tup.project(attributes), mult)
+    return out
+
+
+def extend(
+    relation: AURelation,
+    name: str,
+    expression: Expression | Callable[[AUTuple], RangeValue],
+) -> AURelation:
+    """Append a computed range-annotated attribute to every tuple."""
+    schema = relation.schema.extend(name)
+    out = AURelation(schema)
+    for tup, mult in relation:
+        value = (
+            expression.eval_range(tup) if isinstance(expression, Expression) else expression(tup)
+        )
+        out.add(tup.extend(name, value), mult)
+    return out
+
+
+def rename(relation: AURelation, mapping: Mapping[str, str]) -> AURelation:
+    """Rename attributes (values and annotations unchanged)."""
+    schema = relation.schema.rename(dict(mapping))
+    out = AURelation(schema)
+    for tup, mult in relation:
+        out.add(AUTuple(schema, tup.values), mult)
+    return out

@@ -1,0 +1,35 @@
+"""Bound-preserving selection over AU-DB relations.
+
+The selection predicate is evaluated to a bounding triple per tuple; the
+tuple's multiplicity triple is filtered accordingly (certain multiplicity
+survives only when the predicate is certainly true, possible multiplicity
+when it is possibly true, selected-guess multiplicity when it holds in the
+selected-guess world).  This is the AU-DB selection semantics of [23, 24].
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.core.booleans import RangeBool
+from repro.core.expressions import Expression
+from repro.core.relation import AURelation
+from repro.core.tuples import AUTuple
+
+__all__ = ["select"]
+
+
+def select(
+    relation: AURelation,
+    predicate: Expression | Callable[[AUTuple], RangeBool],
+) -> AURelation:
+    """Keep tuples according to the bounding triple of ``predicate``."""
+    out = relation.empty_like()
+    for tup, mult in relation:
+        condition = (
+            predicate.eval_range(tup) if isinstance(predicate, Expression) else predicate(tup)
+        )
+        filtered = mult.filter(condition)
+        if filtered.possibly_exists:
+            out.add(tup, filtered)
+    return out

@@ -1,0 +1,18 @@
+"""Bag union over AU-DB relations (annotations add pointwise)."""
+
+from __future__ import annotations
+
+from repro.core.relation import AURelation
+from repro.errors import SchemaError
+
+__all__ = ["union"]
+
+
+def union(left: AURelation, right: AURelation) -> AURelation:
+    """Bag union: tuples with identical hypercubes merge, annotations add."""
+    if left.schema != right.schema:
+        raise SchemaError("union requires identical schemas")
+    out = left.copy()
+    for tup, mult in right:
+        out.add(tup, mult)
+    return out

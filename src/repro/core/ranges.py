@@ -1,0 +1,238 @@
+"""Range-annotated values — the attribute-level uncertainty model of AU-DBs.
+
+An AU-DB attribute value is a triple ``[lb / sg / ub]`` (Section 3.2 of the
+paper): a lower bound, a *selected-guess* value (the value the attribute takes
+in the distinguished selected-guess world), and an upper bound, with
+``lb <= sg <= ub`` under the domain order.
+
+:class:`RangeValue` implements these triples together with the
+bound-preserving scalar expression semantics of [24]: arithmetic returns new
+range values whose bounds contain every result obtainable from bounded
+inputs; comparisons return :class:`~repro.core.booleans.RangeBool` triples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Union
+
+from repro.core.booleans import RangeBool
+from repro.errors import InvalidRangeError
+
+__all__ = ["RangeValue", "as_range", "Scalar"]
+
+#: Scalar domain values supported by range annotations.  All values of one
+#: attribute must be mutually comparable under ``<``.
+Scalar = Union[int, float, str, bool, None]
+
+
+def _lt(a: Any, b: Any) -> bool:
+    """Domain order used throughout the library.
+
+    ``None`` (SQL ``NULL``-like missing value) sorts before every other value
+    so that ranges over optional attributes stay well formed.
+    """
+    if a is None and b is None:
+        return False
+    if a is None:
+        return True
+    if b is None:
+        return False
+    return a < b
+
+
+def _le(a: Any, b: Any) -> bool:
+    return not _lt(b, a)
+
+
+@dataclass(frozen=True, slots=True)
+class RangeValue:
+    """A range-annotated value ``[lb / sg / ub]`` with ``lb <= sg <= ub``."""
+
+    lb: Scalar
+    sg: Scalar
+    ub: Scalar
+
+    def __post_init__(self) -> None:
+        if _lt(self.sg, self.lb) or _lt(self.ub, self.sg):
+            raise InvalidRangeError(
+                f"range value requires lb <= sg <= ub, got [{self.lb}/{self.sg}/{self.ub}]"
+            )
+
+    # -- constructors --------------------------------------------------------
+
+    @staticmethod
+    def certain(value: Scalar) -> "RangeValue":
+        """A value with no uncertainty (every bounded world agrees on it)."""
+        return RangeValue(value, value, value)
+
+    @staticmethod
+    def from_bounds(lb: Scalar, ub: Scalar, sg: Scalar | None = None) -> "RangeValue":
+        """Build a range from bounds, defaulting the selected guess to ``lb``."""
+        if sg is None:
+            sg = lb
+        return RangeValue(lb, sg, ub)
+
+    @staticmethod
+    def hull(values: Iterable[Scalar], sg: Scalar | None = None) -> "RangeValue":
+        """The smallest range containing every value in ``values``.
+
+        The selected guess defaults to the first value, matching the common
+        construction "selected-guess world plus alternatives".
+        """
+        seq = list(values)
+        if not seq:
+            raise InvalidRangeError("cannot build a range hull from an empty value set")
+        first = seq[0]
+        lo = first
+        hi = first
+        for value in seq[1:]:
+            if _lt(value, lo):
+                lo = value
+            if _lt(hi, value):
+                hi = value
+        return RangeValue(lo, first if sg is None else sg, hi)
+
+    # -- predicates ----------------------------------------------------------
+
+    @property
+    def is_certain(self) -> bool:
+        """True when the range is a single point (no uncertainty)."""
+        return self.lb == self.sg == self.ub
+
+    def contains(self, value: Scalar) -> bool:
+        """Whether a deterministic value is bounded by this range (``value ⊑ self``)."""
+        return _le(self.lb, value) and _le(value, self.ub)
+
+    def contains_range(self, other: "RangeValue") -> bool:
+        """Whether ``other``'s full range lies inside this range."""
+        return _le(self.lb, other.lb) and _le(other.ub, self.ub)
+
+    def overlaps(self, other: "RangeValue") -> bool:
+        """Whether the two ranges share at least one domain value."""
+        return _le(self.lb, other.ub) and _le(other.lb, self.ub)
+
+    @property
+    def width(self) -> float:
+        """Numeric width ``ub - lb`` (0 for certain values; requires numbers)."""
+        if self.is_certain:
+            return 0.0
+        return float(self.ub) - float(self.lb)  # type: ignore[arg-type]
+
+    # -- comparisons (bound preserving, Section 5) ---------------------------
+
+    def lt(self, other: "RangeValue") -> RangeBool:
+        """Bounding triple for ``self < other``."""
+        return RangeBool(
+            _lt(self.ub, other.lb),
+            _lt(self.sg, other.sg),
+            _lt(self.lb, other.ub),
+        )
+
+    def le(self, other: "RangeValue") -> RangeBool:
+        return RangeBool(
+            _le(self.ub, other.lb),
+            _le(self.sg, other.sg),
+            _le(self.lb, other.ub),
+        )
+
+    def gt(self, other: "RangeValue") -> RangeBool:
+        return other.lt(self)
+
+    def ge(self, other: "RangeValue") -> RangeBool:
+        return other.le(self)
+
+    def eq(self, other: "RangeValue") -> RangeBool:
+        certainly = self.is_certain and other.is_certain and self.lb == other.lb
+        possibly = self.overlaps(other)
+        return RangeBool(certainly, self.sg == other.sg, possibly)
+
+    def ne(self, other: "RangeValue") -> RangeBool:
+        return self.eq(other).not_()
+
+    # -- arithmetic (bound preserving) ---------------------------------------
+
+    def _require_numeric(self, op: str) -> None:
+        for bound in (self.lb, self.sg, self.ub):
+            if not isinstance(bound, (int, float)) or isinstance(bound, bool):
+                raise InvalidRangeError(f"{op} requires numeric range values, got {bound!r}")
+
+    def add(self, other: "RangeValue") -> "RangeValue":
+        self._require_numeric("+")
+        other._require_numeric("+")
+        return RangeValue(self.lb + other.lb, self.sg + other.sg, self.ub + other.ub)
+
+    def sub(self, other: "RangeValue") -> "RangeValue":
+        self._require_numeric("-")
+        other._require_numeric("-")
+        return RangeValue(self.lb - other.ub, self.sg - other.sg, self.ub - other.lb)
+
+    def mul(self, other: "RangeValue") -> "RangeValue":
+        self._require_numeric("*")
+        other._require_numeric("*")
+        products = [
+            self.lb * other.lb,
+            self.lb * other.ub,
+            self.ub * other.lb,
+            self.ub * other.ub,
+        ]
+        return RangeValue(min(products), self.sg * other.sg, max(products))
+
+    def neg(self) -> "RangeValue":
+        self._require_numeric("unary -")
+        return RangeValue(-self.ub, -self.sg, -self.lb)
+
+    def min_with(self, other: "RangeValue") -> "RangeValue":
+        """Pointwise minimum (bound preserving for the ``least`` function)."""
+        return RangeValue(
+            self.lb if _le(self.lb, other.lb) else other.lb,
+            self.sg if _le(self.sg, other.sg) else other.sg,
+            self.ub if _le(self.ub, other.ub) else other.ub,
+        )
+
+    def max_with(self, other: "RangeValue") -> "RangeValue":
+        """Pointwise maximum (bound preserving for the ``greatest`` function)."""
+        return RangeValue(
+            other.lb if _le(self.lb, other.lb) else self.lb,
+            other.sg if _le(self.sg, other.sg) else self.sg,
+            other.ub if _le(self.ub, other.ub) else self.ub,
+        )
+
+    def scale(self, factor: int | float) -> "RangeValue":
+        """Multiply by a non-negative deterministic factor."""
+        self._require_numeric("scale")
+        if factor < 0:
+            raise InvalidRangeError("scale expects a non-negative factor; use mul for general factors")
+        return RangeValue(self.lb * factor, self.sg * factor, self.ub * factor)
+
+    def union_hull(self, other: "RangeValue") -> "RangeValue":
+        """Smallest range containing both ranges; selected guess kept from ``self``."""
+        lo = self.lb if _le(self.lb, other.lb) else other.lb
+        hi = other.ub if _le(self.ub, other.ub) else self.ub
+        return RangeValue(lo, self.sg, hi)
+
+    # -- operator sugar -------------------------------------------------------
+
+    def __add__(self, other: "RangeValue") -> "RangeValue":
+        return self.add(other)
+
+    def __sub__(self, other: "RangeValue") -> "RangeValue":
+        return self.sub(other)
+
+    def __mul__(self, other: "RangeValue") -> "RangeValue":
+        return self.mul(other)
+
+    def __neg__(self) -> "RangeValue":
+        return self.neg()
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_certain:
+            return repr(self.sg)
+        return f"[{self.lb!r}/{self.sg!r}/{self.ub!r}]"
+
+
+def as_range(value: Scalar | RangeValue) -> RangeValue:
+    """Coerce a deterministic scalar (or pass through a range) to a :class:`RangeValue`."""
+    if isinstance(value, RangeValue):
+        return value
+    return RangeValue.certain(value)

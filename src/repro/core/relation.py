@@ -1,0 +1,190 @@
+"""AU-DB relations: bags of range-annotated tuples with ``N³`` annotations.
+
+An :class:`AURelation` maps range-annotated tuples to multiplicity triples.
+Tuples with identical hypercubes are merged by adding their annotations
+(consistent with the ``K``-relation view, where a relation is a function from
+tuples to annotations).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.multiplicity import Multiplicity, ZERO
+from repro.core.ranges import RangeValue, Scalar
+from repro.core.schema import Schema
+from repro.core.tuples import AUTuple
+from repro.errors import SchemaError
+
+__all__ = ["AURelation"]
+
+
+class AURelation:
+    """A bag of :class:`AUTuple` annotated with :class:`Multiplicity` triples."""
+
+    __slots__ = ("schema", "_rows")
+
+    def __init__(self, schema: Schema, rows: Iterable[tuple[AUTuple, Multiplicity]] = ()):
+        self.schema = schema
+        self._rows: dict[tuple[RangeValue, ...], Multiplicity] = {}
+        for tup, mult in rows:
+            self.add(tup, mult)
+
+    # -- construction helpers ------------------------------------------------------
+
+    @staticmethod
+    def from_rows(
+        schema: Schema | Sequence[str],
+        rows: Iterable[tuple[Sequence[Scalar | RangeValue], Multiplicity | int | tuple[int, int, int]]],
+    ) -> "AURelation":
+        """Build a relation from ``(values, multiplicity)`` pairs.
+
+        Values may mix plain scalars (lifted to certain ranges) and
+        :class:`RangeValue` instances; multiplicities may be plain ints
+        (lifted to certain triples) or ``(lb, sg, ub)`` tuples.
+        """
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        relation = AURelation(schema)
+        for values, mult in rows:
+            tup = AUTuple.from_values(schema, values)
+            relation.add(tup, _coerce_multiplicity(mult))
+        return relation
+
+    @staticmethod
+    def certain_from_rows(
+        schema: Schema | Sequence[str], rows: Iterable[Sequence[Scalar]]
+    ) -> "AURelation":
+        """Lift a deterministic relation (each row once) to a certain AU-relation."""
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        relation = AURelation(schema)
+        for row in rows:
+            relation.add(AUTuple.certain(schema, row), Multiplicity.certain(1))
+        return relation
+
+    def empty_like(self, schema: Schema | None = None) -> "AURelation":
+        """A fresh, empty relation over ``schema`` (defaults to this schema)."""
+        return AURelation(schema if schema is not None else self.schema)
+
+    # -- mutation --------------------------------------------------------------------
+
+    def add(self, tup: AUTuple, mult: Multiplicity) -> None:
+        """Add a tuple with the given annotation (merging with equal hypercubes)."""
+        if tup.schema != self.schema:
+            raise SchemaError(
+                f"tuple schema {tup.schema} does not match relation schema {self.schema}"
+            )
+        if mult == ZERO:
+            return
+        key = tup.values
+        existing = self._rows.get(key)
+        self._rows[key] = mult if existing is None else existing.add(mult)
+
+    def add_values(
+        self,
+        values: Sequence[Scalar | RangeValue],
+        mult: Multiplicity | int | tuple[int, int, int] = 1,
+    ) -> None:
+        """Convenience: add a row given positional values."""
+        self.add(AUTuple.from_values(self.schema, values), _coerce_multiplicity(mult))
+
+    # -- access -------------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[tuple[AUTuple, Multiplicity]]:
+        for values, mult in self._rows.items():
+            yield AUTuple(self.schema, values), mult
+
+    def tuples(self) -> list[AUTuple]:
+        """The distinct range tuples of the relation."""
+        return [AUTuple(self.schema, values) for values in self._rows]
+
+    def multiplicity(self, tup: AUTuple) -> Multiplicity:
+        """Annotation of ``tup`` (``(0,0,0)`` when absent)."""
+        return self._rows.get(tup.values, ZERO)
+
+    def __len__(self) -> int:
+        """Number of *distinct* range tuples."""
+        return len(self._rows)
+
+    @property
+    def total_possible(self) -> int:
+        """Sum of upper-bound multiplicities (size of the largest bounded world)."""
+        return sum(m.ub for m in self._rows.values())
+
+    @property
+    def total_certain(self) -> int:
+        """Sum of lower-bound multiplicities (size of the smallest bounded world)."""
+        return sum(m.lb for m in self._rows.values())
+
+    @property
+    def total_sg(self) -> int:
+        """Number of tuples (with duplicates) in the selected-guess world."""
+        return sum(m.sg for m in self._rows.values())
+
+    def is_empty(self) -> bool:
+        return not self._rows
+
+    # -- transformation helpers ------------------------------------------------------------
+
+    def map_tuples(
+        self,
+        schema: Schema,
+        fn: Callable[[AUTuple, Multiplicity], tuple[AUTuple, Multiplicity] | None],
+    ) -> "AURelation":
+        """Apply ``fn`` to every annotated tuple, collecting non-``None`` results."""
+        out = AURelation(schema)
+        for tup, mult in self:
+            mapped = fn(tup, mult)
+            if mapped is None:
+                continue
+            out.add(*mapped)
+        return out
+
+    def selected_guess_rows(self) -> dict[tuple[Scalar, ...], int]:
+        """The selected-guess world as a deterministic bag (row -> multiplicity)."""
+        world: dict[tuple[Scalar, ...], int] = {}
+        for tup, mult in self:
+            if mult.sg == 0:
+                continue
+            row = tup.sg_row()
+            world[row] = world.get(row, 0) + mult.sg
+        return world
+
+    def copy(self) -> "AURelation":
+        out = AURelation(self.schema)
+        out._rows = dict(self._rows)
+        return out
+
+    # -- pretty printing ----------------------------------------------------------------------
+
+    def to_table(self, *, limit: int | None = None) -> str:
+        """A human-readable table (used by examples and the harness)."""
+        header = list(self.schema.attributes) + ["N3"]
+        rows: list[list[str]] = []
+        for i, (tup, mult) in enumerate(self):
+            if limit is not None and i >= limit:
+                rows.append(["..."] * len(header))
+                break
+            rows.append([str(v) for v in tup.values] + [str(mult)])
+        widths = [len(h) for h in header]
+        for row in rows:
+            for j, cell in enumerate(row):
+                widths[j] = max(widths[j], len(cell))
+        lines = [" | ".join(h.ljust(widths[j]) for j, h in enumerate(header))]
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in rows:
+            lines.append(" | ".join(cell.ljust(widths[j]) for j, cell in enumerate(row)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_table(limit=20)
+
+
+def _coerce_multiplicity(mult: Multiplicity | int | tuple[int, int, int]) -> Multiplicity:
+    if isinstance(mult, Multiplicity):
+        return mult
+    if isinstance(mult, int):
+        return Multiplicity.certain(mult)
+    lb, sg, ub = mult
+    return Multiplicity(lb, sg, ub)

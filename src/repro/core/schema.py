@@ -1,0 +1,113 @@
+"""Relation schemas shared by the deterministic and AU-DB layers.
+
+A schema is an ordered list of attribute names.  Tuples (deterministic or
+range-annotated) are positional; the schema provides the mapping between
+attribute names and positions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.errors import SchemaError
+
+__all__ = ["Schema"]
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered, duplicate-free list of attribute names."""
+
+    attributes: tuple[str, ...]
+    _index: dict[str, int] = field(init=False, repr=False, compare=False, hash=False)
+
+    def __init__(self, attributes: Iterable[str]):
+        attrs = tuple(attributes)
+        seen: set[str] = set()
+        for name in attrs:
+            if not isinstance(name, str) or not name:
+                raise SchemaError(f"attribute names must be non-empty strings, got {name!r}")
+            if name in seen:
+                raise SchemaError(f"duplicate attribute name {name!r} in schema {attrs}")
+            seen.add(name)
+        object.__setattr__(self, "attributes", attrs)
+        object.__setattr__(self, "_index", {name: i for i, name in enumerate(attrs)})
+
+    # -- basic protocol --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __hash__(self) -> int:
+        return hash(self.attributes)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self.attributes == other.attributes
+
+    # -- lookups ---------------------------------------------------------------
+
+    def index_of(self, name: str) -> int:
+        """Position of attribute ``name`` (raises :class:`SchemaError` if absent)."""
+        try:
+            return self._index[name]
+        except KeyError as exc:
+            raise SchemaError(f"attribute {name!r} not in schema {self.attributes}") from exc
+
+    def indexes_of(self, names: Sequence[str]) -> tuple[int, ...]:
+        """Positions of several attributes, in the given order."""
+        return tuple(self.index_of(name) for name in names)
+
+    def require(self, names: Sequence[str]) -> None:
+        """Validate that every name exists in the schema."""
+        for name in names:
+            self.index_of(name)
+
+    # -- derivation --------------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "Schema":
+        """Schema restricted (and reordered) to ``names``."""
+        self.require(names)
+        return Schema(names)
+
+    def extend(self, *names: str) -> "Schema":
+        """Schema with additional attributes appended."""
+        return Schema(self.attributes + tuple(names))
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Schema with attributes renamed according to ``mapping``."""
+        return Schema(tuple(mapping.get(name, name) for name in self.attributes))
+
+    def concat(self, other: "Schema", *, disambiguate: bool = False) -> "Schema":
+        """Concatenate two schemas (for cross products / joins).
+
+        With ``disambiguate`` set, clashing attribute names from ``other`` get
+        a ``_r`` suffix instead of raising.
+        """
+        right = list(other.attributes)
+        if disambiguate:
+            taken = set(self.attributes)
+            for i, name in enumerate(right):
+                candidate = name
+                while candidate in taken:
+                    candidate = candidate + "_r"
+                right[i] = candidate
+                taken.add(candidate)
+        return Schema(self.attributes + tuple(right))
+
+    def drop(self, names: Sequence[str]) -> "Schema":
+        """Schema without the given attributes."""
+        removed = set(names)
+        self.require(list(names))
+        return Schema(tuple(a for a in self.attributes if a not in removed))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return "(" + ", ".join(self.attributes) + ")"

@@ -1,0 +1,183 @@
+"""Range-annotated tuples (AU-DB tuples).
+
+An AU-DB tuple is a hypercube in attribute space: one
+:class:`~repro.core.ranges.RangeValue` per attribute.  A deterministic tuple
+``t`` is *bounded* by a range tuple ``t̄`` (written ``t ⊑ t̄``) when every
+attribute value lies inside the corresponding range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from repro.core.booleans import RangeBool
+from repro.core.ranges import RangeValue, Scalar, as_range
+from repro.core.schema import Schema
+from repro.errors import SchemaError
+
+__all__ = ["AUTuple"]
+
+
+@dataclass(frozen=True, slots=True)
+class AUTuple:
+    """A range-annotated tuple: one :class:`RangeValue` per schema attribute."""
+
+    schema: Schema
+    values: tuple[RangeValue, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.values) != len(self.schema):
+            raise SchemaError(
+                f"tuple arity {len(self.values)} does not match schema {self.schema}"
+            )
+
+    # -- constructors -----------------------------------------------------------
+
+    @staticmethod
+    def from_mapping(schema: Schema, mapping: Mapping[str, Scalar | RangeValue]) -> "AUTuple":
+        """Build a tuple from an attribute-name -> value mapping.
+
+        Deterministic scalars are lifted to certain ranges.
+        """
+        values = tuple(as_range(mapping[name]) for name in schema)
+        return AUTuple(schema, values)
+
+    @staticmethod
+    def from_values(schema: Schema, values: Sequence[Scalar | RangeValue]) -> "AUTuple":
+        """Build a tuple from positional values (scalars lifted to certain ranges)."""
+        return AUTuple(schema, tuple(as_range(v) for v in values))
+
+    @staticmethod
+    def certain(schema: Schema, row: Sequence[Scalar]) -> "AUTuple":
+        """Lift a deterministic row to a fully certain range tuple."""
+        return AUTuple(schema, tuple(RangeValue.certain(v) for v in row))
+
+    # -- accessors ----------------------------------------------------------------
+
+    def value(self, name: str) -> RangeValue:
+        """Range value of attribute ``name``."""
+        return self.values[self.schema.index_of(name)]
+
+    def __getitem__(self, name: str) -> RangeValue:
+        return self.value(name)
+
+    def as_dict(self) -> dict[str, RangeValue]:
+        return dict(zip(self.schema.attributes, self.values))
+
+    @property
+    def is_certain(self) -> bool:
+        """True when every attribute value is certain."""
+        return all(v.is_certain for v in self.values)
+
+    # -- deterministic projections --------------------------------------------------
+
+    def lower_row(self) -> tuple[Scalar, ...]:
+        """The tuple of attribute lower bounds."""
+        return tuple(v.lb for v in self.values)
+
+    def sg_row(self) -> tuple[Scalar, ...]:
+        """The selected-guess deterministic row."""
+        return tuple(v.sg for v in self.values)
+
+    def upper_row(self) -> tuple[Scalar, ...]:
+        """The tuple of attribute upper bounds."""
+        return tuple(v.ub for v in self.values)
+
+    # -- bounding ---------------------------------------------------------------------
+
+    def bounds_row(self, row: Sequence[Scalar]) -> bool:
+        """Whether a deterministic row is bounded by this tuple (``row ⊑ self``)."""
+        if len(row) != len(self.values):
+            return False
+        return all(rv.contains(v) for rv, v in zip(self.values, row))
+
+    # -- structural operations ------------------------------------------------------
+
+    def project(self, names: Sequence[str]) -> "AUTuple":
+        """Tuple restricted (and reordered) to the given attributes."""
+        schema = self.schema.project(names)
+        idx = self.schema.indexes_of(names)
+        return AUTuple(schema, tuple(self.values[i] for i in idx))
+
+    def extend(self, name: str, value: Scalar | RangeValue) -> "AUTuple":
+        """Tuple with one additional attribute appended."""
+        return AUTuple(self.schema.extend(name), self.values + (as_range(value),))
+
+    def extend_many(self, items: Iterable[tuple[str, Scalar | RangeValue]]) -> "AUTuple":
+        """Tuple with several additional attributes appended."""
+        result = self
+        for name, value in items:
+            result = result.extend(name, value)
+        return result
+
+    def replace(self, name: str, value: Scalar | RangeValue) -> "AUTuple":
+        """Tuple with one attribute value replaced."""
+        idx = self.schema.index_of(name)
+        values = list(self.values)
+        values[idx] = as_range(value)
+        return AUTuple(self.schema, tuple(values))
+
+    def concat(self, other: "AUTuple", *, disambiguate: bool = False) -> "AUTuple":
+        """Concatenation of two tuples (cross product / join output)."""
+        schema = self.schema.concat(other.schema, disambiguate=disambiguate)
+        return AUTuple(schema, self.values + other.values)
+
+    def rename_schema(self, schema: Schema) -> "AUTuple":
+        """Same values under a different (equally sized) schema."""
+        return AUTuple(schema, self.values)
+
+    # -- comparisons over attribute lists (Section 5) ---------------------------------
+
+    def compare_lt(self, other: "AUTuple", order_by: Sequence[str]) -> RangeBool:
+        """Bounding triple for the lexicographic order ``self <_O other``.
+
+        Implements the uncertain lexicographic comparison of Section 5: the
+        lower bound requires a certain strict difference after certain
+        equality on a prefix; the upper bound allows a possible strict
+        difference after possible equality on a prefix.
+        """
+        certainly = False
+        possibly = False
+        sg = False
+        # certain component
+        prefix_certain = True
+        for name in order_by:
+            a = self.value(name)
+            b = other.value(name)
+            if prefix_certain and a.lt(b).lb:
+                certainly = True
+                break
+            prefix_certain = prefix_certain and a.eq(b).lb
+            if not prefix_certain:
+                break
+        # selected-guess component
+        prefix_sg = True
+        for name in order_by:
+            a = self.value(name)
+            b = other.value(name)
+            if prefix_sg and a.lt(b).sg:
+                sg = True
+                break
+            prefix_sg = prefix_sg and a.eq(b).sg
+            if not prefix_sg:
+                break
+        # possible component
+        prefix_possible = True
+        for name in order_by:
+            a = self.value(name)
+            b = other.value(name)
+            if prefix_possible and a.lt(b).ub:
+                possibly = True
+                break
+            prefix_possible = prefix_possible and a.eq(b).ub
+            if not prefix_possible:
+                break
+        possibly = possibly or certainly
+        sg = sg or certainly
+        sg = sg and possibly
+        return RangeBool(certainly, sg, possibly)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{n}={v}" for n, v in zip(self.schema.attributes, self.values))
+        return f"({inner})"

@@ -1,0 +1,58 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class SchemaError(ReproError):
+    """A relation, tuple, or operator was used with an incompatible schema."""
+
+
+class InvalidRangeError(ReproError):
+    """A range-annotated value violates ``lb <= sg <= ub``."""
+
+
+class InvalidMultiplicityError(ReproError):
+    """A multiplicity triple violates ``0 <= lb <= sg`` / ``lb <= ub``."""
+
+
+class ExpressionError(ReproError):
+    """An expression could not be evaluated over a tuple."""
+
+
+class OperatorError(ReproError):
+    """An operator was configured with invalid parameters."""
+
+
+class WindowSpecError(OperatorError):
+    """A window specification (frame bounds, partitioning, ordering) is invalid."""
+
+
+class BoundViolationError(ReproError):
+    """An AU-DB relation failed to bound an incomplete relation.
+
+    Raised by verification helpers in :mod:`repro.core.bounding` when asked to
+    *assert* (rather than test) a bounding relationship.
+    """
+
+
+class EnumerationLimitError(ReproError):
+    """Exact possible-world enumeration would exceed the configured limit.
+
+    The symbolic baseline (:mod:`repro.baselines.symb`) enumerates possible
+    worlds exhaustively.  Just like the SMT-based implementation evaluated in
+    the paper it is only feasible for small inputs; this error signals that the
+    input is too large rather than silently running forever.
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload generator received inconsistent parameters."""

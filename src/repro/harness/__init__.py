@@ -1,0 +1,23 @@
+"""Experiment harness: drivers regenerating every table and figure of the paper."""
+
+from repro.harness.figures import ALL_EXPERIMENTS
+from repro.harness.report import ExperimentResult, format_table
+from repro.harness.runner import timed, timed_ms
+from repro.harness.adapters import (
+    audb_from_workload,
+    audb_sort_bounds,
+    audb_window_bounds,
+    extract_bounds,
+)
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "format_table",
+    "timed",
+    "timed_ms",
+    "audb_from_workload",
+    "audb_sort_bounds",
+    "audb_window_bounds",
+    "extract_bounds",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.harness`` — run the experiment harness CLI."""
+
+import sys
+
+from repro.harness.cli import main
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

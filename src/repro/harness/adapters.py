@@ -1,0 +1,82 @@
+"""Adapters turning operator outputs into per-tuple bounds keyed by ``rid``.
+
+The evaluation compares methods tuple by tuple: for sorting, the bounds on a
+tuple's sort position; for windowed aggregation, the bounds on its aggregate
+value.  AU-DB results carry these as range-annotated attributes; the adapters
+extract them into plain ``{key: (low, high)}`` dictionaries so they can be
+compared against the MCDB / Symb baselines with
+:func:`repro.metrics.quality.compare_bounds`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.ranges import Scalar
+from repro.core.relation import AURelation
+from repro.incomplete.lift import lift_xtuples
+from repro.incomplete.xtuples import UncertainRelation
+from repro.ranking.topk import sort as au_sort
+from repro.window.native import window_native
+from repro.window.semantics import window_rewrite
+from repro.window.spec import WindowSpec
+
+__all__ = [
+    "audb_sort_bounds",
+    "audb_window_bounds",
+    "extract_bounds",
+    "audb_from_workload",
+]
+
+
+def audb_from_workload(relation: UncertainRelation) -> AURelation:
+    """Lift a workload relation to its AU-DB encoding."""
+    return lift_xtuples(relation)
+
+
+def extract_bounds(
+    result: AURelation, key_attribute: str, value_attribute: str
+) -> dict[Scalar, tuple[float, float]]:
+    """Per-key hull of the value attribute's ranges over all result tuples."""
+    bounds: dict[Scalar, tuple[float, float]] = {}
+    for tup, mult in result:
+        if not mult.possibly_exists:
+            continue
+        key = tup.value(key_attribute).sg
+        value = tup.value(value_attribute)
+        low, high = float(value.lb), float(value.ub)
+        if key in bounds:
+            old_low, old_high = bounds[key]
+            bounds[key] = (min(old_low, low), max(old_high, high))
+        else:
+            bounds[key] = (low, high)
+    return bounds
+
+
+def audb_sort_bounds(
+    audb: AURelation,
+    order_by: Sequence[str],
+    *,
+    key_attribute: str,
+    method: str = "native",
+    descending: bool = False,
+    k: int | None = None,
+) -> dict[Scalar, tuple[float, float]]:
+    """Per-tuple sort-position bounds produced by the AU-DB sort operator."""
+    ranked = au_sort(audb, list(order_by), method=method, descending=descending, k=k)
+    return extract_bounds(ranked, key_attribute, "pos")
+
+
+def audb_window_bounds(
+    audb: AURelation,
+    spec: WindowSpec,
+    *,
+    key_attribute: str,
+    method: str = "native",
+) -> dict[Scalar, tuple[float, float]]:
+    """Per-tuple window-aggregate bounds produced by the AU-DB window operator."""
+    if method == "native":
+        result = window_native(audb, spec)
+    else:
+        result = window_rewrite(audb, spec)
+    return extract_bounds(result, key_attribute, spec.output)

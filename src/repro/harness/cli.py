@@ -1,0 +1,42 @@
+"""Command-line entry point: ``python -m repro.harness`` / ``repro-harness``.
+
+Runs one (or all) of the paper's experiments and prints the corresponding
+table.  Example::
+
+    python -m repro.harness fig11
+    python -m repro.harness all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.harness.figures import ALL_EXPERIMENTS
+
+__all__ = ["main"]
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description="Reproduce the tables and figures of the paper's evaluation (Section 9).",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(ALL_EXPERIMENTS) + ["all"],
+        help="experiment id (figure number) or 'all'",
+    )
+    args = parser.parse_args(argv)
+
+    names = sorted(ALL_EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = ALL_EXPERIMENTS[name]()
+        print(result.to_text())
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,550 @@
+"""Per-figure experiment drivers reproducing the paper's evaluation tables.
+
+Every public function regenerates one table or figure of Section 9 (plus the
+connected-heap preliminary experiment of Section 8.2) and returns an
+:class:`~repro.harness.report.ExperimentResult`.  Sizes default to values
+that run in seconds on a laptop with the pure-Python substrate; pass a larger
+``scale`` (or explicit row counts) for closer-to-paper workloads.  The
+*shape* of each result — which method wins, by roughly what factor, who over-
+vs under-approximates — is what reproduces; absolute milliseconds do not
+(PostgreSQL + C vs pure Python), as discussed in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence
+
+from repro.algorithms.connected_heap import ConnectedHeap, NaiveMultiHeap
+from repro.baselines.det import det_sort, det_topk, det_window
+from repro.baselines.mcdb import mcdb_sort_bounds, mcdb_window_bounds
+from repro.baselines.ptk import topk_probabilities_montecarlo
+from repro.baselines.symb import symb_sort_bounds, symb_window_bounds
+from repro.errors import EnumerationLimitError
+from repro.harness.adapters import (
+    audb_from_workload,
+    audb_sort_bounds,
+    audb_window_bounds,
+)
+from repro.harness.report import ExperimentResult
+from repro.harness.runner import timed_ms
+from repro.metrics.quality import compare_bounds
+from repro.ranking.topk import sort as au_sort, topk as au_topk
+from repro.window.native import window_native
+from repro.window.semantics import window_rewrite
+from repro.window.spec import WindowSpec
+from repro.workloads.realworld import REAL_WORLD_DATASETS, DatasetBundle
+from repro.workloads.synthetic import SyntheticConfig, generate_sort_table, generate_window_table
+
+__all__ = [
+    "heap_table",
+    "fig11_sort_configs",
+    "fig12_sort_quality",
+    "fig13_window_quality",
+    "fig14_sort_scaling",
+    "fig15_window_scaling",
+    "fig16_window_configs",
+    "fig17_realworld_performance",
+    "fig18_realworld_sort_quality",
+    "fig19_realworld_window_quality",
+    "ALL_EXPERIMENTS",
+]
+
+
+# ---------------------------------------------------------------------------
+# Section 8.2 — connected heaps vs unconnected heaps
+# ---------------------------------------------------------------------------
+
+
+def _heap_workload(structure_cls, records: list[tuple[int, float, float]], window: int) -> None:
+    """The access pattern of the window sweep: insert, then pop+reinsert probes."""
+    heap = structure_cls(
+        (
+            lambda record: record[0],
+            lambda record: record[1],
+            lambda record: -record[2],
+        )
+    )
+    for record in records:
+        heap.insert(record)
+        if len(heap) > window:
+            # Evict by position (component 0) and probe the value components,
+            # removing the probed records from every component heap.
+            heap.pop(0)
+            popped = []
+            for component in (1, 2):
+                for _ in range(2):
+                    if not len(heap):
+                        break
+                    popped.append(heap.pop(component))
+            for record in popped:
+                heap.insert(record)
+
+
+def heap_table(*, items: int = 4000, seed: int = 0) -> ExperimentResult:
+    """Section 8.2 preliminary experiment: connected vs unconnected heaps."""
+    result = ExperimentResult(
+        name="sec8.2-heaps",
+        description="Connected heaps (back pointers) vs unconnected heaps (linear search), ms",
+        headers=["Uncert", "Range", "Connected (ms)", "Unconnected (ms)", "speedup"],
+    )
+    for uncertainty in (0.01, 0.05):
+        for attribute_range in (2000, 15000, 30000):
+            rng = random.Random(seed)
+            window = max(8, int(items * uncertainty * attribute_range / 10000))
+            records = [
+                (i, rng.uniform(-attribute_range, attribute_range), rng.uniform(-attribute_range, attribute_range))
+                for i in range(items)
+            ]
+            _, connected_ms = timed_ms(lambda: _heap_workload(ConnectedHeap, records, window))
+            _, naive_ms = timed_ms(lambda: _heap_workload(NaiveMultiHeap, records, window))
+            result.add(
+                f"{uncertainty:.0%}",
+                attribute_range,
+                connected_ms,
+                naive_ms,
+                naive_ms / connected_ms if connected_ms else float("nan"),
+            )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — sorting and top-k performance per configuration
+# ---------------------------------------------------------------------------
+
+
+def fig11_sort_configs(*, rows: int = 400, seed: int = 0, mcdb_samples: tuple[int, int] = (10, 20)) -> ExperimentResult:
+    """Figure 11: sorting / top-k runtime for the paper's five configurations."""
+    result = ExperimentResult(
+        name="fig11",
+        description="Sorting and top-k microbenchmark runtimes (ms)",
+        headers=["Config", "Det", "Imp", "Rewr", "MCDB10", "MCDB20"],
+    )
+    configurations = [
+        ("r=1k,u=5%", 1000, 0.05, None),
+        ("r=10k,u=5%", 10000, 0.05, None),
+        ("r=1k,u=20%", 1000, 0.20, None),
+        ("r=1k,u=5%,k=2", 1000, 0.05, 2),
+        ("r=1k,u=5%,k=10", 1000, 0.05, 10),
+    ]
+    for label, attribute_range, uncertainty, k in configurations:
+        config = SyntheticConfig(
+            rows=rows, uncertainty=uncertainty, attribute_range=attribute_range, seed=seed
+        )
+        workload = generate_sort_table(config)
+        audb = audb_from_workload(workload)
+        order_by = ["a"]
+
+        if k is None:
+            _, det_ms = timed_ms(lambda: det_sort(workload, order_by))
+            _, imp_ms = timed_ms(lambda: au_sort(audb, order_by, method="native"))
+            _, rewr_ms = timed_ms(lambda: au_sort(audb, order_by, method="rewrite"))
+        else:
+            _, det_ms = timed_ms(lambda: det_topk(workload, order_by, k))
+            _, imp_ms = timed_ms(lambda: au_topk(audb, order_by, k, method="native"))
+            _, rewr_ms = timed_ms(lambda: au_topk(audb, order_by, k, method="rewrite"))
+        _, mcdb10_ms = timed_ms(
+            lambda: mcdb_sort_bounds(
+                workload, order_by, key_attribute="rid", samples=mcdb_samples[0], seed=seed
+            )
+        )
+        _, mcdb20_ms = timed_ms(
+            lambda: mcdb_sort_bounds(
+                workload, order_by, key_attribute="rid", samples=mcdb_samples[1], seed=seed
+            )
+        )
+        result.add(label, det_ms, imp_ms, rewr_ms, mcdb10_ms, mcdb20_ms)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 12 / 13 — approximation quality vs uncertainty and range
+# ---------------------------------------------------------------------------
+
+
+def _sort_quality_row(
+    rows: int, uncertainty: float, attribute_range: int, seed: int
+) -> tuple[float, float, float]:
+    config = SyntheticConfig(
+        rows=rows,
+        uncertainty=uncertainty,
+        attribute_range=attribute_range,
+        domain=10 * rows,
+        seed=seed,
+    )
+    workload = generate_sort_table(config)
+    audb = audb_from_workload(workload)
+    order_by = ["a"]
+    truth = symb_sort_bounds(workload, order_by, key_attribute="rid")
+    au_bounds = audb_sort_bounds(audb, order_by, key_attribute="rid", method="native")
+    mcdb10 = mcdb_sort_bounds(workload, order_by, key_attribute="rid", samples=10, seed=seed)
+    mcdb20 = mcdb_sort_bounds(workload, order_by, key_attribute="rid", samples=20, seed=seed)
+    return (
+        compare_bounds(mcdb10, truth).range_ratio,
+        compare_bounds(mcdb20, truth).range_ratio,
+        compare_bounds(au_bounds, truth).range_ratio,
+    )
+
+
+def fig12_sort_quality(*, rows: int = 64, seed: int = 0) -> ExperimentResult:
+    """Figure 12: estimated-value-range of sort-position bounds (vs exact)."""
+    result = ExperimentResult(
+        name="fig12",
+        description="Sorting approximation quality: estimated value range relative to exact bounds",
+        headers=["Sweep", "Setting", "MCDB10", "MCDB20", "Imp/Rewr"],
+    )
+    for percent in (1, 3, 5, 7, 9):
+        ratios = _sort_quality_row(rows, percent / 100.0, rows // 2, seed)
+        result.add("uncertainty", f"{percent}%", *ratios)
+    for attribute_range in (rows // 8, rows // 4, rows // 2, rows, 2 * rows):
+        ratios = _sort_quality_row(rows, 0.05, attribute_range, seed)
+        result.add("range", attribute_range, *ratios)
+    return result
+
+
+def _window_quality_row(
+    rows: int, uncertainty: float, attribute_range: int, seed: int, spec: WindowSpec
+) -> tuple[float, float, float]:
+    config = SyntheticConfig(
+        rows=rows,
+        uncertainty=uncertainty,
+        attribute_range=attribute_range,
+        domain=10 * rows,
+        seed=seed,
+    )
+    workload = generate_window_table(config, partitions=1)
+    audb = audb_from_workload(workload)
+    truth = symb_window_bounds(workload, spec, key_attribute="rid")
+    au_bounds = audb_window_bounds(audb, spec, key_attribute="rid", method="native")
+    mcdb10 = mcdb_window_bounds(workload, spec, key_attribute="rid", samples=10, seed=seed)
+    mcdb20 = mcdb_window_bounds(workload, spec, key_attribute="rid", samples=20, seed=seed)
+    return (
+        compare_bounds(mcdb10, truth).range_ratio,
+        compare_bounds(mcdb20, truth).range_ratio,
+        compare_bounds(au_bounds, truth).range_ratio,
+    )
+
+
+def fig13_window_quality(*, rows: int = 48, seed: int = 0) -> ExperimentResult:
+    """Figure 13: estimated-value-range of window-aggregate bounds (vs exact)."""
+    spec = WindowSpec(
+        function="sum", attribute="v", output="w_sum", order_by=("o",), frame=(-2, 0)
+    )
+    result = ExperimentResult(
+        name="fig13",
+        description="Windowed aggregation approximation quality: estimated value range vs exact bounds",
+        headers=["Sweep", "Setting", "MCDB10", "MCDB20", "Imp/Rewr"],
+    )
+    for percent in (1, 3, 5, 7, 9):
+        ratios = _window_quality_row(rows, percent / 100.0, rows // 2, seed, spec)
+        result.add("uncertainty", f"{percent}%", *ratios)
+    for attribute_range in (rows // 8, rows // 4, rows // 2, rows, 2 * rows):
+        ratios = _window_quality_row(rows, 0.05, attribute_range, seed, spec)
+        result.add("range", attribute_range, *ratios)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 14 — sorting runtime scaling
+# ---------------------------------------------------------------------------
+
+
+def fig14_sort_scaling(
+    *,
+    small_sizes: Sequence[int] = (32, 64, 128, 256),
+    large_sizes: Sequence[int] = (256, 512, 1024, 2048),
+    seed: int = 0,
+    rewrite_limit: int = 1024,
+) -> ExperimentResult:
+    """Figure 14: sorting runtime vs data size (small sweep incl. Symb / PT-k)."""
+    result = ExperimentResult(
+        name="fig14",
+        description="Sorting runtime (ms) vs data size; '-' marks methods infeasible at that size",
+        headers=["Panel", "Size", "Det", "Imp", "Rewr", "MCDB10", "MCDB20", "Symb", "PT-k"],
+    )
+    order_by = ["a"]
+    for panel, sizes, include_exact in (("a-small", small_sizes, True), ("b-large", large_sizes, False)):
+        for size in sizes:
+            config = SyntheticConfig(rows=size, uncertainty=0.05, attribute_range=max(4, size // 2), domain=10 * size, seed=seed)
+            workload = generate_sort_table(config)
+            audb = audb_from_workload(workload)
+            _, det_ms = timed_ms(lambda: det_sort(workload, order_by))
+            _, imp_ms = timed_ms(lambda: au_sort(audb, order_by, method="native"))
+            if size <= rewrite_limit:
+                _, rewr_ms = timed_ms(lambda: au_sort(audb, order_by, method="rewrite"))
+            else:
+                rewr_ms = "-"
+            _, mcdb10_ms = timed_ms(
+                lambda: mcdb_sort_bounds(workload, order_by, key_attribute="rid", samples=10, seed=seed)
+            )
+            _, mcdb20_ms = timed_ms(
+                lambda: mcdb_sort_bounds(workload, order_by, key_attribute="rid", samples=20, seed=seed)
+            )
+            symb_ms: object = "-"
+            ptk_ms: object = "-"
+            if include_exact:
+                try:
+                    _, symb_ms = timed_ms(
+                        lambda: symb_sort_bounds(
+                            workload, order_by, key_attribute="rid", world_limit=100_000
+                        )
+                    )
+                except EnumerationLimitError:
+                    symb_ms = "-"
+                _, ptk_ms = timed_ms(
+                    lambda: topk_probabilities_montecarlo(
+                        workload, order_by, k=max(2, size // 4), key_attribute="rid", samples=100, seed=seed
+                    )
+                )
+            result.add(panel, size, det_ms, imp_ms, rewr_ms, mcdb10_ms, mcdb20_ms, symb_ms, ptk_ms)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 15 — windowed aggregation runtime scaling
+# ---------------------------------------------------------------------------
+
+
+def fig15_window_scaling(
+    *,
+    sizes: Sequence[int] = (64, 128, 256, 512),
+    seed: int = 0,
+    rewrite_limit: int = 512,
+) -> ExperimentResult:
+    """Figure 15: windowed aggregation runtime (ms) vs data size."""
+    spec = WindowSpec(function="sum", attribute="v", output="w_sum", order_by=("o",), frame=(-2, 0))
+    result = ExperimentResult(
+        name="fig15",
+        description="Windowed aggregation runtime (ms) vs data size",
+        headers=["Size", "Det", "Imp", "Rewr", "MCDB10", "MCDB20"],
+    )
+    for size in sizes:
+        config = SyntheticConfig(rows=size, uncertainty=0.05, attribute_range=max(4, size // 2), domain=10 * size, seed=seed)
+        workload = generate_window_table(config, partitions=1)
+        audb = audb_from_workload(workload)
+        _, det_ms = timed_ms(lambda: det_window(workload, spec))
+        _, imp_ms = timed_ms(lambda: window_native(audb, spec))
+        if size <= rewrite_limit:
+            _, rewr_ms = timed_ms(lambda: window_rewrite(audb, spec))
+        else:
+            rewr_ms = "-"
+        _, mcdb10_ms = timed_ms(
+            lambda: mcdb_window_bounds(workload, spec, key_attribute="rid", samples=10, seed=seed)
+        )
+        _, mcdb20_ms = timed_ms(
+            lambda: mcdb_window_bounds(workload, spec, key_attribute="rid", samples=20, seed=seed)
+        )
+        result.add(size, det_ms, imp_ms, rewr_ms, mcdb10_ms, mcdb20_ms)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figure 16 — windowed aggregation configurations
+# ---------------------------------------------------------------------------
+
+
+def fig16_window_configs(*, rows: int = 300, partitioned_rows: int = 128, seed: int = 0) -> ExperimentResult:
+    """Figure 16: windowed aggregation runtimes for varying window specs."""
+    result = ExperimentResult(
+        name="fig16",
+        description="Windowed aggregation runtimes (ms) for order-by only (Imp) and order+partition-by (Rewr)",
+        headers=["Panel", "Config", "Det", "Imp", "Rewr", "MCDB10", "MCDB20"],
+    )
+    order_only = [
+        ("w=3,r=1k,u=5%", 3, 1000, 0.05),
+        ("w=3,r=10k,u=5%", 3, 10000, 0.05),
+        ("w=3,r=1k,u=20%", 3, 1000, 0.20),
+        ("w=6,r=1k,u=5%", 6, 1000, 0.05),
+    ]
+    for label, window, attribute_range, uncertainty in order_only:
+        spec = WindowSpec(
+            function="sum", attribute="v", output="w_sum", order_by=("o",), frame=(-(window - 1), 0)
+        )
+        config = SyntheticConfig(rows=rows, uncertainty=uncertainty, attribute_range=attribute_range, seed=seed)
+        workload = generate_window_table(config, partitions=1)
+        audb = audb_from_workload(workload)
+        _, det_ms = timed_ms(lambda: det_window(workload, spec))
+        _, imp_ms = timed_ms(lambda: window_native(audb, spec))
+        _, mcdb10_ms = timed_ms(
+            lambda: mcdb_window_bounds(workload, spec, key_attribute="rid", samples=10, seed=seed)
+        )
+        _, mcdb20_ms = timed_ms(
+            lambda: mcdb_window_bounds(workload, spec, key_attribute="rid", samples=20, seed=seed)
+        )
+        result.add("a-order-by", label, det_ms, imp_ms, "-", mcdb10_ms, mcdb20_ms)
+
+    partitioned = [
+        ("w=3,r=1k,u=5%", 3, 1000, 0.05),
+        ("w=3,r=10k,u=5%", 3, 10000, 0.05),
+        ("w=3,r=1k,u=20%", 3, 1000, 0.20),
+    ]
+    for label, window, attribute_range, uncertainty in partitioned:
+        spec = WindowSpec(
+            function="sum",
+            attribute="v",
+            output="w_sum",
+            order_by=("o",),
+            partition_by=("g",),
+            frame=(-(window - 1), 0),
+        )
+        config = SyntheticConfig(
+            rows=partitioned_rows, uncertainty=uncertainty, attribute_range=attribute_range, seed=seed
+        )
+        workload = generate_window_table(config, partitions=4)
+        audb = audb_from_workload(workload)
+        _, det_ms = timed_ms(lambda: det_window(workload, spec))
+        _, rewr_ms = timed_ms(lambda: window_rewrite(audb, spec))
+        _, mcdb10_ms = timed_ms(
+            lambda: mcdb_window_bounds(workload, spec, key_attribute="rid", samples=10, seed=seed)
+        )
+        _, mcdb20_ms = timed_ms(
+            lambda: mcdb_window_bounds(workload, spec, key_attribute="rid", samples=20, seed=seed)
+        )
+        result.add("b-partition-by", label, det_ms, "-", rewr_ms, mcdb10_ms, mcdb20_ms)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 17-19 — real-world datasets
+# ---------------------------------------------------------------------------
+
+
+def _rank_methods(dataset: DatasetBundle, *, seed: int = 0) -> dict[str, float]:
+    query = dataset.rank_query
+    audb = audb_from_workload(dataset.rank_table)
+    order_by = list(query.order_by)
+    timings: dict[str, float] = {}
+    _, timings["Det"] = timed_ms(
+        lambda: det_topk(dataset.rank_table, order_by, query.k, descending=query.descending)
+    )
+    _, timings["Imp"] = timed_ms(
+        lambda: au_topk(audb, order_by, query.k, method="native", descending=query.descending)
+    )
+    _, timings["Rewr"] = timed_ms(
+        lambda: au_topk(audb, order_by, query.k, method="rewrite", descending=query.descending)
+    )
+    _, timings["MCDB20"] = timed_ms(
+        lambda: mcdb_sort_bounds(
+            dataset.rank_table,
+            order_by,
+            key_attribute=query.key_attribute,
+            samples=20,
+            seed=seed,
+            descending=query.descending,
+        )
+    )
+    return timings
+
+
+def _window_methods(dataset: DatasetBundle, *, seed: int = 0) -> dict[str, float]:
+    spec = dataset.window_query
+    audb = audb_from_workload(dataset.window_table)
+    timings: dict[str, float] = {}
+    _, timings["Det"] = timed_ms(lambda: det_window(dataset.window_table, spec))
+    _, timings["Imp"] = timed_ms(lambda: window_native(audb, spec))
+    _, timings["Rewr"] = timed_ms(lambda: window_rewrite(audb, spec))
+    _, timings["MCDB20"] = timed_ms(
+        lambda: mcdb_window_bounds(
+            dataset.window_table, spec, key_attribute=dataset.key_attribute, samples=20, seed=seed
+        )
+    )
+    return timings
+
+
+def fig17_realworld_performance(*, scale: float = 0.25, seed: int = 0) -> ExperimentResult:
+    """Figure 17: runtimes of the real-world rank and window queries."""
+    result = ExperimentResult(
+        name="fig17",
+        description="Real-world query runtimes (ms) on simulated Iceberg / Crimes / Healthcare data",
+        headers=["Dataset", "Query", "Det", "Imp", "Rewr", "MCDB20"],
+    )
+    for dataset in REAL_WORLD_DATASETS(scale=scale, seed=seed):
+        rank = _rank_methods(dataset, seed=seed)
+        result.add(dataset.name, "Rank", rank["Det"], rank["Imp"], rank["Rewr"], rank["MCDB20"])
+        window = _window_methods(dataset, seed=seed)
+        result.add(
+            dataset.name, "Window", window["Det"], window["Imp"], window["Rewr"], window["MCDB20"]
+        )
+    return result
+
+
+def fig18_realworld_sort_quality(*, scale: float = 0.05, seed: int = 0) -> ExperimentResult:
+    """Figure 18: sort-position bound accuracy and recall on the real-world data."""
+    result = ExperimentResult(
+        name="fig18",
+        description="Real-world sort-position bound quality (accuracy / recall)",
+        headers=["Dataset", "Method", "Accuracy", "Recall"],
+    )
+    for dataset in REAL_WORLD_DATASETS(scale=scale, seed=seed):
+        query = dataset.rank_query
+        order_by = list(query.order_by)
+        audb = audb_from_workload(dataset.rank_table)
+        truth = symb_sort_bounds(
+            dataset.rank_table,
+            order_by,
+            key_attribute=query.key_attribute,
+            descending=query.descending,
+        )
+        au_bounds = audb_sort_bounds(
+            audb,
+            order_by,
+            key_attribute=query.key_attribute,
+            method="native",
+            descending=query.descending,
+        )
+        mcdb = mcdb_sort_bounds(
+            dataset.rank_table,
+            order_by,
+            key_attribute=query.key_attribute,
+            samples=20,
+            seed=seed,
+            descending=query.descending,
+        )
+        au_quality = compare_bounds(au_bounds, truth)
+        mcdb_quality = compare_bounds(mcdb, truth)
+        result.add(dataset.name, "Imp/Rewr", au_quality.accuracy, au_quality.recall)
+        result.add(dataset.name, "MCDB20", mcdb_quality.accuracy, mcdb_quality.recall)
+        result.add(dataset.name, "PT-k/Symb", 1.0, 1.0)
+    return result
+
+
+def fig19_realworld_window_quality(*, scale: float = 0.05, seed: int = 0) -> ExperimentResult:
+    """Figure 19: window-aggregate bound accuracy and recall on the real-world data."""
+    result = ExperimentResult(
+        name="fig19",
+        description="Real-world window-aggregation bound quality (accuracy / recall)",
+        headers=["Dataset", "Method", "Agg accuracy", "Agg recall"],
+    )
+    for dataset in REAL_WORLD_DATASETS(scale=scale, seed=seed):
+        spec = dataset.window_query
+        audb = audb_from_workload(dataset.window_table)
+        truth = symb_window_bounds(
+            dataset.window_table, spec, key_attribute=dataset.key_attribute
+        )
+        au_bounds = audb_window_bounds(
+            audb, spec, key_attribute=dataset.key_attribute, method="native"
+        )
+        mcdb = mcdb_window_bounds(
+            dataset.window_table, spec, key_attribute=dataset.key_attribute, samples=20, seed=seed
+        )
+        au_quality = compare_bounds(au_bounds, truth)
+        mcdb_quality = compare_bounds(mcdb, truth)
+        result.add(dataset.name, "Imp/Rewr", au_quality.accuracy, au_quality.recall)
+        result.add(dataset.name, "MCDB20", mcdb_quality.accuracy, mcdb_quality.recall)
+        result.add(dataset.name, "Symb", 1.0, 1.0)
+    return result
+
+
+#: Registry used by the CLI: experiment id -> driver.
+ALL_EXPERIMENTS = {
+    "heap_table": heap_table,
+    "fig11": fig11_sort_configs,
+    "fig12": fig12_sort_quality,
+    "fig13": fig13_window_quality,
+    "fig14": fig14_sort_scaling,
+    "fig15": fig15_window_scaling,
+    "fig16": fig16_window_configs,
+    "fig17": fig17_realworld_performance,
+    "fig18": fig18_realworld_sort_quality,
+    "fig19": fig19_realworld_window_quality,
+}

@@ -1,0 +1,48 @@
+"""Result containers and plain-text table formatting for the harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["ExperimentResult", "format_table"]
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table / figure: a title, column headers, and rows."""
+
+    name: str
+    description: str
+    headers: list[str]
+    rows: list[list[object]] = field(default_factory=list)
+
+    def add(self, *values: object) -> None:
+        self.rows.append(list(values))
+
+    def to_text(self) -> str:
+        return f"{self.name}: {self.description}\n" + format_table(self.headers, self.rows)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_text()
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render rows as a fixed-width text table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+    lines = [" | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))]
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in cells:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

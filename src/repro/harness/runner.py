@@ -1,0 +1,21 @@
+"""Timing helpers for the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable
+
+__all__ = ["timed", "timed_ms"]
+
+
+def timed(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Run ``fn`` once, returning its result and the wall-clock time in seconds."""
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def timed_ms(fn: Callable[[], Any]) -> tuple[Any, float]:
+    """Run ``fn`` once, returning its result and the wall-clock time in milliseconds."""
+    result, seconds = timed(fn)
+    return result, seconds * 1000.0

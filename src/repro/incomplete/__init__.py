@@ -1,0 +1,13 @@
+"""Incomplete / probabilistic database substrate (possible worlds, x-tuples)."""
+
+from repro.incomplete.worlds import PossibleWorlds
+from repro.incomplete.xtuples import UncertainRelation, XTuple
+from repro.incomplete.lift import lift_worlds, lift_xtuples
+
+__all__ = [
+    "PossibleWorlds",
+    "UncertainRelation",
+    "XTuple",
+    "lift_worlds",
+    "lift_xtuples",
+]

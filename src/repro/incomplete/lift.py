@@ -1,0 +1,69 @@
+"""Lifting incomplete relations into bounding AU-DB encodings.
+
+An AU-DB *bounds* an incomplete relation when every possible world can be
+"matched into" the AU-DB's hypercube tuples and multiplicity ranges
+(Section 3.2).  This module provides the two standard constructions:
+
+* :func:`lift_xtuples` — one AU-tuple per x-tuple whose attribute ranges are
+  the hulls of the alternatives (attribute-level uncertainty, the encoding
+  produced by the paper's data-cleaning front ends), and
+* :func:`lift_worlds` — one AU-tuple per distinct row across all worlds with
+  tuple-level multiplicity bounds (no attribute ranges).
+"""
+
+from __future__ import annotations
+
+from repro.core.multiplicity import Multiplicity
+from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation
+from repro.core.tuples import AUTuple
+from repro.incomplete.worlds import PossibleWorlds
+from repro.incomplete.xtuples import UncertainRelation
+
+__all__ = ["lift_xtuples", "lift_worlds"]
+
+
+def lift_xtuples(relation: UncertainRelation) -> AURelation:
+    """Encode an x-tuple relation as an AU-DB with attribute-level ranges.
+
+    Each x-tuple becomes one AU-tuple: every attribute's range is the hull of
+    the attribute values across the alternatives, the selected guess is the
+    designated alternative, and the multiplicity triple is ``(certain?, in
+    SG world?, 1)``.
+    """
+    out = AURelation(relation.schema)
+    arity = len(relation.schema)
+    for xt in relation.xtuples:
+        sg_row = xt.selected_guess_row()
+        reference = sg_row if sg_row is not None else xt.alternatives[0]
+        values = []
+        for i in range(arity):
+            column = [alt[i] for alt in xt.alternatives]
+            lo = min(column)
+            hi = max(column)
+            values.append(RangeValue(lo, reference[i], hi))
+        certainly_exists = not xt.maybe_absent
+        in_sg = sg_row is not None
+        lb = 1 if certainly_exists and in_sg else 0
+        sg = 1 if in_sg else 0
+        out.add(AUTuple(relation.schema, tuple(values)), Multiplicity(lb, sg, 1))
+    return out
+
+
+def lift_worlds(worlds: PossibleWorlds) -> AURelation:
+    """Encode explicit possible worlds as a tuple-level AU-DB.
+
+    Every distinct row across the worlds becomes a certain-valued AU-tuple
+    annotated with ``(min, sg, max)`` multiplicity across the worlds.  This is
+    the coarsest bounding AU-DB without attribute-level ranges; it is exact on
+    tuple multiplicities but cannot merge similar rows.
+    """
+    out = AURelation(worlds.schema)
+    sg_world = worlds.selected_guess
+    for row in worlds.all_rows():
+        lb = worlds.certain_multiplicity(row)
+        ub = worlds.possible_multiplicity(row)
+        sg = sg_world.multiplicity(row)
+        sg = max(lb, min(sg, ub))
+        out.add(AUTuple.certain(worlds.schema, row), Multiplicity(lb, sg, ub))
+    return out

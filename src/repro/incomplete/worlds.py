@@ -1,0 +1,130 @@
+"""Explicit possible-world representation of incomplete ``N``-relations.
+
+An incomplete ``N``-relation is a (finite) set of deterministic bag relations
+— its *possible worlds* — optionally weighted with probabilities (Section 3.1
+of the paper).  Queries follow possible-world semantics: the query is applied
+to every world individually.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Sequence
+
+from repro.core.schema import Schema
+from repro.errors import SchemaError, WorkloadError
+from repro.relational.relation import Relation, Row
+
+__all__ = ["PossibleWorlds"]
+
+
+class PossibleWorlds:
+    """A finite set of possible worlds with optional probabilities.
+
+    The first world is used as the *selected-guess* world unless another index
+    is designated; this matches the paper's convention of picking the most
+    likely world as the selected guess (callers can pass worlds sorted by
+    probability, or set ``sg_index`` explicitly).
+    """
+
+    __slots__ = ("schema", "worlds", "probabilities", "sg_index")
+
+    def __init__(
+        self,
+        worlds: Sequence[Relation],
+        probabilities: Sequence[float] | None = None,
+        *,
+        sg_index: int = 0,
+    ):
+        if not worlds:
+            raise WorkloadError("an incomplete relation needs at least one possible world")
+        schema = worlds[0].schema
+        for world in worlds:
+            if world.schema != schema:
+                raise SchemaError("all possible worlds must share the same schema")
+        if probabilities is None:
+            probabilities = [1.0 / len(worlds)] * len(worlds)
+        if len(probabilities) != len(worlds):
+            raise WorkloadError("need exactly one probability per world")
+        total = sum(probabilities)
+        if total <= 0:
+            raise WorkloadError("world probabilities must sum to a positive value")
+        if not 0 <= sg_index < len(worlds):
+            raise WorkloadError("sg_index out of range")
+        self.schema: Schema = schema
+        self.worlds: tuple[Relation, ...] = tuple(worlds)
+        self.probabilities: tuple[float, ...] = tuple(p / total for p in probabilities)
+        self.sg_index = sg_index
+
+    # -- construction ------------------------------------------------------------
+
+    @staticmethod
+    def from_rows(
+        schema: Schema | Sequence[str],
+        worlds_rows: Sequence[Iterable[Sequence]],
+        probabilities: Sequence[float] | None = None,
+        *,
+        sg_index: int = 0,
+    ) -> "PossibleWorlds":
+        """Build from per-world row lists (each row with multiplicity 1)."""
+        worlds = [Relation.from_rows(schema, rows) for rows in worlds_rows]
+        return PossibleWorlds(worlds, probabilities, sg_index=sg_index)
+
+    # -- basic protocol ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.worlds)
+
+    def __iter__(self) -> Iterator[tuple[Relation, float]]:
+        return iter(zip(self.worlds, self.probabilities))
+
+    @property
+    def selected_guess(self) -> Relation:
+        """The designated selected-guess world."""
+        return self.worlds[self.sg_index]
+
+    @property
+    def most_likely(self) -> Relation:
+        """The world with the highest probability."""
+        best = max(range(len(self.worlds)), key=lambda i: self.probabilities[i])
+        return self.worlds[best]
+
+    # -- possible-world query semantics ----------------------------------------------
+
+    def map(self, query: Callable[[Relation], Relation], *, sg_index: int | None = None) -> "PossibleWorlds":
+        """Apply a deterministic query to every world (possible-world semantics)."""
+        results = [query(world) for world in self.worlds]
+        return PossibleWorlds(
+            results,
+            self.probabilities,
+            sg_index=self.sg_index if sg_index is None else sg_index,
+        )
+
+    # -- certain / possible annotations (Section 3.1) ----------------------------------
+
+    def certain_multiplicity(self, row: Row) -> int:
+        """``certₙ``: the minimum multiplicity of ``row`` across all worlds."""
+        return min(world.multiplicity(row) for world in self.worlds)
+
+    def possible_multiplicity(self, row: Row) -> int:
+        """``possₙ``: the maximum multiplicity of ``row`` across all worlds."""
+        return max(world.multiplicity(row) for world in self.worlds)
+
+    def certain_rows(self) -> list[Row]:
+        """Rows appearing (at least once) in every world."""
+        return [row for row in self.all_rows() if self.certain_multiplicity(row) > 0]
+
+    def possible_rows(self) -> list[Row]:
+        """Rows appearing in at least one world."""
+        return self.all_rows()
+
+    def all_rows(self) -> list[Row]:
+        """Distinct rows across all worlds (stable order of first appearance)."""
+        seen: dict[Row, None] = {}
+        for world in self.worlds:
+            for row, _mult in world:
+                seen.setdefault(row, None)
+        return list(seen)
+
+    def tuple_probability(self, row: Row) -> float:
+        """Probability that ``row`` appears (at least once) in a random world."""
+        return sum(p for world, p in self if world.multiplicity(row) > 0)

@@ -1,0 +1,221 @@
+"""Compact block-independent-disjoint ("x-tuple") incomplete relations.
+
+Enumerating possible worlds explicitly is exponential, so realistic workloads
+use the standard compact *x-tuple* model: each x-tuple contributes at most one
+of a set of mutually exclusive alternative rows (with probabilities), and may
+be absent entirely when its alternatives' probabilities sum to less than one.
+Different x-tuples are independent.
+
+This is the input model used by the synthetic and simulated real-world
+workloads; it supports
+
+* lazy enumeration of possible worlds (for the exact ``Symb`` baseline and for
+  ground truth on small inputs),
+* world sampling (for the MCDB baseline),
+* extraction of the selected-guess world, and
+* lifting to an AU-DB encoding (see :mod:`repro.incomplete.lift`).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.schema import Schema
+from repro.errors import EnumerationLimitError, WorkloadError
+from repro.incomplete.worlds import PossibleWorlds
+from repro.relational.relation import Relation, Row
+
+__all__ = ["XTuple", "UncertainRelation"]
+
+
+@dataclass(frozen=True)
+class XTuple:
+    """One x-tuple: mutually exclusive alternative rows with probabilities.
+
+    ``alternatives`` lists the possible rows; ``probabilities`` their
+    probabilities (summing to at most 1 — any remaining mass is the
+    probability that the tuple is absent).  ``sg_index`` designates which
+    alternative belongs to the selected-guess world (``None`` when the tuple
+    is absent from the selected-guess world).
+    """
+
+    alternatives: tuple[Row, ...]
+    probabilities: tuple[float, ...] = field(default=())
+    sg_index: int | None = 0
+
+    def __post_init__(self) -> None:
+        if not self.alternatives:
+            raise WorkloadError("an x-tuple needs at least one alternative row")
+        probs = self.probabilities
+        if not probs:
+            probs = tuple(1.0 / len(self.alternatives) for _ in self.alternatives)
+            object.__setattr__(self, "probabilities", probs)
+        if len(probs) != len(self.alternatives):
+            raise WorkloadError("need exactly one probability per alternative")
+        if any(p < 0 for p in probs) or sum(probs) > 1.0 + 1e-9:
+            raise WorkloadError("alternative probabilities must be non-negative and sum to <= 1")
+        if self.sg_index is not None and not 0 <= self.sg_index < len(self.alternatives):
+            raise WorkloadError("sg_index out of range")
+
+    # -- derived ------------------------------------------------------------------
+
+    @staticmethod
+    def certain(row: Sequence) -> "XTuple":
+        """An x-tuple that is the same row in every world."""
+        return XTuple((tuple(row),), (1.0,), 0)
+
+    @property
+    def is_certain(self) -> bool:
+        return len(self.alternatives) == 1 and abs(self.probabilities[0] - 1.0) < 1e-12
+
+    @property
+    def maybe_absent(self) -> bool:
+        """True when the x-tuple may not appear at all in some world."""
+        return sum(self.probabilities) < 1.0 - 1e-9
+
+    @property
+    def absence_probability(self) -> float:
+        return max(0.0, 1.0 - sum(self.probabilities))
+
+    def options(self) -> list[tuple[Row | None, float]]:
+        """All choices for this x-tuple, including absence when applicable."""
+        out: list[tuple[Row | None, float]] = list(zip(self.alternatives, self.probabilities))
+        if self.maybe_absent:
+            out.append((None, self.absence_probability))
+        return out
+
+    def selected_guess_row(self) -> Row | None:
+        """The row this x-tuple contributes to the selected-guess world."""
+        if self.sg_index is None:
+            return None
+        return self.alternatives[self.sg_index]
+
+    def sample(self, rng: random.Random) -> Row | None:
+        """Sample one choice according to the probabilities."""
+        u = rng.random()
+        acc = 0.0
+        for row, p in zip(self.alternatives, self.probabilities):
+            acc += p
+            if u < acc:
+                return row
+        return None
+
+
+class UncertainRelation:
+    """A block-independent-disjoint incomplete relation (a list of x-tuples)."""
+
+    __slots__ = ("schema", "xtuples")
+
+    def __init__(self, schema: Schema | Sequence[str], xtuples: Iterable[XTuple] = ()):
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self.schema = schema
+        self.xtuples: list[XTuple] = []
+        for xt in xtuples:
+            self.add(xt)
+
+    # -- construction --------------------------------------------------------------
+
+    def add(self, xtuple: XTuple) -> None:
+        for row in xtuple.alternatives:
+            if len(row) != len(self.schema):
+                raise WorkloadError(
+                    f"alternative arity {len(row)} does not match schema {self.schema}"
+                )
+        self.xtuples.append(xtuple)
+
+    def add_certain(self, row: Sequence) -> None:
+        self.add(XTuple.certain(row))
+
+    def add_alternatives(
+        self,
+        alternatives: Sequence[Sequence],
+        probabilities: Sequence[float] | None = None,
+        *,
+        sg_index: int | None = 0,
+    ) -> None:
+        self.add(
+            XTuple(
+                tuple(tuple(alt) for alt in alternatives),
+                tuple(probabilities) if probabilities is not None else (),
+                sg_index,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.xtuples)
+
+    @property
+    def uncertain_count(self) -> int:
+        """Number of x-tuples that are not fully certain."""
+        return sum(1 for xt in self.xtuples if not xt.is_certain)
+
+    # -- worlds ---------------------------------------------------------------------
+
+    @property
+    def world_count(self) -> int:
+        """Number of possible worlds (product of per-x-tuple option counts)."""
+        count = 1
+        for xt in self.xtuples:
+            count *= len(xt.options())
+        return count
+
+    def selected_guess_world(self) -> Relation:
+        """The selected-guess world (one designated alternative per x-tuple)."""
+        world = Relation(self.schema)
+        for xt in self.xtuples:
+            row = xt.selected_guess_row()
+            if row is not None:
+                world.add(row, 1)
+        return world
+
+    def sample_world(self, rng: random.Random) -> Relation:
+        """Sample one possible world (independently across x-tuples)."""
+        world = Relation(self.schema)
+        for xt in self.xtuples:
+            row = xt.sample(rng)
+            if row is not None:
+                world.add(row, 1)
+        return world
+
+    def sample_worlds(self, count: int, *, seed: int | None = None) -> list[Relation]:
+        """Sample ``count`` worlds (used by the MCDB baseline)."""
+        rng = random.Random(seed)
+        return [self.sample_world(rng) for _ in range(count)]
+
+    def iter_worlds(self, *, limit: int | None = None) -> Iterator[tuple[Relation, float]]:
+        """Enumerate every possible world with its probability.
+
+        Raises :class:`EnumerationLimitError` when the number of worlds
+        exceeds ``limit`` (enumeration is exponential; the exact baseline is
+        only feasible on small inputs, mirroring the paper's Symb method).
+        """
+        if limit is not None and self.world_count > limit:
+            raise EnumerationLimitError(
+                f"{self.world_count} possible worlds exceed the enumeration limit of {limit}"
+            )
+        option_lists = [xt.options() for xt in self.xtuples]
+        for combo in itertools.product(*option_lists):
+            world = Relation(self.schema)
+            probability = 1.0
+            for row, p in combo:
+                probability *= p
+                if row is not None:
+                    world.add(row, 1)
+            yield world, probability
+
+    def to_possible_worlds(self, *, limit: int | None = 4096) -> PossibleWorlds:
+        """Materialise the explicit possible-world representation."""
+        worlds: list[Relation] = []
+        probabilities: list[float] = []
+        sg_world = self.selected_guess_world()
+        sg_index = 0
+        for i, (world, p) in enumerate(self.iter_worlds(limit=limit)):
+            worlds.append(world)
+            probabilities.append(p)
+            if world == sg_world:
+                sg_index = i
+        return PossibleWorlds(worlds, probabilities, sg_index=sg_index)

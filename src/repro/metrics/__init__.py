@@ -1,0 +1,19 @@
+"""Bound-quality metrics used by the evaluation harness."""
+
+from repro.metrics.quality import (
+    QualityReport,
+    bound_accuracy,
+    bound_overlap,
+    bound_recall,
+    compare_bounds,
+    estimated_range_ratio,
+)
+
+__all__ = [
+    "QualityReport",
+    "bound_accuracy",
+    "bound_overlap",
+    "bound_recall",
+    "compare_bounds",
+    "estimated_range_ratio",
+]

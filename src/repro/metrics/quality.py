@@ -1,0 +1,124 @@
+"""Bound-quality metrics (Section 9, "recall" and "accuracy").
+
+Given a per-tuple *estimated* bound ``[a, b]`` and the *tight* bound
+``[c, d]`` (as computed by the exact Symb baseline or exhaustive possible
+world enumeration), the paper measures:
+
+* **recall** — how much of the true bound the estimate covers:
+  ``overlap / (d - c)``.  Over-approximations (AU-DB methods) have recall 1;
+  sampling (MCDB) misses possible results and has recall < 1.
+* **accuracy** (precision) — how much of the estimate is actually possible:
+  ``overlap / (b - a)``.  Under-approximations have accuracy 1;
+  over-approximations have accuracy ≤ 1.
+* **estimated value range** — the relative width ``(b - a) / (d - c)`` used
+  in Figures 12 and 13: values above one indicate over-approximation, below
+  one under-approximation.
+
+Per-relation numbers are the averages over all tuples, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+__all__ = [
+    "bound_overlap",
+    "bound_recall",
+    "bound_accuracy",
+    "estimated_range_ratio",
+    "QualityReport",
+    "compare_bounds",
+]
+
+Bound = tuple[float, float]
+
+
+def bound_overlap(estimate: Bound, truth: Bound) -> float:
+    """Length of the intersection of the two bounds (0 when disjoint)."""
+    return max(0.0, min(estimate[1], truth[1]) - max(estimate[0], truth[0]))
+
+
+def bound_recall(estimate: Bound, truth: Bound) -> float:
+    """Fraction of the true bound covered by the estimate."""
+    width = truth[1] - truth[0]
+    if width <= 0:
+        return 1.0 if estimate[0] <= truth[0] <= estimate[1] else 0.0
+    return min(1.0, bound_overlap(estimate, truth) / width)
+
+
+def bound_accuracy(estimate: Bound, truth: Bound) -> float:
+    """Fraction of the estimated bound that is actually possible (precision)."""
+    width = estimate[1] - estimate[0]
+    if width <= 0:
+        return 1.0 if truth[0] <= estimate[0] <= truth[1] else 0.0
+    return min(1.0, bound_overlap(estimate, truth) / width)
+
+
+def estimated_range_ratio(estimate: Bound, truth: Bound) -> float:
+    """Relative width of the estimate vs the tight bound (Figures 12/13)."""
+    true_width = truth[1] - truth[0]
+    est_width = estimate[1] - estimate[0]
+    if true_width <= 0:
+        return 1.0 if est_width <= 0 else float("inf")
+    return est_width / true_width
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """Average bound quality over a set of tuples."""
+
+    accuracy: float
+    recall: float
+    range_ratio: float
+    tuples: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"accuracy={self.accuracy:.3f} recall={self.recall:.3f} "
+            f"range_ratio={self.range_ratio:.3f} (n={self.tuples})"
+        )
+
+
+def compare_bounds(
+    estimates: Mapping[object, Bound],
+    truths: Mapping[object, Bound],
+    *,
+    missing_recall: float = 0.0,
+) -> QualityReport:
+    """Average quality of ``estimates`` against the tight ``truths``.
+
+    Keys present in ``truths`` but absent from ``estimates`` (e.g. tuples a
+    sampling method never produced) contribute ``missing_recall`` recall and
+    full accuracy, mirroring the paper's treatment of missed possible answers.
+    Ratios are averaged over keys with finite ratios.
+    """
+    accuracies: list[float] = []
+    recalls: list[float] = []
+    ratios: list[float] = []
+    for key, truth in truths.items():
+        estimate = estimates.get(key)
+        if estimate is None:
+            accuracies.append(1.0)
+            recalls.append(missing_recall)
+            ratios.append(0.0)
+            continue
+        accuracies.append(bound_accuracy(estimate, truth))
+        recalls.append(bound_recall(estimate, truth))
+        # The range ratio is only informative where at least one side reports
+        # an actual range; point-vs-point pairs (certain tuples) are skipped so
+        # that they do not wash out the average.
+        if truth[1] - truth[0] <= 0 and estimate[1] - estimate[0] <= 0:
+            continue
+        ratio = estimated_range_ratio(estimate, truth)
+        if ratio != float("inf"):
+            ratios.append(ratio)
+    count = len(truths)
+    if count == 0:
+        return QualityReport(1.0, 1.0, 1.0, 0)
+    return QualityReport(
+        accuracy=sum(accuracies) / count,
+        recall=sum(recalls) / count,
+        range_ratio=(sum(ratios) / len(ratios)) if ratios else 1.0,
+        tuples=count,
+    )

@@ -1,0 +1,23 @@
+"""Uncertain sorting and top-k over AU-DBs (the paper's Section 5 and 8.1)."""
+
+from repro.ranking.positions import (
+    certainly_before,
+    possibly_before,
+    position_bounds,
+    sg_before,
+)
+from repro.ranking.semantics import sort_rewrite, split_duplicates
+from repro.ranking.native import sort_native
+from repro.ranking.topk import sort, topk
+
+__all__ = [
+    "certainly_before",
+    "possibly_before",
+    "sg_before",
+    "position_bounds",
+    "sort_rewrite",
+    "split_duplicates",
+    "sort_native",
+    "sort",
+    "topk",
+]

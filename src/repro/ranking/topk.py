@@ -1,0 +1,80 @@
+"""Uncertain top-k queries over AU-DBs.
+
+A top-k query is the uncertain sort operator followed by a selection on the
+position attribute (Section 5): a tuple whose position is certainly below
+``k`` is a certain answer, a tuple whose position is only possibly below
+``k`` is a possible answer, and tuples whose position is certainly at least
+``k`` are filtered out.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.expressions import attr
+from repro.core.operators.select import select
+from repro.core.relation import AURelation
+from repro.errors import OperatorError
+from repro.ranking.native import sort_native
+from repro.ranking.semantics import sort_rewrite
+
+__all__ = ["topk", "sort"]
+
+
+def sort(
+    relation: AURelation,
+    order_by: Sequence[str],
+    *,
+    method: str = "native",
+    position_attribute: str = "pos",
+    k: int | None = None,
+    descending: bool = False,
+) -> AURelation:
+    """Uncertain sort using either the native sweep or the rewrite semantics."""
+    if method == "native":
+        return sort_native(
+            relation,
+            order_by,
+            k=k,
+            position_attribute=position_attribute,
+            descending=descending,
+        )
+    if method == "rewrite":
+        return sort_rewrite(
+            relation, order_by, position_attribute=position_attribute, descending=descending
+        )
+    raise OperatorError(f"unknown sort method {method!r}; expected 'native' or 'rewrite'")
+
+
+def topk(
+    relation: AURelation,
+    order_by: Sequence[str],
+    k: int,
+    *,
+    method: str = "native",
+    position_attribute: str = "pos",
+    keep_position: bool = True,
+    descending: bool = False,
+) -> AURelation:
+    """Uncertain top-k: tuples possibly among the first ``k`` in the sort order.
+
+    The result's multiplicity triples encode answer classes: a lower bound of
+    one marks a *certain* answer, an upper bound of one with a lower bound of
+    zero marks a merely *possible* answer.
+    """
+    if k < 0:
+        raise OperatorError("k must be non-negative")
+    ranked = sort(
+        relation,
+        order_by,
+        method=method,
+        position_attribute=position_attribute,
+        k=k if method == "native" else None,
+        descending=descending,
+    )
+    filtered = select(ranked, attr(position_attribute).lt(k))
+    if keep_position:
+        return filtered
+    from repro.core.operators.project import project  # local import to avoid cycle
+
+    return project(filtered, list(relation.schema.attributes))

@@ -1,0 +1,37 @@
+"""Deterministic bag-relational substrate (the paper's Section 4 semantics)."""
+
+from repro.relational.relation import Relation, Row
+from repro.relational.operators import (
+    cross,
+    difference,
+    extend,
+    groupby_aggregate,
+    join,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.relational.sort import sort_operator, topk, total_order_key
+from repro.relational.window import window_aggregate
+from repro.relational.aggregates import aggregate, supported_aggregates
+
+__all__ = [
+    "Relation",
+    "Row",
+    "select",
+    "project",
+    "extend",
+    "rename",
+    "union",
+    "difference",
+    "cross",
+    "join",
+    "groupby_aggregate",
+    "sort_operator",
+    "topk",
+    "total_order_key",
+    "window_aggregate",
+    "aggregate",
+    "supported_aggregates",
+]

@@ -1,0 +1,186 @@
+"""Positive relational algebra with aggregation over deterministic bag relations.
+
+Implements the ``RA⁺`` semantics of Fig. 2 in the paper (selection,
+projection, union, cross product / join lifted through the ``N`` semiring)
+plus bag difference and group-by aggregation.  These operators are the
+deterministic substrate used by the Det and MCDB baselines and by the
+possible-world ground truth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.core.expressions import Expression
+from repro.core.ranges import Scalar
+from repro.core.schema import Schema
+from repro.errors import OperatorError, SchemaError
+from repro.relational.aggregates import aggregate
+from repro.relational.relation import Relation, Row
+
+__all__ = [
+    "select",
+    "project",
+    "extend",
+    "rename",
+    "union",
+    "difference",
+    "cross",
+    "join",
+    "groupby_aggregate",
+]
+
+
+def select(relation: Relation, predicate: Expression | Callable[[Mapping[str, Scalar]], bool]) -> Relation:
+    """Keep rows satisfying ``predicate`` (annotations unchanged)."""
+    out = relation.empty_like()
+    for row, mult in relation:
+        row_map = relation.row_dict(row)
+        keep = predicate.eval_det(row_map) if isinstance(predicate, Expression) else predicate(row_map)
+        if keep:
+            out.add(row, mult)
+    return out
+
+
+def project(relation: Relation, attributes: Sequence[str]) -> Relation:
+    """Bag projection onto ``attributes`` (multiplicities of merged rows add up)."""
+    schema = relation.schema.project(attributes)
+    idx = relation.schema.indexes_of(attributes)
+    out = Relation(schema)
+    for row, mult in relation:
+        out.add(tuple(row[i] for i in idx), mult)
+    return out
+
+
+def extend(
+    relation: Relation,
+    name: str,
+    expression: Expression | Callable[[Mapping[str, Scalar]], Scalar],
+) -> Relation:
+    """Append a computed attribute to every row."""
+    schema = relation.schema.extend(name)
+    out = Relation(schema)
+    for row, mult in relation:
+        row_map = relation.row_dict(row)
+        value = (
+            expression.eval_det(row_map)
+            if isinstance(expression, Expression)
+            else expression(row_map)
+        )
+        out.add(row + (value,), mult)
+    return out
+
+
+def rename(relation: Relation, mapping: Mapping[str, str]) -> Relation:
+    """Rename attributes according to ``mapping``."""
+    schema = relation.schema.rename(dict(mapping))
+    out = Relation(schema)
+    for row, mult in relation:
+        out.add(row, mult)
+    return out
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """Bag union (multiplicities add)."""
+    if left.schema != right.schema:
+        raise SchemaError("union requires identical schemas")
+    out = left.copy()
+    for row, mult in right:
+        out.add(row, mult)
+    return out
+
+
+def difference(left: Relation, right: Relation) -> Relation:
+    """Bag difference (monus): multiplicities subtract, truncated at zero."""
+    if left.schema != right.schema:
+        raise SchemaError("difference requires identical schemas")
+    out = left.empty_like()
+    for row, mult in left:
+        remaining = mult - right.multiplicity(row)
+        if remaining > 0:
+            out.add(row, remaining)
+    return out
+
+
+def cross(left: Relation, right: Relation) -> Relation:
+    """Cross product (multiplicities multiply); clashing names get ``_r`` suffixes."""
+    schema = left.schema.concat(right.schema, disambiguate=True)
+    out = Relation(schema)
+    for lrow, lmult in left:
+        for rrow, rmult in right:
+            out.add(lrow + rrow, lmult * rmult)
+    return out
+
+
+def join(
+    left: Relation,
+    right: Relation,
+    predicate: Expression | Callable[[Mapping[str, Scalar]], bool] | None = None,
+    *,
+    on: Sequence[str] | None = None,
+) -> Relation:
+    """Theta or equi-join.
+
+    With ``on`` set, performs an equi-join on the named attributes (hash
+    join); otherwise the ``predicate`` is evaluated over the concatenated
+    (disambiguated) row.
+    """
+    if on is not None:
+        left_idx = left.schema.indexes_of(on)
+        right_idx = right.schema.indexes_of(on)
+        schema = left.schema.concat(right.schema, disambiguate=True)
+        buckets: dict[tuple[Scalar, ...], list[tuple[Row, int]]] = {}
+        for rrow, rmult in right:
+            key = tuple(rrow[i] for i in right_idx)
+            buckets.setdefault(key, []).append((rrow, rmult))
+        out = Relation(schema)
+        for lrow, lmult in left:
+            key = tuple(lrow[i] for i in left_idx)
+            for rrow, rmult in buckets.get(key, ()):
+                out.add(lrow + rrow, lmult * rmult)
+        return out
+
+    if predicate is None:
+        raise OperatorError("join requires either a predicate or an `on` attribute list")
+    product = cross(left, right)
+    return select(product, predicate)
+
+
+def groupby_aggregate(
+    relation: Relation,
+    group_by: Sequence[str],
+    aggregates: Sequence[tuple[str, str, str]],
+) -> Relation:
+    """Group-by aggregation.
+
+    ``aggregates`` is a list of ``(function, attribute, output_name)`` triples;
+    ``count`` ignores its attribute argument (``count(*)`` semantics).  With an
+    empty ``group_by`` a single output row is produced (even for empty input,
+    matching SQL's scalar aggregation).
+    """
+    relation.schema.require(list(group_by))
+    out_schema = Schema(tuple(group_by) + tuple(name for _, _, name in aggregates))
+    group_idx = relation.schema.indexes_of(group_by)
+
+    groups: dict[tuple[Scalar, ...], list[tuple[Row, int]]] = {}
+    for row, mult in relation:
+        key = tuple(row[i] for i in group_idx)
+        groups.setdefault(key, []).append((row, mult))
+
+    if not group_by and not groups:
+        groups[()] = []
+
+    out = Relation(out_schema)
+    for key, members in groups.items():
+        agg_values: list[Scalar] = []
+        for func, attribute, _name in aggregates:
+            if func == "count" and (attribute == "*" or attribute is None):
+                values: list[Scalar] = [1] * sum(m for _, m in members)
+            else:
+                idx = relation.schema.index_of(attribute)
+                values = []
+                for row, mult in members:
+                    values.extend([row[idx]] * mult)
+            agg_values.append(aggregate(func, values))
+        out.add(key + tuple(agg_values), 1)
+    return out

@@ -1,0 +1,166 @@
+"""Deterministic bag relations (``N``-relations).
+
+This is the deterministic substrate the paper's operators are defined against
+(Section 3/4): a relation maps each tuple to a multiplicity from the natural
+numbers semiring ``N``.  It stands in for the deterministic DBMS (PostgreSQL
+in the paper) on which Det, MCDB, and the possible-world ground truth run.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.schema import Schema
+from repro.core.ranges import Scalar
+from repro.errors import SchemaError
+
+__all__ = ["Relation", "Row"]
+
+#: A deterministic row is a plain tuple of scalars, positional wrt the schema.
+Row = tuple[Scalar, ...]
+
+
+class Relation:
+    """A bag relation: rows annotated with positive multiplicities."""
+
+    __slots__ = ("schema", "_rows")
+
+    def __init__(self, schema: Schema | Sequence[str], rows: Iterable[tuple[Row, int]] = ()):
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        self.schema = schema
+        self._rows: dict[Row, int] = {}
+        for row, mult in rows:
+            self.add(row, mult)
+
+    # -- construction ------------------------------------------------------------
+
+    @staticmethod
+    def from_rows(schema: Schema | Sequence[str], rows: Iterable[Sequence[Scalar]]) -> "Relation":
+        """Build a relation from plain rows, each with multiplicity 1."""
+        relation = Relation(schema)
+        for row in rows:
+            relation.add(tuple(row), 1)
+        return relation
+
+    @staticmethod
+    def from_dicts(
+        schema: Schema | Sequence[str], rows: Iterable[Mapping[str, Scalar]]
+    ) -> "Relation":
+        """Build a relation from attribute-name -> value mappings."""
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        relation = Relation(schema)
+        for mapping in rows:
+            relation.add(tuple(mapping[name] for name in schema), 1)
+        return relation
+
+    def empty_like(self, schema: Schema | None = None) -> "Relation":
+        return Relation(schema if schema is not None else self.schema)
+
+    def copy(self) -> "Relation":
+        out = Relation(self.schema)
+        out._rows = dict(self._rows)
+        return out
+
+    # -- mutation -----------------------------------------------------------------
+
+    def add(self, row: Sequence[Scalar], multiplicity: int = 1) -> None:
+        """Add ``multiplicity`` copies of ``row`` (no-op for multiplicity 0)."""
+        if multiplicity < 0:
+            raise SchemaError("row multiplicities must be non-negative")
+        if multiplicity == 0:
+            return
+        row = tuple(row)
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"row arity {len(row)} does not match schema {self.schema}"
+            )
+        self._rows[row] = self._rows.get(row, 0) + multiplicity
+
+    # -- access ---------------------------------------------------------------------
+
+    def __iter__(self) -> Iterator[tuple[Row, int]]:
+        return iter(self._rows.items())
+
+    def rows(self) -> list[Row]:
+        """Distinct rows (without multiplicities)."""
+        return list(self._rows)
+
+    def expanded_rows(self) -> list[Row]:
+        """Every row repeated according to its multiplicity."""
+        out: list[Row] = []
+        for row, mult in self._rows.items():
+            out.extend([row] * mult)
+        return out
+
+    def multiplicity(self, row: Sequence[Scalar]) -> int:
+        return self._rows.get(tuple(row), 0)
+
+    def __len__(self) -> int:
+        """Number of distinct rows."""
+        return len(self._rows)
+
+    @property
+    def cardinality(self) -> int:
+        """Total number of rows including duplicates."""
+        return sum(self._rows.values())
+
+    def is_empty(self) -> bool:
+        return not self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self.schema == other.schema and self._rows == other._rows
+
+    def __hash__(self) -> int:  # relations are mutable; identity hash only
+        return id(self)
+
+    # -- helpers -----------------------------------------------------------------------
+
+    def row_dict(self, row: Row) -> dict[str, Scalar]:
+        """A row as an attribute-name -> value mapping (for expression evaluation)."""
+        return dict(zip(self.schema.attributes, row))
+
+    def values(self, attribute: str) -> list[Scalar]:
+        """All values (with duplicates) of one attribute."""
+        idx = self.schema.index_of(attribute)
+        out: list[Scalar] = []
+        for row, mult in self._rows.items():
+            out.extend([row[idx]] * mult)
+        return out
+
+    def map_rows(
+        self, schema: Schema, fn: Callable[[Row, int], tuple[Row, int] | None]
+    ) -> "Relation":
+        """Apply ``fn`` to every (row, multiplicity), collecting non-``None`` results."""
+        out = Relation(schema)
+        for row, mult in self._rows.items():
+            mapped = fn(row, mult)
+            if mapped is None:
+                continue
+            out.add(*mapped)
+        return out
+
+    def to_table(self, *, limit: int | None = None) -> str:
+        """A human-readable table (used by examples)."""
+        header = list(self.schema.attributes) + ["N"]
+        rows: list[list[str]] = []
+        for i, (row, mult) in enumerate(self):
+            if limit is not None and i >= limit:
+                rows.append(["..."] * len(header))
+                break
+            rows.append([repr(v) for v in row] + [str(mult)])
+        widths = [len(h) for h in header]
+        for row_cells in rows:
+            for j, cell in enumerate(row_cells):
+                widths[j] = max(widths[j], len(cell))
+        lines = [" | ".join(h.ljust(widths[j]) for j, h in enumerate(header))]
+        lines.append("-+-".join("-" * w for w in widths))
+        for row_cells in rows:
+            lines.append(" | ".join(cell.ljust(widths[j]) for j, cell in enumerate(row_cells)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.to_table(limit=20)

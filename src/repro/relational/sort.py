@@ -1,0 +1,94 @@
+"""Deterministic sort operator (Section 4.2 of the paper).
+
+``sort_operator`` extends every row of a bag relation with an attribute
+storing the row's position under the total order ``<ᵗᵒᵗᵃˡ_O``: rows are
+compared on the order-by attributes first and, to break ties deterministically
+(up to tuple equivalence), on the remaining attributes of the relation.
+Duplicates of a row occupy consecutive positions.
+
+Top-k is the sort operator followed by a selection on the position attribute.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.ranges import Scalar
+from repro.core.schema import Schema
+from repro.errors import OperatorError
+from repro.relational.relation import Relation, Row
+
+__all__ = ["sort_operator", "topk", "total_order_key", "sort_key_value"]
+
+
+def sort_key_value(value: Scalar) -> tuple[int, Scalar]:
+    """A sort key wrapper that orders ``None`` before every other value.
+
+    Mixed ``None`` / scalar attribute values are common after outer-join-like
+    cleaning steps; this keeps Python's tuple comparison total.
+    """
+    if value is None:
+        return (0, 0)
+    if isinstance(value, bool):
+        return (1, int(value))
+    return (1, value)
+
+
+def total_order_key(relation_schema: Schema, order_by: Sequence[str], row: Row) -> tuple:
+    """Sort key for ``<ᵗᵒᵗᵃˡ_O``: order-by attributes, then the remaining attributes."""
+    order_idx = relation_schema.indexes_of(order_by)
+    rest_idx = [i for i in range(len(relation_schema)) if i not in set(order_idx)]
+    return tuple(sort_key_value(row[i]) for i in order_idx) + tuple(
+        sort_key_value(row[i]) for i in rest_idx
+    )
+
+
+def sort_operator(
+    relation: Relation,
+    order_by: Sequence[str],
+    *,
+    position_attribute: str = "pos",
+    descending: bool = False,
+) -> Relation:
+    """Extend every row with its 0-based position under ``<ᵗᵒᵗᵃˡ_O``.
+
+    Each duplicate of a row receives its own position, so every output row has
+    multiplicity 1 (unless two distinct duplicates also collide on the
+    position, which cannot happen).
+    """
+    if not order_by:
+        raise OperatorError("sort requires at least one order-by attribute")
+    relation.schema.require(list(order_by))
+    out_schema = relation.schema.extend(position_attribute)
+
+    expanded = relation.expanded_rows()
+    expanded.sort(key=lambda row: total_order_key(relation.schema, order_by, row), reverse=descending)
+
+    out = Relation(out_schema)
+    for position, row in enumerate(expanded):
+        out.add(row + (position,), 1)
+    return out
+
+
+def topk(
+    relation: Relation,
+    order_by: Sequence[str],
+    k: int,
+    *,
+    descending: bool = False,
+    keep_position: bool = False,
+    position_attribute: str = "pos",
+) -> Relation:
+    """Deterministic top-k: sort, keep positions < k, optionally drop the position."""
+    if k < 0:
+        raise OperatorError("k must be non-negative")
+    sorted_relation = sort_operator(
+        relation, order_by, position_attribute=position_attribute, descending=descending
+    )
+    pos_idx = sorted_relation.schema.index_of(position_attribute)
+    out_schema = sorted_relation.schema if keep_position else relation.schema
+    out = Relation(out_schema)
+    for row, mult in sorted_relation:
+        if row[pos_idx] < k:
+            out.add(row if keep_position else row[:pos_idx] + row[pos_idx + 1:], mult)
+    return out

@@ -1,0 +1,90 @@
+"""Deterministic row-based windowed aggregation (Fig. 3 of the paper).
+
+The operator extends each input row with the aggregate computed over the
+row's *window*: the rows of its partition whose sort position (under
+``<ᵗᵒᵗᵃˡ_O`` within the partition) lies within ``[pos + lower, pos + upper]``
+of the row's own position.  Each duplicate of a row is treated as a separate
+row ("exploded"), exactly as in the paper's ``ROW`` construction, so different
+duplicates may receive different aggregate values.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.ranges import Scalar
+from repro.errors import WindowSpecError
+from repro.relational.aggregates import aggregate
+from repro.relational.relation import Relation, Row
+from repro.relational.sort import total_order_key
+
+__all__ = ["window_aggregate"]
+
+
+def _validate_frame(lower: int, upper: int) -> None:
+    if lower > upper:
+        raise WindowSpecError(f"invalid window frame [{lower}, {upper}]: lower > upper")
+
+
+def window_aggregate(
+    relation: Relation,
+    *,
+    function: str,
+    attribute: str | None,
+    output: str,
+    order_by: Sequence[str],
+    partition_by: Sequence[str] = (),
+    frame: tuple[int, int] = (0, 0),
+    descending: bool = False,
+) -> Relation:
+    """Row-based windowed aggregation.
+
+    Parameters mirror SQL's ``<agg>(<attribute>) OVER (PARTITION BY ...
+    ORDER BY ... ROWS BETWEEN lower AND upper)`` with ``frame = (lower,
+    upper)`` given as signed offsets relative to the current row (e.g.
+    ``(-2, 0)`` for ``2 PRECEDING AND CURRENT ROW``).
+    """
+    lower, upper = frame
+    _validate_frame(lower, upper)
+    if not order_by:
+        raise WindowSpecError("windowed aggregation requires an order-by attribute list")
+    relation.schema.require(list(order_by))
+    relation.schema.require(list(partition_by))
+    if function != "count" and attribute is None:
+        raise WindowSpecError(f"aggregate {function!r} requires an attribute")
+    if attribute is not None and attribute != "*":
+        relation.schema.require([attribute])
+
+    out_schema = relation.schema.extend(output)
+    out = Relation(out_schema)
+
+    partition_idx = relation.schema.indexes_of(partition_by)
+    attr_idx = (
+        relation.schema.index_of(attribute) if attribute is not None and attribute != "*" else None
+    )
+
+    # Partition the exploded rows.
+    partitions: dict[tuple[Scalar, ...], list[Row]] = {}
+    for row in relation.expanded_rows():
+        key = tuple(row[i] for i in partition_idx)
+        partitions.setdefault(key, []).append(row)
+
+    for rows in partitions.values():
+        rows.sort(
+            key=lambda row: total_order_key(relation.schema, order_by, row),
+            reverse=descending,
+        )
+        n = len(rows)
+        for position, row in enumerate(rows):
+            start = max(0, position + lower)
+            end = min(n - 1, position + upper)
+            if start > end:
+                members: list[Row] = []
+            else:
+                members = rows[start : end + 1]
+            if attr_idx is None:
+                values: list[Scalar] = [1] * len(members)
+            else:
+                values = [member[attr_idx] for member in members]
+            out.add(row + (aggregate(function, values),), 1)
+    return out

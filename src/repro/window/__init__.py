@@ -1,0 +1,14 @@
+"""Uncertain windowed aggregation over AU-DBs (Sections 6 and 8.3)."""
+
+from repro.window.spec import WindowSpec
+from repro.window.bounds import WindowMember, aggregate_bounds
+from repro.window.semantics import window_rewrite
+from repro.window.native import window_native
+
+__all__ = [
+    "WindowSpec",
+    "WindowMember",
+    "aggregate_bounds",
+    "window_rewrite",
+    "window_native",
+]

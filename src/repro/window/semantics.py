@@ -1,0 +1,282 @@
+"""Definitional ("rewrite") windowed aggregation over AU-DBs (Section 6.1).
+
+``window_rewrite`` follows the paper's construction literally:
+
+1. **expand** — split every tuple into duplicates with multiplicity at most
+   one (different duplicates of a tuple may receive different aggregate
+   values, exactly as in the deterministic semantics).
+2. for every (defining) duplicate ``t``:
+   a. compute which tuples certainly / possibly / selected-guess-wise belong
+      to ``t``'s *partition* (uncertain equality on the partition-by
+      attributes),
+   b. compute every tuple's sort-position bounds *within that partition*,
+   c. classify tuples as certainly or possibly inside ``t``'s window using
+      the interval containment / overlap conditions of Fig. 6, and
+   d. bound the aggregation result by combining the certain members with the
+      best/worst admissible subset of possible members
+      (:func:`repro.window.bounds.aggregate_bounds`).
+
+The construction mirrors the SQL rewrite (``Rewr``) and is quadratic in the
+number of tuples per defining tuple's partition; the native sweep operator in
+:mod:`repro.window.native` computes the same kind of bounds in one pass.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.booleans import CERTAIN_TRUE, RangeBool
+from repro.core.multiplicity import Multiplicity
+from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation
+from repro.core.tuples import AUTuple
+from repro.errors import WindowSpecError
+from repro.ranking.positions import relation_items, sort_key_value
+from repro.relational.aggregates import aggregate
+from repro.window.bounds import WindowMember, aggregate_bounds
+from repro.window.spec import WindowSpec
+
+__all__ = ["window_rewrite", "expand_duplicates"]
+
+
+@dataclass
+class _Item:
+    """One expanded duplicate with cached sort keys and filtered annotations."""
+
+    tup: AUTuple
+    mult: Multiplicity
+    seq: int
+    key_lower: tuple
+    key_sg: tuple
+    key_upper: tuple
+
+
+def expand_duplicates(
+    relation: AURelation, order_by: Sequence[str], *, descending: bool = False
+) -> list[_Item]:
+    """Split every tuple into duplicates of multiplicity at most one."""
+    items: list[_Item] = []
+    seq = 0
+    for ranked in relation_items(relation, order_by, descending=descending):
+        for i in range(ranked.mult.ub):
+            mult = Multiplicity(
+                1 if i < ranked.mult.lb else 0,
+                1 if i < ranked.mult.sg else 0,
+                1,
+            )
+            items.append(
+                _Item(
+                    tup=ranked.tup,
+                    mult=mult,
+                    seq=seq,
+                    key_lower=ranked.key_lower,
+                    key_sg=ranked.key_sg,
+                    key_upper=ranked.key_upper,
+                )
+            )
+            seq += 1
+    return items
+
+
+def _partition_membership(defining: _Item, item: _Item, partition_by: Sequence[str]) -> RangeBool:
+    """Bounding triple for "``item`` is in the partition of ``defining``"."""
+    condition = CERTAIN_TRUE
+    for name in partition_by:
+        condition = condition.and_(item.tup.value(name).eq(defining.tup.value(name)))
+    return condition
+
+
+def _position_triples(
+    items: Sequence[_Item],
+    weights: dict[int, tuple[int, int, int]],
+    rest_sg_key: dict[int, tuple],
+) -> dict[int, tuple[int, int, int]]:
+    """Sort-position bounds of every item, restricted to the weighted members.
+
+    ``weights`` maps item sequence numbers to (certain, selected-guess,
+    possible) multiplicities already filtered by partition membership; items
+    missing from ``weights`` do not participate.  Returns position triples for
+    every weighted item.  Runs in ``O(n log n)`` via prefix sums.
+    """
+    members = [item for item in items if item.seq in weights]
+
+    # Lower bounds: for each member, the total certain weight of members whose
+    # latest key precedes its earliest key.
+    by_upper = sorted(members, key=lambda item: item.key_upper)
+    upper_keys = [item.key_upper for item in by_upper]
+    prefix_cert = [0]
+    for item in by_upper:
+        prefix_cert.append(prefix_cert[-1] + weights[item.seq][0])
+
+    # Upper bounds: total possible weight of members whose earliest key does
+    # not exceed its latest key (minus the member itself).
+    by_lower = sorted(members, key=lambda item: item.key_lower)
+    lower_keys = [item.key_lower for item in by_lower]
+    prefix_poss = [0]
+    for item in by_lower:
+        prefix_poss.append(prefix_poss[-1] + weights[item.seq][2])
+
+    # Selected-guess positions: order by the selected-guess total order.
+    by_sg = sorted(members, key=lambda item: (item.key_sg, rest_sg_key[item.seq], item.seq))
+    sg_position: dict[int, int] = {}
+    running = 0
+    for item in by_sg:
+        sg_position[item.seq] = running
+        running += weights[item.seq][1]
+
+    positions: dict[int, tuple[int, int, int]] = {}
+    for item in members:
+        lower = prefix_cert[bisect_left(upper_keys, item.key_lower)]
+        upper = prefix_poss[bisect_right(lower_keys, item.key_upper)] - weights[item.seq][2]
+        sg = max(lower, min(sg_position[item.seq], upper))
+        positions[item.seq] = (lower, sg, upper)
+    return positions
+
+
+def _rest_sg_keys(items: Sequence[_Item], order_by: Sequence[str]) -> dict[int, tuple]:
+    if not items:
+        return {}
+    schema = items[0].tup.schema
+    rest = [name for name in schema if name not in set(order_by)]
+    return {
+        item.seq: tuple(sort_key_value(item.tup.value(name).sg) for name in rest) for item in items
+    }
+
+
+def window_rewrite(relation: AURelation, spec: WindowSpec) -> AURelation:
+    """Definitional uncertain windowed aggregation (the ``Rewr`` method)."""
+    relation.schema.require(list(spec.order_by))
+    relation.schema.require(list(spec.partition_by))
+    if spec.attribute is not None and spec.attribute != "*":
+        relation.schema.require([spec.attribute])
+    if spec.output in relation.schema:
+        raise WindowSpecError(f"output attribute {spec.output!r} already exists in the schema")
+
+    items = expand_duplicates(relation, spec.order_by, descending=spec.descending)
+    rest_sg = _rest_sg_keys(items, spec.order_by)
+    out_schema = relation.schema.extend(spec.output)
+    out = AURelation(out_schema)
+
+    # Fast path: without PARTITION BY every item shares one partition, so the
+    # position triples can be computed once.
+    shared_positions: dict[int, tuple[int, int, int]] | None = None
+    if not spec.partition_by:
+        weights = {item.seq: (item.mult.lb, item.mult.sg, item.mult.ub) for item in items}
+        shared_positions = _position_triples(items, weights, rest_sg)
+
+    for defining in items:
+        if shared_positions is not None:
+            positions = shared_positions
+            membership = {item.seq: CERTAIN_TRUE for item in items}
+        else:
+            membership = {
+                item.seq: _partition_membership(defining, item, spec.partition_by)
+                for item in items
+            }
+            weights = {
+                item.seq: (
+                    item.mult.lb if membership[item.seq].lb else 0,
+                    item.mult.sg if membership[item.seq].sg else 0,
+                    item.mult.ub if membership[item.seq].ub else 0,
+                )
+                for item in items
+                if membership[item.seq].ub
+            }
+            positions = _position_triples(items, weights, rest_sg)
+
+        value = _window_value(defining, items, positions, membership, spec)
+        out.add(defining.tup.extend(spec.output, value), defining.mult)
+    return out
+
+
+def _window_value(
+    defining: _Item,
+    items: Sequence[_Item],
+    positions: dict[int, tuple[int, int, int]],
+    membership: dict[int, RangeBool],
+    spec: WindowSpec,
+) -> RangeValue:
+    lower_off, upper_off = spec.frame
+    pos_lb, pos_sg, pos_ub = positions[defining.seq]
+
+    # Sort positions certainly covered by the window start at the latest
+    # possible window start and end at the earliest possible window end.
+    cert_window = (pos_ub + lower_off, pos_lb + upper_off)
+    poss_window = (pos_lb + lower_off, pos_ub + upper_off)
+    sg_window = (pos_sg + lower_off, pos_sg + upper_off)
+
+    certain_members: list[WindowMember] = []
+    possible_members: list[WindowMember] = []
+    sg_values: list[float] = []
+    certain_rows_after = 0
+
+    for item in items:
+        cond = membership.get(item.seq)
+        if cond is None or not cond.ub or item.seq not in positions:
+            continue
+        item_lb, item_sg, item_ub = positions[item.seq]
+        value = _member_value(item, spec)
+        is_self = item.seq == defining.seq
+
+        if not is_self:
+            if cond.lb and item.mult.lb > 0 and item_lb > pos_ub:
+                certain_rows_after += 1
+            certainly_in = (
+                cond.lb
+                and item.mult.lb > 0
+                and cert_window[0] <= item_lb
+                and item_ub <= cert_window[1]
+            )
+            possibly_in = item_lb <= poss_window[1] and item_ub >= poss_window[0]
+            if certainly_in:
+                certain_members.append(value)
+            elif possibly_in:
+                possible_members.append(value)
+
+        # Selected-guess window membership (dense, deterministic positions).
+        if cond.sg and item.mult.sg > 0 and sg_window[0] <= item_sg <= sg_window[1]:
+            if spec.function == "count" or spec.attribute in (None, "*"):
+                sg_values.append(1)
+            else:
+                sg_values.append(item.tup.value(spec.attribute).sg)
+
+    self_member = None
+    if spec.includes_current_row:
+        self_member = _member_value(defining, spec)
+
+    sg_value = None
+    if defining.mult.sg > 0:
+        if spec.function == "count":
+            sg_value = len(sg_values)
+        elif sg_values:
+            sg_value = aggregate(spec.function, sg_values)
+
+    # The window certainly contains at least: the rows certainly preceding the
+    # defining tuple (up to the preceding extent of the frame), the defining
+    # tuple itself, and the rows certainly following it (up to the following
+    # extent).  This feeds the min-k / max-k refinement of the bound
+    # computation (Section 6.1).
+    certain_window_size = 0
+    if spec.includes_current_row:
+        before = min(-lower_off, pos_lb) if lower_off < 0 else 0
+        after = min(upper_off, certain_rows_after) if upper_off > 0 else 0
+        certain_window_size = before + 1 + after
+
+    return aggregate_bounds(
+        spec.function,
+        self_member=self_member,
+        certain=certain_members,
+        possible=possible_members,
+        frame_size=spec.frame_size,
+        sg_value=sg_value,
+        certain_window_size=certain_window_size,
+    )
+
+
+def _member_value(item: _Item, spec: WindowSpec) -> WindowMember:
+    if spec.function == "count" or spec.attribute is None or spec.attribute == "*":
+        return WindowMember(1, 1, 1)
+    value = item.tup.value(spec.attribute)
+    return WindowMember(value.lb, value.ub, 1)

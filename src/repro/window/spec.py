@@ -1,0 +1,107 @@
+"""Window specifications for uncertain windowed aggregation.
+
+A :class:`WindowSpec` describes one SQL ``<agg>(<attr>) OVER (PARTITION BY …
+ORDER BY … ROWS BETWEEN … AND …)`` clause.  Frames are row-based and given as
+signed offsets relative to the current row, e.g. ``(-2, 0)`` for
+``2 PRECEDING AND CURRENT ROW`` and ``(0, 3)`` for ``CURRENT ROW AND 3
+FOLLOWING``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import WindowSpecError
+from repro.relational.aggregates import AGGREGATES
+
+__all__ = ["WindowSpec"]
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """Parameters of a row-based windowed aggregate."""
+
+    function: str
+    attribute: str | None
+    output: str
+    order_by: tuple[str, ...]
+    partition_by: tuple[str, ...] = ()
+    frame: tuple[int, int] = (0, 0)
+    descending: bool = False
+
+    def __init__(
+        self,
+        function: str,
+        attribute: str | None,
+        output: str,
+        order_by: Sequence[str],
+        partition_by: Sequence[str] = (),
+        frame: tuple[int, int] = (0, 0),
+        descending: bool = False,
+    ):
+        object.__setattr__(self, "function", function)
+        object.__setattr__(self, "attribute", attribute)
+        object.__setattr__(self, "output", output)
+        object.__setattr__(self, "order_by", tuple(order_by))
+        object.__setattr__(self, "partition_by", tuple(partition_by))
+        object.__setattr__(self, "frame", (int(frame[0]), int(frame[1])))
+        object.__setattr__(self, "descending", bool(descending))
+        self._validate()
+
+    def _validate(self) -> None:
+        if self.function not in AGGREGATES:
+            raise WindowSpecError(
+                f"unsupported window aggregate {self.function!r}; supported: {sorted(AGGREGATES)}"
+            )
+        if self.function != "count" and (self.attribute is None or self.attribute == "*"):
+            raise WindowSpecError(f"aggregate {self.function!r} requires an attribute")
+        if not self.order_by:
+            raise WindowSpecError("windowed aggregation requires at least one order-by attribute")
+        lower, upper = self.frame
+        if lower > upper:
+            raise WindowSpecError(f"invalid frame [{lower}, {upper}]: lower bound exceeds upper bound")
+
+    # -- derived properties ------------------------------------------------------------
+
+    @property
+    def frame_size(self) -> int:
+        """Maximum number of rows a window can contain."""
+        lower, upper = self.frame
+        return upper - lower + 1
+
+    @property
+    def includes_current_row(self) -> bool:
+        lower, upper = self.frame
+        return lower <= 0 <= upper
+
+    @property
+    def preceding_only(self) -> bool:
+        """True for frames of the form ``N PRECEDING AND CURRENT ROW``."""
+        lower, upper = self.frame
+        return upper == 0 and lower <= 0
+
+    @property
+    def following_only(self) -> bool:
+        """True for frames of the form ``CURRENT ROW AND N FOLLOWING``."""
+        lower, upper = self.frame
+        return lower == 0 and upper >= 0
+
+    def mirrored(self) -> "WindowSpec":
+        """The equivalent spec under the reversed sort order.
+
+        A frame ``CURRENT ROW AND N FOLLOWING`` over an ascending order is the
+        same window as ``N PRECEDING AND CURRENT ROW`` over the descending
+        order; the native sweep uses this reduction to handle ``FOLLOWING``
+        frames.
+        """
+        lower, upper = self.frame
+        return WindowSpec(
+            function=self.function,
+            attribute=self.attribute,
+            output=self.output,
+            order_by=self.order_by,
+            partition_by=self.partition_by,
+            frame=(-upper, -lower),
+            descending=not self.descending,
+        )

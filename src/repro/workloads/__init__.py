@@ -1,0 +1,33 @@
+"""Workload generators: synthetic microbenchmarks, simulated real-world data, examples."""
+
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    as_audb,
+    generate_sort_table,
+    generate_window_table,
+)
+from repro.workloads.realworld import (
+    DatasetBundle,
+    RankQuery,
+    REAL_WORLD_DATASETS,
+    crimes_dataset,
+    healthcare_dataset,
+    iceberg_dataset,
+)
+from repro.workloads.examples import sales_audb, sales_worlds, SALES_SCHEMA
+
+__all__ = [
+    "SyntheticConfig",
+    "generate_sort_table",
+    "generate_window_table",
+    "as_audb",
+    "DatasetBundle",
+    "RankQuery",
+    "REAL_WORLD_DATASETS",
+    "iceberg_dataset",
+    "crimes_dataset",
+    "healthcare_dataset",
+    "sales_worlds",
+    "sales_audb",
+    "SALES_SCHEMA",
+]

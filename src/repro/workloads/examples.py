@@ -1,0 +1,52 @@
+"""The paper's running example (Figure 1): an uncertain sales database.
+
+Three press releases yield three possible worlds (with probabilities 0.4,
+0.3, 0.3) over the schema ``(term, sales)``.  The module provides both the
+explicit possible-world representation (for the alternative top-k semantics
+of Fig. 1b-1e) and the AU-DB of Fig. 1f that bounds them.
+"""
+
+from __future__ import annotations
+
+from repro.core.multiplicity import Multiplicity
+from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation
+from repro.core.tuples import AUTuple
+from repro.core.schema import Schema
+from repro.incomplete.worlds import PossibleWorlds
+
+__all__ = ["sales_worlds", "sales_audb", "SALES_SCHEMA"]
+
+SALES_SCHEMA = Schema(["term", "sales"])
+
+_WORLD_ROWS = [
+    # D1 (probability .4) — the selected-guess world
+    [(1, 2), (2, 3), (3, 7), (4, 4)],
+    # D2 (probability .3)
+    [(1, 3), (2, 2), (3, 4), (4, 6)],
+    # D3 (probability .3) — extraction error: term 5 instead of 3
+    [(1, 2), (2, 2), (5, 4), (4, 7)],
+]
+
+_WORLD_PROBABILITIES = [0.4, 0.3, 0.3]
+
+
+def sales_worlds() -> PossibleWorlds:
+    """The three possible worlds of Fig. 1a (D1 is the selected guess)."""
+    return PossibleWorlds.from_rows(
+        SALES_SCHEMA, _WORLD_ROWS, _WORLD_PROBABILITIES, sg_index=0
+    )
+
+
+def sales_audb() -> AURelation:
+    """The AU-DB of Fig. 1f bounding all three worlds (selected guess = D1)."""
+    relation = AURelation(SALES_SCHEMA)
+    rows = [
+        ((RangeValue.certain(1), RangeValue(2, 2, 3)), Multiplicity(1, 1, 1)),
+        ((RangeValue.certain(2), RangeValue(2, 3, 3)), Multiplicity(1, 1, 1)),
+        ((RangeValue(3, 3, 5), RangeValue(4, 7, 7)), Multiplicity(1, 1, 1)),
+        ((RangeValue.certain(4), RangeValue(4, 4, 7)), Multiplicity(1, 1, 1)),
+    ]
+    for values, mult in rows:
+        relation.add(AUTuple(SALES_SCHEMA, values), mult)
+    return relation

@@ -1,0 +1,227 @@
+"""Simulated real-world datasets and queries (Section 9.2).
+
+The paper evaluates on three real datasets processed by uncertainty-producing
+data-cleaning pipelines:
+
+* **Iceberg** sightings (167k rows, 1.1% uncertain) — top-3 iceberg sizes by
+  number of observations; rolling sum of sightings over the next 3 days.
+* **Chicago Crimes** (1.45M rows, 0.1% uncertain) — top-3 days by number of
+  incidents; minimum year among latitude-neighbouring crimes.
+* **Medicare / Healthcare provider data** (171k rows, 1.0% uncertain) — top-5
+  facilities by MRSA score; in-line rank of facilities by score.
+
+The raw datasets (and the cleaning pipelines that produce the AU-DB
+encodings) are not redistributable here, so this module generates
+*statistically shaped clones*: tables with the same schemas, the same
+uncertainty rates, comparable value distributions, and the same queries.
+Sizes are scaled down (configurable) for the pure-Python substrate; the
+figure-level comparisons only depend on the relative behaviour of the
+methods, which is preserved.
+
+Rank queries that aggregate before ranking (Iceberg, Crimes) are generated in
+pre-aggregated form, matching the paper's measurement protocol ("we only
+measure the performance of the sorting/top-k part over pre-aggregated data").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.incomplete.xtuples import UncertainRelation
+from repro.window.spec import WindowSpec
+
+__all__ = [
+    "RankQuery",
+    "DatasetBundle",
+    "iceberg_dataset",
+    "crimes_dataset",
+    "healthcare_dataset",
+    "REAL_WORLD_DATASETS",
+]
+
+
+@dataclass(frozen=True)
+class RankQuery:
+    """A sorting / top-k query: order-by attributes, direction, and ``k``."""
+
+    order_by: tuple[str, ...]
+    k: int
+    descending: bool = False
+    key_attribute: str = "rid"
+
+
+@dataclass(frozen=True)
+class DatasetBundle:
+    """One simulated dataset: rank and window inputs plus their queries."""
+
+    name: str
+    uncertainty: float
+    rank_table: UncertainRelation
+    rank_query: RankQuery
+    window_table: UncertainRelation
+    window_query: WindowSpec
+    key_attribute: str = "rid"
+
+
+def _uncertain_count(rng: random.Random, base: int, spread: int) -> tuple[int, int, int]:
+    low = max(0, base - rng.randint(0, spread))
+    high = base + rng.randint(0, spread)
+    return low, base, high
+
+
+def iceberg_dataset(*, rows: int = 800, seed: int = 1) -> DatasetBundle:
+    """Iceberg sightings: top-3 sizes by count; rolling 4-day sum of sightings."""
+    rng = random.Random(seed)
+    uncertainty = 0.011
+
+    # Rank input: pre-aggregated observation counts per iceberg size class.
+    size_classes = max(8, rows // 50)
+    rank = UncertainRelation(["rid", "size", "ct"])
+    for rid in range(size_classes):
+        count = rng.randint(10, rows)
+        if rng.random() < max(uncertainty * 10, 0.2):
+            # Pre-aggregation concentrates uncertainty: counts get wide ranges.
+            low, sg, high = _uncertain_count(rng, count, max(5, count // 3))
+            rank.add_alternatives(
+                [(rid, f"size-{rid}", low), (rid, f"size-{rid}", sg), (rid, f"size-{rid}", high)],
+                [0.25, 0.5, 0.25],
+                sg_index=1,
+            )
+        else:
+            rank.add_certain((rid, f"size-{rid}", count))
+    rank_query = RankQuery(order_by=("ct",), k=3, descending=True)
+
+    # Window input: per-day sighting numbers.
+    window = UncertainRelation(["rid", "date", "number"])
+    uncertain_rows = set(rng.sample(range(rows), int(round(rows * uncertainty))))
+    for rid in range(rows):
+        date = rid  # one row per day, already ordered
+        number = rng.randint(0, 40)
+        if rid in uncertain_rows:
+            low, sg, high = _uncertain_count(rng, number, 10)
+            window.add_alternatives(
+                [(rid, date, low), (rid, date, sg), (rid, date, high)],
+                [0.25, 0.5, 0.25],
+                sg_index=1,
+            )
+        else:
+            window.add_certain((rid, date, number))
+    window_query = WindowSpec(
+        function="sum",
+        attribute="number",
+        output="r_sum",
+        order_by=("date",),
+        frame=(0, 3),
+    )
+    return DatasetBundle(
+        name="iceberg",
+        uncertainty=uncertainty,
+        rank_table=rank,
+        rank_query=rank_query,
+        window_table=window,
+        window_query=window_query,
+    )
+
+
+def crimes_dataset(*, rows: int = 1200, seed: int = 2) -> DatasetBundle:
+    """Chicago crimes: top-3 days by incident count; min year among latitude neighbours."""
+    rng = random.Random(seed)
+    uncertainty = 0.001
+
+    days = max(10, rows // 40)
+    rank = UncertainRelation(["rid", "date", "ct"])
+    for rid in range(days):
+        count = rng.randint(1, rows // days * 3)
+        if rng.random() < 0.1:
+            low, sg, high = _uncertain_count(rng, count, 3)
+            rank.add_alternatives(
+                [(rid, f"2016-{rid:03d}", low), (rid, f"2016-{rid:03d}", sg), (rid, f"2016-{rid:03d}", high)],
+                [0.25, 0.5, 0.25],
+                sg_index=1,
+            )
+        else:
+            rank.add_certain((rid, f"2016-{rid:03d}", count))
+    rank_query = RankQuery(order_by=("ct",), k=3, descending=True)
+
+    window = UncertainRelation(["rid", "latitude", "year"])
+    uncertain_rows = set(rng.sample(range(rows), max(1, int(round(rows * uncertainty)))))
+    for rid in range(rows):
+        latitude = round(41.6 + rng.random() * 0.4, 6)
+        year = rng.randint(2001, 2016)
+        if rid in uncertain_rows:
+            low_year = max(2001, year - rng.randint(1, 5))
+            window.add_alternatives(
+                [(rid, latitude, low_year), (rid, latitude, year), (rid, latitude, 2016)],
+                [0.25, 0.5, 0.25],
+                sg_index=1,
+            )
+        else:
+            window.add_certain((rid, latitude, year))
+    window_query = WindowSpec(
+        function="min",
+        attribute="year",
+        output="min_year",
+        order_by=("latitude",),
+        frame=(-1, 1),
+    )
+    return DatasetBundle(
+        name="crimes",
+        uncertainty=uncertainty,
+        rank_table=rank,
+        rank_query=rank_query,
+        window_table=window,
+        window_query=window_query,
+    )
+
+
+def healthcare_dataset(*, rows: int = 1000, seed: int = 3) -> DatasetBundle:
+    """Medicare providers: top-5 facilities by MRSA score; in-line rank by score."""
+    rng = random.Random(seed)
+    uncertainty = 0.01
+
+    table = UncertainRelation(["rid", "facility", "score"])
+    uncertain_rows = set(rng.sample(range(rows), max(1, int(round(rows * uncertainty)))))
+    for rid in range(rows):
+        score = round(rng.random() * 3.0, 3)
+        facility = f"facility-{rid:05d}"
+        if rid in uncertain_rows:
+            low = round(max(0.0, score - rng.random()), 3)
+            high = round(score + rng.random(), 3)
+            table.add_alternatives(
+                [(rid, facility, low), (rid, facility, score), (rid, facility, high)],
+                [0.25, 0.5, 0.25],
+                sg_index=1,
+            )
+        else:
+            table.add_certain((rid, facility, score))
+
+    rank_query = RankQuery(order_by=("score",), k=5, descending=False)
+    window_query = WindowSpec(
+        function="count",
+        attribute=None,
+        output="rank",
+        order_by=("score",),
+        frame=(-rows, 0),
+        descending=True,
+    )
+    return DatasetBundle(
+        name="healthcare",
+        uncertainty=uncertainty,
+        rank_table=table,
+        rank_query=rank_query,
+        window_table=table,
+        window_query=window_query,
+    )
+
+
+def REAL_WORLD_DATASETS(*, scale: float = 1.0, seed: int = 0) -> list[DatasetBundle]:
+    """All three simulated datasets at a common scale factor."""
+    if scale <= 0:
+        raise WorkloadError("scale must be positive")
+    return [
+        iceberg_dataset(rows=max(20, int(800 * scale)), seed=seed + 1),
+        crimes_dataset(rows=max(20, int(1200 * scale)), seed=seed + 2),
+        healthcare_dataset(rows=max(20, int(1000 * scale)), seed=seed + 3),
+    ]

@@ -1,0 +1,145 @@
+"""Synthetic microbenchmark workloads (Section 9.1).
+
+The paper's microbenchmarks use a single table with uniformly distributed
+attribute values, a configurable fraction of *uncertain* tuples, and a
+configurable maximum width for the uncertain attribute ranges.  The defaults
+mirror the paper (scaled down for a pure-Python substrate): 5% uncertainty
+and a maximum range of 1 000 on a domain of 100 000.
+
+Each generated row is an x-tuple:
+
+* certain rows have a single alternative,
+* uncertain rows have three alternatives — low, selected-guess, and high —
+  spanning a random range of at most ``attribute_range``; lifting them to an
+  AU-DB (:func:`repro.incomplete.lift.lift_xtuples`) produces exactly the
+  attribute-level ranges the paper's operators consume.
+
+Every row carries a certain ``rid`` key so that per-tuple results can be
+compared across methods and possible worlds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.relation import AURelation
+from repro.errors import WorkloadError
+from repro.incomplete.lift import lift_xtuples
+from repro.incomplete.xtuples import UncertainRelation, XTuple
+
+__all__ = ["SyntheticConfig", "generate_sort_table", "generate_window_table"]
+
+#: Default value domain, matching the spirit of the paper's generator.
+DEFAULT_DOMAIN = 100_000
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of the synthetic generator."""
+
+    rows: int = 1000
+    uncertainty: float = 0.05
+    attribute_range: int = 1000
+    domain: int = DEFAULT_DOMAIN
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rows < 0:
+            raise WorkloadError("rows must be non-negative")
+        if not 0.0 <= self.uncertainty <= 1.0:
+            raise WorkloadError("uncertainty must be a fraction in [0, 1]")
+        if self.attribute_range < 0 or self.domain <= 0:
+            raise WorkloadError("attribute_range must be >= 0 and domain > 0")
+
+
+def _uncertain_value(rng: random.Random, base: int, width: int) -> tuple[int, int, int]:
+    """A (low, selected-guess, high) triple spanning at most ``width``."""
+    if width == 0:
+        return base, base, base
+    span = rng.randint(1, width)
+    low = max(0, base - rng.randint(0, span))
+    high = low + span
+    sg = rng.randint(low, high)
+    return low, sg, high
+
+
+def generate_sort_table(config: SyntheticConfig) -> UncertainRelation:
+    """Synthetic table for sorting / top-k: schema ``(rid, a, b)``, order by ``a``.
+
+    ``a`` is the (possibly uncertain) order-by attribute; ``b`` is a certain
+    payload attribute used as the deterministic tiebreaker.
+    """
+    rng = random.Random(config.seed)
+    relation = UncertainRelation(["rid", "a", "b"])
+    uncertain_rows = set(
+        rng.sample(range(config.rows), int(round(config.rows * config.uncertainty)))
+        if config.rows
+        else []
+    )
+    for rid in range(config.rows):
+        base = rng.randint(0, config.domain)
+        payload = rng.randint(0, config.domain)
+        if rid in uncertain_rows and config.attribute_range > 0:
+            low, sg, high = _uncertain_value(rng, base, config.attribute_range)
+            relation.add_alternatives(
+                [(rid, low, payload), (rid, sg, payload), (rid, high, payload)],
+                [0.1, 0.8, 0.1],
+                sg_index=1,
+            )
+        else:
+            relation.add_certain((rid, base, payload))
+    return relation
+
+
+def generate_window_table(
+    config: SyntheticConfig,
+    *,
+    partitions: int = 4,
+    value_range: int | None = None,
+) -> UncertainRelation:
+    """Synthetic table for windowed aggregation: schema ``(rid, o, g, v)``.
+
+    ``o`` is the order-by attribute, ``g`` a partition-by attribute with
+    ``partitions`` distinct values, and ``v`` the aggregation attribute.  In
+    uncertain rows all three non-key attributes receive ranges, matching the
+    paper's "uncertainty on all columns" configuration.
+    """
+    if value_range is None:
+        value_range = config.attribute_range
+    rng = random.Random(config.seed + 1)
+    relation = UncertainRelation(["rid", "o", "g", "v"])
+    uncertain_rows = set(
+        rng.sample(range(config.rows), int(round(config.rows * config.uncertainty)))
+        if config.rows
+        else []
+    )
+    for rid in range(config.rows):
+        order_value = rng.randint(0, config.domain)
+        group = rng.randint(0, max(0, partitions - 1))
+        value = rng.randint(0, config.domain)
+        if rid in uncertain_rows and config.attribute_range > 0:
+            o_low, o_sg, o_high = _uncertain_value(rng, order_value, config.attribute_range)
+            v_low, v_sg, v_high = _uncertain_value(rng, value, value_range)
+            g_low = group
+            g_high = min(partitions - 1, group + 1) if partitions > 1 else group
+            relation.add_alternatives(
+                [
+                    (rid, o_low, g_low, v_low),
+                    (rid, o_sg, group, v_sg),
+                    (rid, o_high, g_high, v_high),
+                ],
+                [0.1, 0.8, 0.1],
+                sg_index=1,
+            )
+        else:
+            relation.add_certain((rid, order_value, group, value))
+    return relation
+
+
+def as_audb(relation: UncertainRelation) -> AURelation:
+    """Lift a generated workload to its AU-DB encoding (hull ranges per x-tuple)."""
+    return lift_xtuples(relation)
+
+
+__all__.append("as_audb")

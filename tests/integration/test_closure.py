@@ -1,0 +1,66 @@
+"""Integration tests: composing order-based operators with the rest of RA_agg.
+
+One of the paper's central arguments is closure: the output of uncertain
+sorting / windowed aggregation is again an AU-DB, so it can feed into further
+selections, projections, joins, aggregations, and even another round of
+ranking — unlike the competing top-k semantics.
+"""
+
+from repro.core.expressions import attr
+from repro.core.operators import groupby_aggregate, join, project, select
+from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation
+from repro.ranking.topk import sort, topk
+from repro.window.native import window_native
+from repro.window.spec import WindowSpec
+from repro.workloads.examples import sales_audb
+from repro.workloads.synthetic import SyntheticConfig, as_audb, generate_window_table
+
+
+class TestClosure:
+    def test_sort_then_select_then_project(self):
+        ranked = sort(sales_audb(), ["sales"], descending=True)
+        filtered = select(ranked, attr("pos").lt(2))
+        projected = project(filtered, ["term"])
+        assert len(projected) >= 1
+        assert list(projected.schema) == ["term"]
+
+    def test_window_then_topk(self):
+        """Rank terms by their rolling sum — a query no single baseline supports."""
+        spec = WindowSpec(
+            function="sum", attribute="sales", output="rolling", order_by=("term",), frame=(0, 1)
+        )
+        windowed = window_native(sales_audb(), spec)
+        best = topk(windowed, ["rolling"], k=1, descending=True)
+        terms = {tup.value("term").sg for tup, _m in best if True}
+        # Terms 2, 3 and 4 may have the largest rolling sum in some world.
+        assert 3 in terms or 2 in terms
+        assert all(isinstance(tup.value("rolling"), RangeValue) for tup, _m in best)
+
+    def test_window_then_aggregate(self):
+        workload = generate_window_table(
+            SyntheticConfig(rows=25, uncertainty=0.2, attribute_range=15, domain=150, seed=21),
+            partitions=2,
+        )
+        audb = as_audb(workload)
+        spec = WindowSpec("sum", "v", "rolling", order_by=("o",), frame=(-1, 0))
+        windowed = window_native(audb, spec)
+        summary = groupby_aggregate(windowed, ["g"], [("max", "rolling", "peak"), ("count", "*", "n")])
+        assert len(summary) >= 1
+        for tup, _mult in summary:
+            peak = tup.value("peak")
+            assert peak.lb <= peak.ub
+
+    def test_sorted_output_joins_back(self):
+        ranked = sort(sales_audb(), ["sales"], descending=True)
+        names = AURelation.from_rows(
+            ["term", "label"], [((1, "q1"), 1), ((2, "q2"), 1), ((3, "q3"), 1), ((4, "q4"), 1)]
+        )
+        joined = join(ranked, names, on=["term"])
+        assert len(joined) >= 4
+        assert "label" in joined.schema
+
+    def test_two_rounds_of_sorting(self):
+        first = sort(sales_audb(), ["sales"], descending=True, position_attribute="r1")
+        second = sort(first, ["term"], position_attribute="r2")
+        assert {"r1", "r2"} <= set(second.schema.attributes)

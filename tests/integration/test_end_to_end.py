@@ -1,0 +1,100 @@
+"""Integration tests: workload -> AU-DB -> query -> bounds, against ground truth."""
+
+import pytest
+
+from repro.baselines.mcdb import mcdb_sort_bounds, mcdb_window_bounds
+from repro.baselines.symb import symb_sort_bounds, symb_window_bounds
+from repro.harness.adapters import audb_from_workload, audb_sort_bounds, audb_window_bounds
+from repro.metrics.quality import compare_bounds
+from repro.window.spec import WindowSpec
+from repro.workloads.realworld import REAL_WORLD_DATASETS
+from repro.workloads.synthetic import SyntheticConfig, generate_sort_table, generate_window_table
+
+
+class TestSortingPipeline:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        workload = generate_sort_table(
+            SyntheticConfig(rows=40, uncertainty=0.1, attribute_range=30, domain=300, seed=11)
+        )
+        audb = audb_from_workload(workload)
+        truth = symb_sort_bounds(workload, ["a"], key_attribute="rid")
+        return workload, audb, truth
+
+    def test_audb_bounds_contain_exact_bounds(self, setup):
+        _workload, audb, truth = setup
+        for method in ("native", "rewrite"):
+            estimate = audb_sort_bounds(audb, ["a"], key_attribute="rid", method=method)
+            for rid, (low, high) in truth.items():
+                assert estimate[rid][0] <= low and estimate[rid][1] >= high
+
+    def test_quality_relationships(self, setup):
+        workload, audb, truth = setup
+        au = compare_bounds(audb_sort_bounds(audb, ["a"], key_attribute="rid"), truth)
+        mcdb = compare_bounds(
+            mcdb_sort_bounds(workload, ["a"], key_attribute="rid", samples=10, seed=0), truth
+        )
+        assert au.recall == pytest.approx(1.0)
+        assert au.range_ratio >= 1.0
+        assert mcdb.accuracy == pytest.approx(1.0)
+        assert mcdb.range_ratio <= 1.0 + 1e-9
+
+
+class TestWindowPipeline:
+    @pytest.fixture(scope="class")
+    def setup(self):
+        workload = generate_window_table(
+            SyntheticConfig(rows=30, uncertainty=0.15, attribute_range=20, domain=200, seed=13),
+            partitions=1,
+        )
+        audb = audb_from_workload(workload)
+        spec = WindowSpec("sum", "v", "w_sum", order_by=("o",), frame=(-2, 0))
+        truth = symb_window_bounds(workload, spec, key_attribute="rid")
+        return workload, audb, spec, truth
+
+    def test_audb_bounds_contain_exact_bounds(self, setup):
+        _workload, audb, spec, truth = setup
+        for method in ("native", "rewrite"):
+            estimate = audb_window_bounds(audb, spec, key_attribute="rid", method=method)
+            for rid, (low, high) in truth.items():
+                assert estimate[rid][0] <= low + 1e-9
+                assert estimate[rid][1] >= high - 1e-9
+
+    def test_mcdb_is_an_underapproximation(self, setup):
+        workload, _audb, spec, truth = setup
+        sampled = mcdb_window_bounds(workload, spec, key_attribute="rid", samples=10, seed=3)
+        report = compare_bounds(sampled, truth)
+        assert report.accuracy == pytest.approx(1.0)
+        assert report.range_ratio <= 1.0 + 1e-9
+
+
+class TestRealWorldPipelines:
+    @pytest.mark.parametrize("bundle", REAL_WORLD_DATASETS(scale=0.04, seed=5), ids=lambda b: b.name)
+    def test_rank_queries(self, bundle):
+        audb = audb_from_workload(bundle.rank_table)
+        truth = symb_sort_bounds(
+            bundle.rank_table,
+            list(bundle.rank_query.order_by),
+            key_attribute=bundle.rank_query.key_attribute,
+            descending=bundle.rank_query.descending,
+        )
+        estimate = audb_sort_bounds(
+            audb,
+            list(bundle.rank_query.order_by),
+            key_attribute=bundle.rank_query.key_attribute,
+            descending=bundle.rank_query.descending,
+        )
+        report = compare_bounds(estimate, truth)
+        assert report.recall == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("bundle", REAL_WORLD_DATASETS(scale=0.04, seed=5), ids=lambda b: b.name)
+    def test_window_queries(self, bundle):
+        audb = audb_from_workload(bundle.window_table)
+        truth = symb_window_bounds(
+            bundle.window_table, bundle.window_query, key_attribute=bundle.key_attribute
+        )
+        estimate = audb_window_bounds(
+            audb, bundle.window_query, key_attribute=bundle.key_attribute
+        )
+        report = compare_bounds(estimate, truth)
+        assert report.recall == pytest.approx(1.0)

@@ -1,0 +1,49 @@
+"""Smoke tests: every example script must run end to end.
+
+The examples double as executable documentation; these tests run each one's
+``main()`` (with stdout captured by pytest) so that API drift breaks the
+build instead of the README.
+"""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
+EXAMPLE_SCRIPTS = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"examples_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_directory_has_expected_scripts():
+    assert {
+        "quickstart.py",
+        "running_example.py",
+        "sensor_cleaning.py",
+        "crime_hotspots.py",
+    } <= set(EXAMPLE_SCRIPTS)
+
+
+@pytest.mark.parametrize("script", EXAMPLE_SCRIPTS)
+def test_example_runs(script, capsys):
+    module = _load(script)
+    module.main()
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_running_example_prints_paper_answers(capsys):
+    module = _load("running_example.py")
+    module.main()
+    output = capsys.readouterr().out
+    assert "[4, 4]" in output  # U-Rank
+    assert "[3, 4, 5]" in output  # PT(0) possible answers
+    assert "[4]" in output  # PT(1) certain answers

@@ -1,0 +1,71 @@
+"""Integration test: the paper's running example (Figure 1) end to end."""
+
+from repro.baselines.rank_semantics import certain_answers, possible_answers, u_rank
+from repro.core.bounding import bounds_world, bounds_worlds
+from repro.core.ranges import RangeValue
+from repro.ranking.topk import topk
+from repro.relational.sort import topk as det_topk
+from repro.relational.window import window_aggregate
+from repro.window.native import window_native
+from repro.window.semantics import window_rewrite
+from repro.window.spec import WindowSpec
+from repro.workloads.examples import sales_audb, sales_worlds
+
+
+class TestFigure1:
+    def test_audb_bounds_input_worlds(self):
+        assert bounds_worlds(sales_audb(), sales_worlds(), check_sg=True)
+
+    def test_competing_semantics(self):
+        worlds = sales_worlds()
+        assert [r[0] for r in u_rank(worlds, ["sales"], 2, descending=True, project=["term"])] == [4, 4]
+        assert sorted(
+            r[0] for r in possible_answers(worlds, ["sales"], 2, descending=True, project=["term"])
+        ) == [3, 4, 5]
+        assert [r[0] for r in certain_answers(worlds, ["sales"], 2, descending=True, project=["term"])] == [4]
+
+    def test_topk_covers_every_world_and_flags_certainty(self):
+        audb = sales_audb()
+        worlds = sales_worlds()
+        result = topk(audb, ["sales"], k=2, descending=True)
+        possible_ranges = [tup.value("term") for tup, mult in result if mult.possibly_exists]
+        certain_ranges = [tup.value("term") for tup, mult in result if mult.lb > 0]
+        for world in worlds.worlds:
+            world_terms = {row[0] for row, _m in det_topk(world, ["sales"], 2, descending=True)}
+            # completeness: every world's answer is covered by a possible range
+            for term in world_terms:
+                assert any(r.contains(term) for r in possible_ranges)
+            # soundness of certain answers: every certain range must cover some
+            # answer of this world
+            for certain in certain_ranges:
+                assert any(certain.contains(term) for term in world_terms)
+
+    def test_window_bounds_every_world(self):
+        audb = sales_audb()
+        worlds = sales_worlds()
+        spec = WindowSpec(
+            function="sum", attribute="sales", output="sum", order_by=("term",), frame=(0, 1)
+        )
+        for operator in (window_rewrite, window_native):
+            result = operator(audb, spec)
+            for world in worlds.worlds:
+                det = window_aggregate(
+                    world,
+                    function="sum",
+                    attribute="sales",
+                    output="sum",
+                    order_by=["term"],
+                    frame=(0, 1),
+                )
+                assert bounds_world(result, det)
+
+    def test_fig1g_term1_overapproximates(self):
+        """The paper notes term 1's max (6) over-approximates the true max (5)."""
+        result = window_rewrite(
+            sales_audb(),
+            WindowSpec(
+                function="sum", attribute="sales", output="sum", order_by=("term",), frame=(0, 1)
+            ),
+        )
+        sums = {tup.value("term").sg: tup.value("sum") for tup, _m in result}
+        assert sums[1] == RangeValue(4, 5, 6)

@@ -1,0 +1,59 @@
+"""Shared hypothesis strategies for property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.ranges import RangeValue
+from repro.incomplete.xtuples import UncertainRelation
+
+__all__ = ["range_values", "uncertain_relations", "small_ints"]
+
+small_ints = st.integers(min_value=-6, max_value=6)
+
+
+@st.composite
+def range_values(draw, *, min_value: int = -6, max_value: int = 6) -> RangeValue:
+    """A well-formed range-annotated integer value."""
+    bounds = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=min_value, max_value=max_value), min_size=3, max_size=3
+            )
+        )
+    )
+    return RangeValue(bounds[0], bounds[1], bounds[2])
+
+
+@st.composite
+def uncertain_relations(
+    draw,
+    *,
+    attributes: tuple[str, ...] = ("a", "b"),
+    max_tuples: int = 4,
+    max_alternatives: int = 3,
+    value_range: tuple[int, int] = (0, 6),
+    allow_absence: bool = True,
+) -> UncertainRelation:
+    """A small block-independent-disjoint incomplete relation.
+
+    Every x-tuple carries a unique ``rid`` as its first attribute so that
+    per-tuple results can be tracked; alternative rows vary the remaining
+    attributes.
+    """
+    relation = UncertainRelation(("rid",) + attributes)
+    count = draw(st.integers(min_value=1, max_value=max_tuples))
+    low, high = value_range
+    for rid in range(count):
+        n_alternatives = draw(st.integers(min_value=1, max_value=max_alternatives))
+        alternatives = []
+        for _ in range(n_alternatives):
+            row = (rid,) + tuple(
+                draw(st.integers(min_value=low, max_value=high)) for _ in attributes
+            )
+            alternatives.append(row)
+        maybe_absent = allow_absence and draw(st.booleans())
+        share = (0.5 if maybe_absent else 1.0) / n_alternatives
+        probabilities = [share] * n_alternatives
+        relation.add_alternatives(alternatives, probabilities, sg_index=0)
+    return relation

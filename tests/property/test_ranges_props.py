@@ -1,0 +1,67 @@
+"""Property-based tests for range values and expression bound preservation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.expressions import attr, const
+from repro.core.schema import Schema
+from repro.core.tuples import AUTuple
+from tests.property.strategies import range_values
+
+SCHEMA = Schema(["x", "y"])
+
+
+@given(range_values(), range_values())
+def test_addition_is_bound_preserving(a, b):
+    result = a.add(b)
+    for x in range(a.lb, a.ub + 1):
+        for y in range(b.lb, b.ub + 1):
+            assert result.contains(x + y)
+
+
+@given(range_values(), range_values())
+def test_multiplication_is_bound_preserving(a, b):
+    result = a.mul(b)
+    for x in range(a.lb, a.ub + 1):
+        for y in range(b.lb, b.ub + 1):
+            assert result.contains(x * y)
+
+
+@given(range_values(), range_values())
+def test_comparisons_are_bound_preserving(a, b):
+    lt = a.lt(b)
+    le = a.le(b)
+    eq = a.eq(b)
+    for x in range(a.lb, a.ub + 1):
+        for y in range(b.lb, b.ub + 1):
+            assert lt.bounds(x < y)
+            assert le.bounds(x <= y)
+            assert eq.bounds(x == y)
+
+
+@given(range_values(), range_values())
+def test_min_max_hull_contain_pointwise_results(a, b):
+    low = a.min_with(b)
+    high = a.max_with(b)
+    hull = a.union_hull(b)
+    for x in range(a.lb, a.ub + 1):
+        for y in range(b.lb, b.ub + 1):
+            assert low.contains(min(x, y))
+            assert high.contains(max(x, y))
+            assert hull.contains(x) and hull.contains(y)
+
+
+@settings(max_examples=50)
+@given(range_values(), range_values(), st.integers(min_value=-3, max_value=3))
+def test_expression_evaluation_is_bound_preserving(x_range, y_range, constant):
+    """(x * c + y) > y - c evaluated over any bounded world stays bounded."""
+    tup = AUTuple(SCHEMA, (x_range, y_range))
+    scalar = attr("x") * const(constant) + attr("y")
+    predicate = scalar.gt(attr("y") - const(constant))
+    scalar_range = scalar.eval_range(tup)
+    predicate_range = predicate.eval_range(tup)
+    for x in range(x_range.lb, x_range.ub + 1):
+        for y in range(y_range.lb, y_range.ub + 1):
+            row = {"x": x, "y": y}
+            assert scalar_range.contains(scalar.eval_det(row))
+            assert predicate_range.bounds(predicate.eval_det(row))

@@ -1,0 +1,102 @@
+"""Property-based tests for data structures and the N³ semiring."""
+
+import heapq
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.connected_heap import ConnectedHeap, NaiveMultiHeap
+from repro.core.booleans import RangeBool
+from repro.core.multiplicity import Multiplicity
+from tests.property.strategies import uncertain_relations
+
+
+multiplicities = st.tuples(
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=4),
+).map(lambda triple: Multiplicity(*sorted(triple)))
+
+
+class TestMultiplicitySemiring:
+    @given(multiplicities, multiplicities, multiplicities)
+    def test_addition_commutative_and_associative(self, a, b, c):
+        assert a.add(b) == b.add(a)
+        assert a.add(b).add(c) == a.add(b.add(c))
+
+    @given(multiplicities, multiplicities, multiplicities)
+    def test_multiplication_distributes_over_addition(self, a, b, c):
+        assert a.mul(b.add(c)) == a.mul(b).add(a.mul(c))
+
+    @given(multiplicities)
+    def test_identities(self, a):
+        assert a.add(Multiplicity(0, 0, 0)) == a
+        assert a.mul(Multiplicity(1, 1, 1)) == a
+        assert a.mul(Multiplicity(0, 0, 0)) == Multiplicity(0, 0, 0)
+
+    @given(multiplicities, st.booleans(), st.booleans(), st.booleans())
+    def test_filter_bounds_pointwise_selection(self, m, lb, sg, ub):
+        lb = lb and sg and ub
+        sg = sg and ub
+        condition = RangeBool(lb, sg, ub)
+        filtered = m.filter(condition)
+        for count in range(m.lb, m.ub + 1):
+            for truth in (True, False):
+                if not condition.bounds(truth):
+                    continue
+                survived = count if truth else 0
+                assert filtered.lb <= survived <= filtered.ub
+
+
+class TestConnectedHeapModel:
+    """The connected heap must agree with independent heaps on every sequence."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(allow_nan=False, allow_infinity=False, width=32),
+            min_size=1,
+            max_size=40,
+            unique=True,
+        ),
+        st.lists(st.integers(min_value=0, max_value=1), max_size=40),
+    )
+    def test_pop_sequences_match_naive_model(self, values, pop_components):
+        # One component orders records ascending, the other descending; keys
+        # are unique so pop order is fully determined.
+        records = [(value, -value) for value in values]
+        connected = ConnectedHeap((lambda r: r[0], lambda r: r[1]))
+        naive = NaiveMultiHeap((lambda r: r[0], lambda r: r[1]))
+        iterator = iter(pop_components)
+        for record in records:
+            connected.insert(record)
+            naive.insert(record)
+            component = next(iterator, None)
+            if component is not None and len(connected) > 1:
+                assert connected.pop(component) == naive.pop(component)
+        while len(connected):
+            assert connected.pop(0) == naive.pop(0)
+        assert naive.is_empty()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False), min_size=1, max_size=60, unique=True))
+    def test_single_component_behaves_like_heapq(self, values):
+        heap = ConnectedHeap([lambda v: v])
+        reference = []
+        for value in values:
+            heap.insert(value)
+            heapq.heappush(reference, value)
+        drained = [heap.pop(0) for _ in range(len(values))]
+        assert drained == [heapq.heappop(reference) for _ in range(len(reference))]
+
+
+class TestLiftInvariant:
+    @settings(max_examples=40, deadline=None)
+    @given(relation=uncertain_relations(max_tuples=4, max_alternatives=3))
+    def test_lift_xtuples_bounds_every_world(self, relation):
+        from repro.core.bounding import bounds_world
+        from repro.incomplete.lift import lift_xtuples
+
+        audb = lift_xtuples(relation)
+        for world, _probability in relation.iter_worlds(limit=1024):
+            assert bounds_world(audb, world)

@@ -1,0 +1,94 @@
+"""Unit tests for AU-DB relations and their flat encoding."""
+
+import pytest
+
+from repro.core.encoding import decode, encode, encoded_schema
+from repro.core.multiplicity import Multiplicity
+from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation
+from repro.core.schema import Schema
+from repro.core.tuples import AUTuple
+from repro.errors import SchemaError
+
+
+def sample() -> AURelation:
+    return AURelation.from_rows(
+        ["a", "b"],
+        [
+            ((1, RangeValue(1, 1, 3)), (1, 1, 2)),
+            ((RangeValue(2, 3, 3), 15), (0, 1, 1)),
+        ],
+    )
+
+
+class TestAURelation:
+    def test_from_rows_and_lookup(self):
+        relation = sample()
+        assert len(relation) == 2
+        tup = AUTuple.from_values(relation.schema, [1, RangeValue(1, 1, 3)])
+        assert relation.multiplicity(tup) == Multiplicity(1, 1, 2)
+
+    def test_identical_tuples_merge(self):
+        relation = AURelation(Schema(["a"]))
+        relation.add_values([1], 1)
+        relation.add_values([1], (0, 1, 2))
+        assert relation.multiplicity(AUTuple.certain(relation.schema, (1,))) == Multiplicity(1, 2, 3)
+
+    def test_zero_multiplicity_ignored(self):
+        relation = AURelation(Schema(["a"]))
+        relation.add_values([1], (0, 0, 0))
+        assert relation.is_empty()
+
+    def test_schema_mismatch_rejected(self):
+        relation = AURelation(Schema(["a"]))
+        with pytest.raises(SchemaError):
+            relation.add(AUTuple.certain(Schema(["b"]), (1,)), Multiplicity.certain(1))
+
+    def test_totals(self):
+        relation = sample()
+        assert relation.total_certain == 1
+        assert relation.total_sg == 2
+        assert relation.total_possible == 3
+
+    def test_selected_guess_rows(self):
+        rows = sample().selected_guess_rows()
+        assert rows == {(1, 1): 1, (3, 15): 1}
+
+    def test_certain_from_rows(self):
+        relation = AURelation.certain_from_rows(["a"], [(1,), (2,)])
+        assert relation.total_certain == 2
+
+    def test_copy_is_independent(self):
+        relation = sample()
+        clone = relation.copy()
+        clone.add_values([9, 9])
+        assert len(relation) == 2 and len(clone) == 3
+
+    def test_map_tuples(self):
+        relation = sample()
+        doubled = relation.map_tuples(
+            relation.schema, lambda tup, mult: (tup, mult.add(mult))
+        )
+        assert doubled.total_possible == 2 * relation.total_possible
+
+    def test_to_table_contains_headers(self):
+        text = sample().to_table()
+        assert "a" in text and "N3" in text
+
+
+class TestEncoding:
+    def test_encoded_schema(self):
+        schema = encoded_schema(Schema(["a", "b"]))
+        assert schema.attributes[:3] == ("a__lb", "a__sg", "a__ub")
+        assert schema.attributes[-3:] == ("__mult_lb", "__mult_sg", "__mult_ub")
+
+    def test_roundtrip(self):
+        relation = sample()
+        flat = encode(relation)
+        back = decode(flat, relation.schema)
+        for tup, mult in relation:
+            assert back.multiplicity(tup) == mult
+
+    def test_decode_rejects_wrong_schema(self):
+        with pytest.raises(SchemaError):
+            decode(encode(sample()), Schema(["a", "b", "c"]))

@@ -1,0 +1,154 @@
+"""Unit tests for the baseline methods (Det, MCDB, Symb, PT-k, rank semantics)."""
+
+import pytest
+
+from repro.baselines.det import det_sort, det_topk, det_window, selected_guess_relation
+from repro.baselines.mcdb import mcdb_sort_bounds, mcdb_window_bounds
+from repro.baselines.ptk import (
+    certain_topk_answers,
+    possible_topk_answers,
+    ptk_query,
+    topk_probabilities_exact,
+    topk_probabilities_montecarlo,
+)
+from repro.baselines.rank_semantics import (
+    certain_answers,
+    expected_rank_topk,
+    expected_ranks,
+    global_topk,
+    possible_answers,
+    u_rank,
+    u_top,
+)
+from repro.baselines.symb import symb_sort_bounds, symb_window_bounds
+from repro.errors import WorkloadError
+from repro.incomplete.xtuples import UncertainRelation, XTuple
+from repro.window.spec import WindowSpec
+from repro.workloads.examples import sales_audb, sales_worlds
+
+
+def small_workload() -> UncertainRelation:
+    relation = UncertainRelation(["rid", "a"])
+    relation.add_certain((0, 10))
+    relation.add_alternatives([(1, 5), (1, 25)], [0.5, 0.5], sg_index=0)
+    relation.add_certain((2, 20))
+    return relation
+
+
+class TestDet:
+    def test_selected_guess_relation_sources(self):
+        workload = small_workload()
+        from_workload = selected_guess_relation(workload)
+        from_audb = selected_guess_relation(sales_audb())
+        assert from_workload.multiplicity((1, 5)) == 1
+        assert from_audb.cardinality == 4
+        assert selected_guess_relation(from_workload) is from_workload
+
+    def test_det_sort_and_topk(self):
+        ranked = det_sort(small_workload(), ["a"])
+        assert ranked.multiplicity((1, 5, 0)) == 1
+        top = det_topk(small_workload(), ["a"], 1)
+        assert top.rows() == [(1, 5)]
+
+    def test_det_window(self):
+        spec = WindowSpec("sum", "a", "s", order_by=("a",), frame=(-1, 0))
+        result = det_window(small_workload(), spec)
+        assert ("s" in result.schema) and result.cardinality == 3
+
+
+class TestMCDBAndSymb:
+    def test_symb_bounds_are_exact(self):
+        bounds = symb_sort_bounds(small_workload(), ["a"], key_attribute="rid")
+        assert bounds[1] == (0.0, 2.0)  # rid 1 can be first (a=5) or last (a=25)
+        assert bounds[0] == (0.0, 1.0)
+        assert bounds[2] == (1.0, 2.0)
+
+    def test_mcdb_bounds_contained_in_exact(self):
+        exact = symb_sort_bounds(small_workload(), ["a"], key_attribute="rid")
+        sampled = mcdb_sort_bounds(small_workload(), ["a"], key_attribute="rid", samples=5, seed=0)
+        for rid, (low, high) in sampled.items():
+            assert exact[rid][0] <= low <= high <= exact[rid][1]
+
+    def test_mcdb_requires_key(self):
+        with pytest.raises(WorkloadError):
+            mcdb_sort_bounds(small_workload(), ["a"], key_attribute="missing")
+
+    def test_symb_window_bounds(self):
+        spec = WindowSpec("sum", "a", "s", order_by=("a",), frame=(-1, 0))
+        bounds = symb_window_bounds(small_workload(), spec, key_attribute="rid")
+        assert set(bounds) == {0, 1, 2}
+        mcdb = mcdb_window_bounds(small_workload(), spec, key_attribute="rid", samples=4, seed=1)
+        for rid, (low, high) in mcdb.items():
+            assert bounds[rid][0] <= low <= high <= bounds[rid][1]
+
+
+class TestPTk:
+    def tuple_independent(self) -> UncertainRelation:
+        relation = UncertainRelation(["rid", "score"])
+        relation.add(XTuple(((0, 90),), (1.0,), 0))
+        relation.add_alternatives([(1, 80)], [0.5], sg_index=0)
+        relation.add_alternatives([(2, 70)], [0.8], sg_index=0)
+        return relation
+
+    def test_exact_probabilities(self):
+        probs = topk_probabilities_exact(
+            self.tuple_independent(), "score", k=1, key_attribute="rid", descending=True
+        )
+        assert probs[0] == pytest.approx(1.0)
+        assert probs[1] == pytest.approx(0.0)  # tuple 0 always wins
+        assert probs[2] == pytest.approx(0.0)
+
+    def test_exact_probabilities_k2(self):
+        probs = topk_probabilities_exact(
+            self.tuple_independent(), "score", k=2, key_attribute="rid", descending=True
+        )
+        assert probs[0] == pytest.approx(1.0)
+        assert probs[1] == pytest.approx(0.5)
+        assert probs[2] == pytest.approx(0.8 * 0.5)
+
+    def test_exact_requires_tuple_independence(self):
+        with pytest.raises(WorkloadError):
+            topk_probabilities_exact(small_workload(), "a", k=1, key_attribute="rid")
+
+    def test_threshold_queries(self):
+        probs = {0: 1.0, 1: 0.5, 2: 0.05}
+        assert ptk_query(probs, 0.4) == [0, 1]
+        assert certain_topk_answers(probs) == [0]
+        assert set(possible_topk_answers(probs)) == {0, 1, 2}
+
+    def test_montecarlo_agrees_with_exact_shape(self):
+        probs = topk_probabilities_montecarlo(
+            small_workload(), ["a"], k=1, key_attribute="rid", samples=300, seed=0, descending=False
+        )
+        # rid 1 takes value 5 (winning) half the time; rid 0 wins otherwise.
+        assert probs[1] == pytest.approx(0.5, abs=0.1)
+        assert probs[0] == pytest.approx(0.5, abs=0.1)
+        assert probs[2] == pytest.approx(0.0, abs=0.05)
+
+
+class TestRankSemantics:
+    """The running example answers of Fig. 1b-1e."""
+
+    def test_u_rank_matches_paper(self):
+        ranks = u_rank(sales_worlds(), ["sales"], 2, descending=True, project=["term"])
+        assert [row[0] for row in ranks] == [4, 4]
+
+    def test_u_top_is_most_probable_list(self):
+        best = u_top(sales_worlds(), ["sales"], 2, descending=True, project=["term"])
+        assert [row[0] for row in best] == [3, 4]
+
+    def test_pt0_and_pt1(self):
+        possible = possible_answers(sales_worlds(), ["sales"], 2, descending=True, project=["term"])
+        certain = certain_answers(sales_worlds(), ["sales"], 2, descending=True, project=["term"])
+        assert sorted(row[0] for row in possible) == [3, 4, 5]
+        assert [row[0] for row in certain] == [4]
+
+    def test_global_topk(self):
+        rows = global_topk(sales_worlds(), ["sales"], 2, descending=True, project=["term"])
+        assert {row[0] for row in rows} == {3, 4}
+
+    def test_expected_ranks(self):
+        ranks = expected_ranks(sales_worlds(), ["sales"], descending=True, project=["term"])
+        assert ranks[(4,)] < ranks[(1,)]
+        top = expected_rank_topk(sales_worlds(), ["sales"], 2, descending=True, project=["term"])
+        assert (4,) in top

@@ -1,0 +1,56 @@
+"""Unit tests for Boolean bounding triples (repro.core.booleans)."""
+
+import pytest
+
+from repro.core.booleans import CERTAIN_FALSE, CERTAIN_TRUE, UNKNOWN, RangeBool
+from repro.errors import InvalidRangeError
+
+
+class TestConstruction:
+    def test_certain_constants(self):
+        assert CERTAIN_TRUE.certainly_true and CERTAIN_TRUE.is_certain
+        assert CERTAIN_FALSE.certainly_false and CERTAIN_FALSE.is_certain
+        assert not UNKNOWN.is_certain
+
+    def test_invalid_triples_rejected(self):
+        with pytest.raises(InvalidRangeError):
+            RangeBool(True, False, True)
+        with pytest.raises(InvalidRangeError):
+            RangeBool(True, True, False)
+        with pytest.raises(InvalidRangeError):
+            RangeBool(False, True, False)
+
+    def test_certain_factory(self):
+        assert RangeBool.certain(True) == CERTAIN_TRUE
+        assert RangeBool.certain(False) == CERTAIN_FALSE
+
+
+class TestConnectives:
+    def test_and(self):
+        assert (CERTAIN_TRUE & UNKNOWN) == UNKNOWN
+        assert (CERTAIN_FALSE & UNKNOWN) == CERTAIN_FALSE
+        assert (CERTAIN_TRUE & CERTAIN_TRUE) == CERTAIN_TRUE
+
+    def test_or(self):
+        assert (CERTAIN_TRUE | UNKNOWN) == CERTAIN_TRUE
+        assert (CERTAIN_FALSE | UNKNOWN) == UNKNOWN
+
+    def test_not(self):
+        assert ~CERTAIN_TRUE == CERTAIN_FALSE
+        assert ~UNKNOWN == RangeBool(False, True, True)
+        assert ~~UNKNOWN == UNKNOWN
+
+    def test_bounds(self):
+        assert UNKNOWN.bounds(True) and UNKNOWN.bounds(False)
+        assert CERTAIN_TRUE.bounds(True) and not CERTAIN_TRUE.bounds(False)
+
+    def test_connectives_bound_pointwise_semantics(self):
+        triples = [CERTAIN_TRUE, CERTAIN_FALSE, UNKNOWN, RangeBool(False, True, True)]
+        for a in triples:
+            for b in triples:
+                for x in (True, False):
+                    for y in (True, False):
+                        if a.bounds(x) and b.bounds(y):
+                            assert a.and_(b).bounds(x and y)
+                            assert a.or_(b).bounds(x or y)
+                            assert a.not_().bounds(not x)

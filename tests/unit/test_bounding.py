@@ -1,0 +1,113 @@
+"""Unit tests for the bounding / tuple-matching oracle (repro.core.bounding)."""
+
+import pytest
+
+from repro.core.bounding import (
+    assert_bounds_world,
+    bounds_world,
+    bounds_worlds,
+    sg_world_matches,
+)
+from repro.core.multiplicity import Multiplicity
+from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation
+from repro.core.schema import Schema
+from repro.core.tuples import AUTuple
+from repro.errors import BoundViolationError
+from repro.incomplete.worlds import PossibleWorlds
+from repro.relational.relation import Relation
+
+SCHEMA = Schema(["a"])
+
+
+def audb(rows):
+    relation = AURelation(SCHEMA)
+    for values, mult in rows:
+        relation.add(AUTuple.from_values(SCHEMA, values), Multiplicity(*mult))
+    return relation
+
+
+def world(rows):
+    relation = Relation(SCHEMA)
+    for row, mult in rows:
+        relation.add(row, mult)
+    return relation
+
+
+class TestBoundsWorld:
+    def test_simple_containment(self):
+        assert bounds_world(
+            audb([((RangeValue(1, 2, 3),), (1, 1, 1))]),
+            world([((2,), 1)]),
+        )
+
+    def test_value_outside_range(self):
+        assert not bounds_world(
+            audb([((RangeValue(1, 2, 3),), (1, 1, 1))]),
+            world([((5,), 1)]),
+        )
+
+    def test_multiplicity_upper_bound_enforced(self):
+        assert not bounds_world(
+            audb([((RangeValue(1, 2, 3),), (1, 1, 1))]),
+            world([((2,), 2)]),
+        )
+
+    def test_multiplicity_lower_bound_enforced(self):
+        assert not bounds_world(
+            audb([((RangeValue(1, 2, 3),), (1, 1, 1))]),
+            world([]),
+        )
+
+    def test_possible_tuple_may_be_absent(self):
+        assert bounds_world(
+            audb([((RangeValue(1, 2, 3),), (0, 1, 1))]),
+            world([]),
+        )
+
+    def test_world_tuple_split_across_au_tuples(self):
+        relation = audb(
+            [
+                ((RangeValue(1, 1, 5),), (0, 0, 1)),
+                ((RangeValue(3, 3, 8),), (0, 1, 1)),
+            ]
+        )
+        assert bounds_world(relation, world([((4,), 2)]))
+        assert not bounds_world(relation, world([((4,), 3)]))
+
+    def test_lower_bounds_require_distinct_rows(self):
+        relation = audb(
+            [
+                ((RangeValue(1, 1, 2),), (1, 1, 1)),
+                ((RangeValue(1, 1, 2),), (1, 1, 1)),
+            ]
+        )
+        assert bounds_world(relation, world([((1,), 1), ((2,), 1)]))
+        assert not bounds_world(relation, world([((1,), 1)]))
+
+    def test_empty_audb_bounds_only_empty_world(self):
+        empty = AURelation(SCHEMA)
+        assert bounds_world(empty, world([]))
+        assert not bounds_world(empty, world([((1,), 1)]))
+
+    def test_arity_mismatch(self):
+        assert not bounds_world(audb([]), Relation(["a", "b"]))
+
+
+class TestWorldsAndAssertions:
+    def test_bounds_worlds_and_sg(self):
+        worlds = PossibleWorlds.from_rows(SCHEMA, [[(1,)], [(2,)]])
+        relation = audb([((RangeValue(1, 1, 2),), (1, 1, 1))])
+        assert bounds_worlds(relation, worlds)
+        assert sg_world_matches(relation, worlds)
+        assert bounds_worlds(relation, worlds, check_sg=True)
+
+    def test_sg_world_mismatch(self):
+        worlds = PossibleWorlds.from_rows(SCHEMA, [[(1,)], [(2,)]])
+        relation = audb([((RangeValue(1, 3, 3),), (1, 1, 1))])
+        assert not sg_world_matches(relation, worlds)
+
+    def test_assert_raises_with_context(self):
+        relation = audb([((RangeValue(1, 1, 1),), (1, 1, 1))])
+        with pytest.raises(BoundViolationError, match="my-context"):
+            assert_bounds_world(relation, world([((9,), 1)]), context="my-context")

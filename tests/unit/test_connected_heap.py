@@ -1,0 +1,119 @@
+"""Unit tests for the connected heap data structure (Section 8.2)."""
+
+import random
+
+import pytest
+
+from repro.algorithms.connected_heap import ConnectedHeap, NaiveMultiHeap
+from repro.errors import OperatorError
+
+KEYS = (lambda r: r[0], lambda r: r[1], lambda r: -r[2])
+
+
+class TestConnectedHeap:
+    def test_requires_at_least_one_heap(self):
+        with pytest.raises(OperatorError):
+            ConnectedHeap(())
+
+    def test_insert_and_len(self):
+        heap = ConnectedHeap(KEYS)
+        for i in range(5):
+            heap.insert((i, 5 - i, i * 2))
+        assert len(heap) == 5 and not heap.is_empty()
+
+    def test_peek_per_component(self):
+        heap = ConnectedHeap(KEYS)
+        heap.insert((3, 10, 1))
+        heap.insert((1, 20, 9))
+        assert heap.peek(0) == (1, 20, 9)  # smallest first key
+        assert heap.peek(1) == (3, 10, 1)  # smallest second key
+        assert heap.peek(2) == (1, 20, 9)  # largest third key
+
+    def test_peek_key(self):
+        heap = ConnectedHeap(KEYS)
+        heap.insert((3, 10, 1))
+        assert heap.peek_key(0) == 3 and heap.peek_key(2) == -1
+
+    def test_pop_removes_from_all_components(self):
+        heap = ConnectedHeap(KEYS)
+        heap.insert((1, 100, 5))
+        heap.insert((2, 1, 7))
+        popped = heap.pop(1)  # smallest on the second component
+        assert popped == (2, 1, 7)
+        assert len(heap) == 1
+        # The popped record must be gone from every component heap.
+        assert heap.peek(0) == (1, 100, 5)
+        assert heap.peek(2) == (1, 100, 5)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(OperatorError):
+            ConnectedHeap(KEYS).pop()
+
+    def test_pop_while(self):
+        heap = ConnectedHeap([lambda r: r])
+        for value in (5, 1, 3, 9):
+            heap.insert(value)
+        popped = heap.pop_while(0, lambda value: value < 4)
+        assert popped == [1, 3]
+        assert len(heap) == 2
+
+    def test_items_returns_live_payloads(self):
+        heap = ConnectedHeap(KEYS)
+        heap.insert((1, 2, 3))
+        heap.insert((4, 5, 6))
+        heap.pop(0)
+        assert heap.items() == [(4, 5, 6)]
+
+
+class TestAgainstNaiveModel:
+    """The connected heap must behave exactly like the naive multi-heap."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_randomised_pop_sequences_match(self, seed):
+        rng = random.Random(seed)
+        connected = ConnectedHeap(KEYS)
+        naive = NaiveMultiHeap(KEYS)
+        live = []
+        for step in range(200):
+            if live and rng.random() < 0.4:
+                component = rng.randrange(3)
+                a = connected.pop(component)
+                b = naive.pop(component)
+                assert a == b
+                live.remove(a)
+            else:
+                # Float keys make ties (whose pop order is unspecified) vanishingly unlikely.
+                record = (rng.random(), rng.random(), rng.random(), step)
+                connected.insert(record)
+                naive.insert(record)
+                live.append(record)
+            assert len(connected) == len(naive) == len(live)
+        # Drain both heaps and compare the full pop order.
+        while len(connected):
+            assert connected.pop(0) == naive.pop(0)
+
+    def test_sorted_drain(self):
+        heap = ConnectedHeap([lambda r: r])
+        values = random.Random(3).sample(range(1000), 100)
+        for value in values:
+            heap.insert(value)
+        drained = [heap.pop(0) for _ in range(len(values))]
+        assert drained == sorted(values)
+
+
+class TestNaiveMultiHeap:
+    def test_basic_operations(self):
+        heap = NaiveMultiHeap(KEYS)
+        heap.insert((1, 9, 0))
+        heap.insert((2, 0, 5))
+        assert heap.peek(1) == (2, 0, 5)
+        assert heap.pop(1) == (2, 0, 5)
+        assert len(heap) == 1
+        assert heap.items() == [(1, 9, 0)]
+
+    def test_empty_errors(self):
+        heap = NaiveMultiHeap(KEYS)
+        with pytest.raises(OperatorError):
+            heap.peek()
+        with pytest.raises(OperatorError):
+            heap.pop()

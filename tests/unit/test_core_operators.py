@@ -1,0 +1,183 @@
+"""Unit tests for the AU-DB relational operators (repro.core.operators)."""
+
+import pytest
+
+from repro.core.expressions import attr
+from repro.core.multiplicity import Multiplicity
+from repro.core.operators import (
+    cross,
+    distinct,
+    extend,
+    groupby_aggregate,
+    join,
+    project,
+    rename,
+    select,
+    union,
+)
+from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation
+from repro.core.tuples import AUTuple
+from repro.errors import OperatorError, SchemaError
+
+
+def people() -> AURelation:
+    return AURelation.from_rows(
+        ["name", "age", "dept"],
+        [
+            (("ann", RangeValue(30, 32, 35), "eng"), (1, 1, 1)),
+            (("bob", 40, "eng"), (0, 1, 1)),
+            (("cat", RangeValue(20, 25, 45), "hr"), (1, 1, 1)),
+        ],
+    )
+
+
+class TestSelect:
+    def test_certain_condition_keeps_certain_multiplicity(self):
+        result = select(people(), attr("age").ge(30))
+        mult = {tup.value("name").sg: m for tup, m in result}
+        assert mult["ann"] == Multiplicity(1, 1, 1)
+        assert mult["bob"] == Multiplicity(0, 1, 1)
+
+    def test_uncertain_condition_degrades_to_possible(self):
+        result = select(people(), attr("age").ge(40))
+        mult = {tup.value("name").sg: m for tup, m in result}
+        assert "ann" not in mult  # certainly fails
+        assert mult["cat"] == Multiplicity(0, 0, 1)  # possibly passes
+
+    def test_callable_predicate(self):
+        result = select(people(), lambda tup: tup.value("dept").eq(RangeValue.certain("hr")))
+        assert len(result) == 1
+
+
+class TestProjectExtendRename:
+    def test_project_merges(self):
+        result = project(people(), ["dept"])
+        mult = {tup.value("dept").sg: m for tup, m in result}
+        assert mult["eng"] == Multiplicity(1, 2, 2)
+
+    def test_extend_computes_ranges(self):
+        result = extend(people(), "age2", attr("age") + attr("age"))
+        ages = {tup.value("name").sg: tup.value("age2") for tup, _m in result}
+        assert ages["ann"] == RangeValue(60, 64, 70)
+
+    def test_rename(self):
+        result = rename(people(), {"age": "years"})
+        assert "years" in result.schema and "age" not in result.schema
+
+
+class TestUnionJoinCrossDistinct:
+    def test_union_adds_annotations(self):
+        result = union(people(), people())
+        mult = {tup.value("name").sg: m for tup, m in result}
+        assert mult["ann"] == Multiplicity(2, 2, 2)
+
+    def test_union_schema_mismatch(self):
+        with pytest.raises(SchemaError):
+            union(people(), AURelation.from_rows(["x"], []))
+
+    def test_cross_multiplies_annotations(self):
+        left = AURelation.from_rows(["a"], [((1,), (1, 1, 2))])
+        right = AURelation.from_rows(["b"], [((2,), (0, 1, 3))])
+        result = cross(left, right)
+        _tup, mult = next(iter(result))
+        assert mult == Multiplicity(0, 1, 6)
+
+    def test_equi_join_on_uncertain_attribute(self):
+        left = AURelation.from_rows(["k", "x"], [((RangeValue(1, 1, 2), "l"), (1, 1, 1))])
+        right = AURelation.from_rows(["k", "y"], [((2, "r"), (1, 1, 1))])
+        result = join(left, right, on=["k"])
+        assert len(result) == 1
+        _tup, mult = next(iter(result))
+        # The join is possible (ranges overlap) but not certain.
+        assert mult == Multiplicity(0, 0, 1)
+
+    def test_join_requires_condition(self):
+        with pytest.raises(OperatorError):
+            join(people(), people())
+
+    def test_theta_join_predicate(self):
+        left = AURelation.from_rows(["a"], [((1,), 1), ((9,), 1)])
+        right = AURelation.from_rows(["b"], [((5,), 1)])
+        result = join(left, right, attr("a").lt(attr("b")))
+        values = {tup.value("a").sg for tup, _m in result}
+        assert values == {1}
+
+    def test_distinct_caps_multiplicities(self):
+        relation = AURelation.from_rows(["a"], [((1,), (2, 3, 4))])
+        result = distinct(relation)
+        _tup, mult = next(iter(result))
+        assert mult == Multiplicity(1, 1, 1)
+
+
+class TestGroupByAggregate:
+    def test_count_and_sum_with_certain_groups(self):
+        relation = AURelation.from_rows(
+            ["g", "v"],
+            [
+                (("x", RangeValue(1, 2, 3)), (1, 1, 1)),
+                (("x", 10), (0, 1, 1)),
+                (("y", 5), (1, 1, 1)),
+            ],
+        )
+        result = groupby_aggregate(relation, ["g"], [("count", "*", "ct"), ("sum", "v", "total")])
+        rows = {tup.value("g").sg: tup for tup, _m in result}
+        assert rows["x"].value("ct") == RangeValue(1, 2, 2)
+        assert rows["x"].value("total") == RangeValue(1, 12, 13)
+        assert rows["y"].value("ct") == RangeValue.certain(1)
+
+    def test_min_max(self):
+        relation = AURelation.from_rows(
+            ["g", "v"],
+            [(("x", RangeValue(1, 2, 3)), (1, 1, 1)), (("x", RangeValue(5, 6, 9)), (0, 0, 1))],
+        )
+        result = groupby_aggregate(relation, ["g"], [("min", "v", "lo"), ("max", "v", "hi")])
+        tup = result.tuples()[0]
+        assert tup.value("lo").lb == 1 and tup.value("lo").ub == 3
+        assert tup.value("hi").ub == 9 and tup.value("hi").lb == 1
+
+    def test_group_multiplicity_reflects_certainty(self):
+        relation = AURelation.from_rows(
+            ["g", "v"], [(("x", 1), (0, 1, 1))]
+        )
+        result = groupby_aggregate(relation, ["g"], [("count", "*", "ct")])
+        _tup, mult = next(iter(result))
+        assert mult == Multiplicity(0, 1, 1)
+
+    def test_uncertain_group_attribute_widens_key_range(self):
+        relation = AURelation.from_rows(
+            ["g", "v"], [((RangeValue(1, 1, 2), 10), (1, 1, 1))]
+        )
+        result = groupby_aggregate(relation, ["g"], [("sum", "v", "total")])
+        tup = result.tuples()[0]
+        assert tup.value("g") == RangeValue(1, 1, 2)
+
+    def test_unsupported_aggregate(self):
+        with pytest.raises(OperatorError):
+            groupby_aggregate(people(), ["dept"], [("median", "age", "m")])
+
+    def test_bound_preservation_with_certain_groups(self):
+        from repro.core.bounding import bounds_world
+        from repro.relational.operators import groupby_aggregate as det_groupby
+        from repro.relational.relation import Relation
+
+        relation = AURelation.from_rows(
+            ["g", "v"],
+            [
+                (("x", RangeValue(1, 2, 3)), (1, 1, 1)),
+                (("x", 10), (0, 1, 1)),
+                (("y", RangeValue(4, 5, 6)), (1, 1, 1)),
+            ],
+        )
+        result = groupby_aggregate(relation, ["g"], [("sum", "v", "total"), ("count", "*", "ct")])
+        # Enumerate a few worlds consistent with the AU-DB and check bounding.
+        for v1 in (1, 3):
+            for include_second in (0, 1):
+                for v3 in (4, 6):
+                    world = Relation(["g", "v"])
+                    world.add(("x", v1))
+                    if include_second:
+                        world.add(("x", 10))
+                    world.add(("y", v3))
+                    det = det_groupby(world, ["g"], [("sum", "v", "total"), ("count", "*", "ct")])
+                    assert bounds_world(result, det)

@@ -1,0 +1,98 @@
+"""Unit tests for the experiment harness (adapters, reporting, CLI wiring)."""
+
+import pytest
+
+from repro.harness.adapters import (
+    audb_from_workload,
+    audb_sort_bounds,
+    audb_window_bounds,
+    extract_bounds,
+)
+from repro.harness.cli import main
+from repro.harness.figures import ALL_EXPERIMENTS, heap_table
+from repro.harness.report import ExperimentResult, format_table
+from repro.harness.runner import timed, timed_ms
+from repro.window.spec import WindowSpec
+from repro.workloads.synthetic import SyntheticConfig, generate_sort_table, generate_window_table
+
+
+class TestRunner:
+    def test_timed_returns_result_and_duration(self):
+        result, seconds = timed(lambda: 41 + 1)
+        assert result == 42 and seconds >= 0
+
+    def test_timed_ms(self):
+        _result, ms = timed_ms(lambda: None)
+        assert ms >= 0
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["col", "value"], [["a", 1.23456], ["bb", 2]])
+        lines = text.splitlines()
+        assert lines[0].startswith("col")
+        assert "1.235" in text
+
+    def test_experiment_result_add_and_text(self):
+        result = ExperimentResult("exp", "a description", ["x", "y"])
+        result.add(1, 2)
+        text = result.to_text()
+        assert "exp" in text and "a description" in text and "1" in text
+
+
+class TestAdapters:
+    def test_sort_bounds_cover_selected_guess_positions(self):
+        workload = generate_sort_table(SyntheticConfig(rows=30, uncertainty=0.2, attribute_range=20, domain=200, seed=4))
+        audb = audb_from_workload(workload)
+        bounds = audb_sort_bounds(audb, ["a"], key_attribute="rid")
+        assert set(bounds) == set(range(30))
+        for low, high in bounds.values():
+            assert 0 <= low <= high <= 30
+
+    def test_window_bounds_keys(self):
+        workload = generate_window_table(
+            SyntheticConfig(rows=20, uncertainty=0.2, attribute_range=10, domain=100, seed=4),
+            partitions=1,
+        )
+        audb = audb_from_workload(workload)
+        spec = WindowSpec("sum", "v", "s", order_by=("o",), frame=(-1, 0))
+        for method in ("native", "rewrite"):
+            bounds = audb_window_bounds(audb, spec, key_attribute="rid", method=method)
+            assert set(bounds) == set(range(20))
+
+    def test_extract_bounds_hulls_duplicates(self):
+        from repro.core.relation import AURelation
+        from repro.core.ranges import RangeValue
+
+        relation = AURelation.from_rows(
+            ["rid", "x"],
+            [((1, RangeValue(0, 1, 2)), 1), ((1, RangeValue(5, 6, 7)), 1)],
+        )
+        bounds = extract_bounds(relation, "rid", "x")
+        assert bounds == {1: (0.0, 7.0)}
+
+
+class TestExperimentsRegistry:
+    def test_all_experiments_registered(self):
+        expected = {
+            "heap_table",
+            "fig11",
+            "fig12",
+            "fig13",
+            "fig14",
+            "fig15",
+            "fig16",
+            "fig17",
+            "fig18",
+            "fig19",
+        }
+        assert expected == set(ALL_EXPERIMENTS)
+
+    def test_heap_table_runs_small(self):
+        result = heap_table(items=200, seed=1)
+        assert len(result.rows) == 6
+        assert all(len(row) == 5 for row in result.rows)
+
+    def test_cli_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])

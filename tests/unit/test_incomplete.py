@@ -1,0 +1,164 @@
+"""Unit tests for the incomplete-database substrate (repro.incomplete)."""
+
+import random
+
+import pytest
+
+from repro.errors import EnumerationLimitError, WorkloadError
+from repro.incomplete.lift import lift_worlds, lift_xtuples
+from repro.incomplete.worlds import PossibleWorlds
+from repro.incomplete.xtuples import UncertainRelation, XTuple
+from repro.relational.relation import Relation
+
+
+def two_worlds() -> PossibleWorlds:
+    return PossibleWorlds.from_rows(
+        ["a", "b"],
+        [
+            [(1, 10), (2, 20)],
+            [(1, 10), (3, 30), (3, 30)],
+        ],
+        [0.6, 0.4],
+    )
+
+
+class TestPossibleWorlds:
+    def test_requires_worlds(self):
+        with pytest.raises(WorkloadError):
+            PossibleWorlds([])
+
+    def test_probabilities_normalised(self):
+        worlds = PossibleWorlds.from_rows(["a"], [[(1,)], [(2,)]], [2.0, 2.0])
+        assert worlds.probabilities == (0.5, 0.5)
+
+    def test_certain_and_possible_multiplicity(self):
+        worlds = two_worlds()
+        assert worlds.certain_multiplicity((1, 10)) == 1
+        assert worlds.certain_multiplicity((2, 20)) == 0
+        assert worlds.possible_multiplicity((3, 30)) == 2
+
+    def test_certain_and_possible_rows(self):
+        worlds = two_worlds()
+        assert worlds.certain_rows() == [(1, 10)]
+        assert set(worlds.possible_rows()) == {(1, 10), (2, 20), (3, 30)}
+
+    def test_tuple_probability(self):
+        assert two_worlds().tuple_probability((2, 20)) == pytest.approx(0.6)
+
+    def test_map_applies_query_per_world(self):
+        worlds = two_worlds().map(lambda world: world)
+        assert len(worlds) == 2
+
+    def test_selected_guess_default_first(self):
+        assert two_worlds().selected_guess.multiplicity((2, 20)) == 1
+
+    def test_most_likely(self):
+        assert two_worlds().most_likely.multiplicity((2, 20)) == 1
+
+
+class TestXTuple:
+    def test_certain_xtuple(self):
+        xt = XTuple.certain((1, 2))
+        assert xt.is_certain and not xt.maybe_absent
+
+    def test_probability_validation(self):
+        with pytest.raises(WorkloadError):
+            XTuple(((1,),), (1.5,))
+        with pytest.raises(WorkloadError):
+            XTuple(((1,), (2,)), (0.5,))
+        with pytest.raises(WorkloadError):
+            XTuple((), ())
+
+    def test_default_uniform_probabilities(self):
+        xt = XTuple(((1,), (2,)))
+        assert xt.probabilities == (0.5, 0.5)
+
+    def test_absence(self):
+        xt = XTuple(((1,),), (0.7,), sg_index=0)
+        assert xt.maybe_absent
+        assert xt.absence_probability == pytest.approx(0.3)
+        assert len(xt.options()) == 2
+
+    def test_selected_guess_row(self):
+        xt = XTuple(((1,), (2,)), (0.5, 0.5), sg_index=1)
+        assert xt.selected_guess_row() == (2,)
+        assert XTuple(((1,),), (0.5,), sg_index=None).selected_guess_row() is None
+
+    def test_sample_respects_support(self):
+        xt = XTuple(((1,), (2,)), (0.5, 0.5))
+        rng = random.Random(0)
+        assert all(xt.sample(rng) in {(1,), (2,)} for _ in range(20))
+
+
+class TestUncertainRelation:
+    def build(self) -> UncertainRelation:
+        relation = UncertainRelation(["a"])
+        relation.add_certain((1,))
+        relation.add_alternatives([(2,), (3,)], [0.5, 0.5], sg_index=0)
+        return relation
+
+    def test_world_count(self):
+        assert self.build().world_count == 2
+
+    def test_uncertain_count(self):
+        assert self.build().uncertain_count == 1
+
+    def test_arity_checked(self):
+        with pytest.raises(WorkloadError):
+            UncertainRelation(["a"]).add_certain((1, 2))
+
+    def test_selected_guess_world(self):
+        world = self.build().selected_guess_world()
+        assert world.multiplicity((1,)) == 1 and world.multiplicity((2,)) == 1
+
+    def test_iter_worlds_probabilities_sum_to_one(self):
+        total = sum(p for _w, p in self.build().iter_worlds())
+        assert total == pytest.approx(1.0)
+
+    def test_enumeration_limit(self):
+        relation = UncertainRelation(["a"])
+        for i in range(12):
+            relation.add_alternatives([(i,), (i + 100,)])
+        with pytest.raises(EnumerationLimitError):
+            list(relation.iter_worlds(limit=100))
+
+    def test_sample_worlds_deterministic_with_seed(self):
+        relation = self.build()
+        first = [sorted(w.rows()) for w in relation.sample_worlds(5, seed=1)]
+        second = [sorted(w.rows()) for w in relation.sample_worlds(5, seed=1)]
+        assert first == second
+
+    def test_to_possible_worlds_contains_sg(self):
+        worlds = self.build().to_possible_worlds()
+        assert worlds.selected_guess == self.build().selected_guess_world()
+
+
+class TestLift:
+    def test_lift_xtuples_builds_hulls(self):
+        relation = UncertainRelation(["a", "b"])
+        relation.add_alternatives([(1, 5), (3, 5)], [0.5, 0.5], sg_index=1)
+        audb = lift_xtuples(relation)
+        tup, mult = next(iter(audb))
+        assert (tup.value("a").lb, tup.value("a").sg, tup.value("a").ub) == (1, 3, 3)
+        assert mult.lb == 1 and mult.ub == 1
+
+    def test_lift_xtuples_absent_tuple_is_uncertain(self):
+        relation = UncertainRelation(["a"])
+        relation.add(XTuple(((1,),), (0.5,), sg_index=0))
+        audb = lift_xtuples(relation)
+        _tup, mult = next(iter(audb))
+        assert mult.lb == 0 and mult.ub == 1
+
+    def test_lift_worlds_tuple_level(self):
+        audb = lift_worlds(two_worlds())
+        row_mults = {tup.sg_row(): mult for tup, mult in audb}
+        assert row_mults[(1, 10)].lb == 1
+        assert row_mults[(2, 20)].lb == 0 and row_mults[(2, 20)].ub == 1
+        assert row_mults[(3, 30)].ub == 2
+
+    def test_lift_bounds_every_world(self):
+        from repro.core.bounding import bounds_world
+
+        worlds = two_worlds()
+        audb = lift_worlds(worlds)
+        assert all(bounds_world(audb, world) for world in worlds.worlds)

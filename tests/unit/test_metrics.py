@@ -1,0 +1,68 @@
+"""Unit tests for bound-quality metrics (repro.metrics.quality)."""
+
+import pytest
+
+from repro.metrics.quality import (
+    QualityReport,
+    bound_accuracy,
+    bound_overlap,
+    bound_recall,
+    compare_bounds,
+    estimated_range_ratio,
+)
+
+
+class TestPairwiseMetrics:
+    def test_overlap(self):
+        assert bound_overlap((0, 10), (5, 20)) == 5
+        assert bound_overlap((0, 1), (2, 3)) == 0
+
+    def test_recall_of_over_approximation_is_one(self):
+        assert bound_recall((0, 20), (5, 10)) == 1.0
+
+    def test_recall_of_under_approximation(self):
+        assert bound_recall((6, 8), (5, 10)) == pytest.approx(0.4)
+
+    def test_accuracy_of_under_approximation_is_one(self):
+        assert bound_accuracy((6, 8), (5, 10)) == 1.0
+
+    def test_accuracy_of_over_approximation(self):
+        assert bound_accuracy((0, 20), (5, 10)) == pytest.approx(0.25)
+
+    def test_point_bounds(self):
+        assert bound_recall((1, 5), (3, 3)) == 1.0
+        assert bound_recall((1, 2), (3, 3)) == 0.0
+        assert bound_accuracy((3, 3), (1, 5)) == 1.0
+        assert bound_accuracy((9, 9), (1, 5)) == 0.0
+
+    def test_range_ratio(self):
+        assert estimated_range_ratio((0, 20), (5, 10)) == pytest.approx(4.0)
+        assert estimated_range_ratio((6, 8), (5, 10)) == pytest.approx(0.4)
+        assert estimated_range_ratio((1, 1), (2, 2)) == 1.0
+        assert estimated_range_ratio((0, 2), (3, 3)) == float("inf")
+
+
+class TestCompareBounds:
+    def test_averages(self):
+        truths = {"a": (0.0, 10.0), "b": (0.0, 4.0)}
+        estimates = {"a": (0.0, 10.0), "b": (0.0, 2.0)}
+        report = compare_bounds(estimates, truths)
+        assert isinstance(report, QualityReport)
+        assert report.tuples == 2
+        assert report.recall == pytest.approx((1.0 + 0.5) / 2)
+        assert report.accuracy == 1.0
+        assert report.range_ratio == pytest.approx((1.0 + 0.5) / 2)
+
+    def test_missing_estimates_hurt_recall(self):
+        report = compare_bounds({}, {"a": (0.0, 10.0)})
+        assert report.recall == 0.0 and report.accuracy == 1.0
+
+    def test_point_only_pairs_do_not_dilute_ratio(self):
+        truths = {"a": (1.0, 1.0), "b": (0.0, 4.0)}
+        estimates = {"a": (1.0, 1.0), "b": (0.0, 8.0)}
+        report = compare_bounds(estimates, truths)
+        assert report.range_ratio == pytest.approx(2.0)
+
+    def test_empty_truths(self):
+        report = compare_bounds({}, {})
+        assert report == QualityReport(1.0, 1.0, 1.0, 0)

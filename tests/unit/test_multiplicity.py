@@ -1,0 +1,76 @@
+"""Unit tests for N³ multiplicity triples (repro.core.multiplicity)."""
+
+import pytest
+
+from repro.core.booleans import CERTAIN_FALSE, CERTAIN_TRUE, UNKNOWN
+from repro.core.multiplicity import ONE, ZERO, Multiplicity
+from repro.errors import InvalidMultiplicityError
+
+
+class TestConstruction:
+    def test_constants(self):
+        assert ZERO == Multiplicity(0, 0, 0)
+        assert ONE == Multiplicity(1, 1, 1)
+
+    def test_certain(self):
+        assert Multiplicity.certain(3) == Multiplicity(3, 3, 3)
+
+    def test_possible(self):
+        assert Multiplicity.possible(2) == Multiplicity(0, 0, 2)
+        assert Multiplicity.possible(2, sg=1) == Multiplicity(0, 1, 2)
+
+    def test_validation(self):
+        with pytest.raises(InvalidMultiplicityError):
+            Multiplicity(-1, 0, 0)
+        with pytest.raises(InvalidMultiplicityError):
+            Multiplicity(2, 1, 3)
+        with pytest.raises(InvalidMultiplicityError):
+            Multiplicity(0, 2, 1)
+
+
+class TestSemiring:
+    def test_add(self):
+        assert Multiplicity(1, 2, 3) + Multiplicity(0, 1, 2) == Multiplicity(1, 3, 5)
+
+    def test_mul(self):
+        assert Multiplicity(1, 2, 3) * Multiplicity(2, 2, 2) == Multiplicity(2, 4, 6)
+
+    def test_mul_zero_annihilates(self):
+        assert Multiplicity(1, 2, 3) * ZERO == ZERO
+
+    def test_scale(self):
+        assert Multiplicity(1, 1, 2).scale(3) == Multiplicity(3, 3, 6)
+        with pytest.raises(InvalidMultiplicityError):
+            Multiplicity(1, 1, 1).scale(-1)
+
+
+class TestFilter:
+    def test_filter_certain_true_keeps_all(self):
+        assert Multiplicity(1, 2, 3).filter(CERTAIN_TRUE) == Multiplicity(1, 2, 3)
+
+    def test_filter_certain_false_drops_all(self):
+        assert Multiplicity(1, 2, 3).filter(CERTAIN_FALSE) == ZERO
+
+    def test_filter_unknown_keeps_only_possible(self):
+        assert Multiplicity(1, 2, 3).filter(UNKNOWN) == Multiplicity(0, 0, 3)
+
+
+class TestMonus:
+    def test_monus_truncates_at_zero(self):
+        assert Multiplicity(1, 1, 1).monus(Multiplicity(2, 2, 2)) == ZERO
+
+    def test_monus_swaps_bounds(self):
+        result = Multiplicity(2, 3, 4).monus(Multiplicity(1, 1, 3))
+        # certain output removes the largest possible amount, possible output
+        # removes only what must exist
+        assert result == Multiplicity(0, 2, 3)
+
+
+class TestPredicates:
+    def test_flags(self):
+        m = Multiplicity(0, 1, 2)
+        assert not m.certainly_exists and m.possibly_exists and not m.is_certain
+
+    def test_bounds(self):
+        m = Multiplicity(1, 2, 3)
+        assert m.bounds(1) and m.bounds(3) and not m.bounds(0) and not m.bounds(4)

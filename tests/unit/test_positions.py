@@ -1,0 +1,110 @@
+"""Unit tests for uncertain sort-position bounds (repro.ranking.positions)."""
+
+from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation
+from repro.core.tuples import AUTuple
+from repro.ranking.positions import (
+    Desc,
+    certainly_before,
+    order_key_earliest,
+    order_key_latest,
+    order_key_sg,
+    position_bounds,
+    possibly_before,
+    sg_before,
+)
+
+
+def example6_relation() -> AURelation:
+    """The input relation of the paper's Example 6."""
+    return AURelation.from_rows(
+        ["A", "B"],
+        [
+            ((1, RangeValue(1, 1, 3)), (1, 1, 2)),
+            ((RangeValue(2, 3, 3), 15), (0, 1, 1)),
+            ((RangeValue(1, 1, 2), 2), (1, 1, 1)),
+        ],
+    )
+
+
+def tup(relation, index):
+    return relation.tuples()[index]
+
+
+class TestOrderKeys:
+    def test_ascending_keys(self):
+        relation = example6_relation()
+        t = tup(relation, 0)
+        assert order_key_earliest(t, ["A", "B"]) < order_key_latest(t, ["A", "B"])
+
+    def test_descending_swaps_roles(self):
+        relation = example6_relation()
+        t = tup(relation, 2)  # A in [1, 2]
+        earliest = order_key_earliest(t, ["A"], descending=True)
+        latest = order_key_latest(t, ["A"], descending=True)
+        assert earliest <= latest
+        assert isinstance(earliest[0], Desc)
+
+    def test_desc_wrapper_inverts_order(self):
+        assert Desc(5) < Desc(3)
+        assert Desc(3) == Desc(3)
+        assert sorted([Desc(1), Desc(9), Desc(4)]) == [Desc(9), Desc(4), Desc(1)]
+
+
+class TestComparisons:
+    def test_certainly_before(self):
+        relation = example6_relation()
+        t1, t2 = tup(relation, 0), tup(relation, 1)
+        assert certainly_before(t1, t2, ["A", "B"])
+        assert not certainly_before(t2, t1, ["A", "B"])
+
+    def test_possibly_before_with_overlap(self):
+        relation = example6_relation()
+        t1, t3 = tup(relation, 0), tup(relation, 2)
+        assert possibly_before(t1, t3, ["A", "B"])
+        assert possibly_before(t3, t1, ["A", "B"])
+
+    def test_sg_before_uses_tiebreakers(self):
+        schema = ["A", "B"]
+        relation = AURelation.from_rows(schema, [((1, 5), 1), ((1, 2), 1)])
+        first, second = relation.tuples()
+        assert sg_before(second, first, ["A"], first_seq=1, second_seq=0)
+        assert not sg_before(first, second, ["A"], first_seq=0, second_seq=1)
+
+    def test_sg_before_sequence_tiebreak_for_identical_tuples(self):
+        relation = AURelation.from_rows(["A"], [((1,), 1)])
+        t = relation.tuples()[0]
+        assert sg_before(t, t, ["A"], first_seq=0, second_seq=1)
+        assert not sg_before(t, t, ["A"], first_seq=1, second_seq=0)
+
+    def test_descending_comparison(self):
+        relation = AURelation.from_rows(["A"], [((1,), 1), ((5,), 1)])
+        low, high = relation.tuples()
+        assert certainly_before(high, low, ["A"], descending=True)
+        assert not certainly_before(low, high, ["A"], descending=True)
+
+
+class TestPositionBounds:
+    def test_example6_positions(self):
+        relation = example6_relation()
+        order = ["A", "B"]
+        t1, t2, t3 = relation.tuples()
+        assert position_bounds(relation, order, t1, 0) == RangeValue(0, 0, 1)
+        assert position_bounds(relation, order, t1, 1) == RangeValue(1, 1, 2)
+        assert position_bounds(relation, order, t3, 0) == RangeValue(0, 1, 2)
+        assert position_bounds(relation, order, t2, 0) == RangeValue(2, 2, 3)
+
+    def test_certain_relation_positions_are_exact(self):
+        relation = AURelation.from_rows(["A"], [((3,), 1), ((1,), 1), ((2,), 1)])
+        order = ["A"]
+        values = {
+            tup.value("A").sg: position_bounds(relation, order, tup) for tup in relation.tuples()
+        }
+        assert values[1] == RangeValue(0, 0, 0)
+        assert values[2] == RangeValue(1, 1, 1)
+        assert values[3] == RangeValue(2, 2, 2)
+
+    def test_duplicate_offsets(self):
+        relation = AURelation.from_rows(["A"], [((1,), 3)])
+        t = relation.tuples()[0]
+        assert position_bounds(relation, ["A"], t, 2) == RangeValue(2, 2, 2)

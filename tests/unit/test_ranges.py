@@ -1,0 +1,148 @@
+"""Unit tests for range-annotated values (repro.core.ranges)."""
+
+import pytest
+
+from repro.core.ranges import RangeValue, as_range
+from repro.errors import InvalidRangeError
+
+
+class TestConstruction:
+    def test_certain_value(self):
+        value = RangeValue.certain(5)
+        assert value.lb == value.sg == value.ub == 5
+        assert value.is_certain
+
+    def test_ordering_enforced(self):
+        with pytest.raises(InvalidRangeError):
+            RangeValue(3, 2, 5)
+        with pytest.raises(InvalidRangeError):
+            RangeValue(1, 4, 3)
+
+    def test_from_bounds_defaults_sg_to_lower(self):
+        value = RangeValue.from_bounds(1, 9)
+        assert value.sg == 1
+
+    def test_hull(self):
+        value = RangeValue.hull([5, 2, 9, 3])
+        assert (value.lb, value.sg, value.ub) == (2, 5, 9)
+
+    def test_hull_empty_rejected(self):
+        with pytest.raises(InvalidRangeError):
+            RangeValue.hull([])
+
+    def test_hull_with_explicit_sg(self):
+        value = RangeValue.hull([5, 2, 9], sg=9)
+        assert value.sg == 9
+
+    def test_as_range_passthrough_and_lift(self):
+        value = RangeValue(1, 2, 3)
+        assert as_range(value) is value
+        assert as_range(7) == RangeValue.certain(7)
+
+    def test_none_sorts_before_everything(self):
+        value = RangeValue(None, 3, 5)
+        assert value.contains(None)
+        assert value.contains(4)
+
+
+class TestPredicates:
+    def test_contains(self):
+        value = RangeValue(2, 4, 8)
+        assert value.contains(2) and value.contains(8) and value.contains(5)
+        assert not value.contains(1) and not value.contains(9)
+
+    def test_contains_range_and_overlaps(self):
+        outer = RangeValue(0, 5, 10)
+        inner = RangeValue(2, 3, 4)
+        assert outer.contains_range(inner)
+        assert not inner.contains_range(outer)
+        assert outer.overlaps(inner)
+        assert not RangeValue(0, 0, 1).overlaps(RangeValue(2, 2, 3))
+
+    def test_width(self):
+        assert RangeValue(2, 3, 7).width == 5
+        assert RangeValue.certain("x").width == 0.0
+
+
+class TestComparisons:
+    def test_lt_triple(self):
+        result = RangeValue(1, 1, 3).lt(RangeValue.certain(2))
+        assert (result.lb, result.sg, result.ub) == (False, True, True)
+
+    def test_lt_certain_true(self):
+        assert RangeValue(1, 1, 1).lt(RangeValue(2, 2, 2)).certainly_true
+
+    def test_lt_certain_false(self):
+        assert RangeValue(5, 6, 7).lt(RangeValue(1, 2, 3)).certainly_false
+
+    def test_eq_overlap_is_possible(self):
+        result = RangeValue(1, 2, 5).eq(RangeValue(4, 4, 9))
+        assert not result.lb and result.ub
+
+    def test_eq_certain(self):
+        assert RangeValue.certain(3).eq(RangeValue.certain(3)).certainly_true
+
+    def test_ne_is_negation_of_eq(self):
+        a, b = RangeValue(1, 2, 5), RangeValue(4, 4, 9)
+        assert a.ne(b) == a.eq(b).not_()
+
+    def test_ge_le_consistency(self):
+        a, b = RangeValue(1, 2, 3), RangeValue(2, 3, 4)
+        assert a.le(b).sg == (not b.lt(a).sg)
+
+
+class TestArithmetic:
+    def test_add(self):
+        assert RangeValue(1, 2, 3).add(RangeValue(10, 20, 30)) == RangeValue(11, 22, 33)
+
+    def test_sub(self):
+        assert RangeValue(1, 2, 3).sub(RangeValue(1, 1, 2)) == RangeValue(-1, 1, 2)
+
+    def test_mul_with_negative_bounds(self):
+        result = RangeValue(-2, 1, 3).mul(RangeValue(-1, 2, 4))
+        assert result.lb == -8 and result.ub == 12 and result.sg == 2
+
+    def test_neg(self):
+        assert (-RangeValue(1, 2, 3)) == RangeValue(-3, -2, -1)
+
+    def test_scale(self):
+        assert RangeValue(1, 2, 3).scale(2) == RangeValue(2, 4, 6)
+        with pytest.raises(InvalidRangeError):
+            RangeValue(1, 2, 3).scale(-1)
+
+    def test_arithmetic_requires_numbers(self):
+        with pytest.raises(InvalidRangeError):
+            RangeValue.certain("a").add(RangeValue.certain("b"))
+
+    def test_min_max_with(self):
+        a, b = RangeValue(1, 5, 9), RangeValue(3, 4, 6)
+        assert a.min_with(b) == RangeValue(1, 4, 6)
+        assert a.max_with(b) == RangeValue(3, 5, 9)
+
+    def test_union_hull(self):
+        assert RangeValue(1, 2, 3).union_hull(RangeValue(0, 5, 9)) == RangeValue(0, 2, 9)
+
+
+class TestBoundPreservation:
+    """The containment property behind the expression semantics (Sec. 3.2)."""
+
+    def test_add_bounds_every_pointwise_sum(self):
+        a, b = RangeValue(1, 3, 5), RangeValue(-2, 0, 2)
+        result = a.add(b)
+        for x in range(a.lb, a.ub + 1):
+            for y in range(b.lb, b.ub + 1):
+                assert result.contains(x + y)
+
+    def test_mul_bounds_every_pointwise_product(self):
+        a, b = RangeValue(-2, 0, 3), RangeValue(-1, 2, 4)
+        result = a.mul(b)
+        for x in range(a.lb, a.ub + 1):
+            for y in range(b.lb, b.ub + 1):
+                assert result.contains(x * y)
+
+    def test_lt_bounds_every_pointwise_comparison(self):
+        a, b = RangeValue(1, 2, 4), RangeValue(3, 3, 5)
+        triple = a.lt(b)
+        for x in range(a.lb, a.ub + 1):
+            for y in range(b.lb, b.ub + 1):
+                assert triple.bounds(x < y)

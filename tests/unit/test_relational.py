@@ -1,0 +1,149 @@
+"""Unit tests for the deterministic bag-relational substrate (repro.relational)."""
+
+import pytest
+
+from repro.core.expressions import attr
+from repro.core.schema import Schema
+from repro.errors import OperatorError, SchemaError
+from repro.relational import (
+    Relation,
+    cross,
+    difference,
+    extend,
+    groupby_aggregate,
+    join,
+    project,
+    rename,
+    select,
+    union,
+)
+
+
+def sample_relation() -> Relation:
+    r = Relation(["name", "dept", "salary"])
+    r.add(("ann", "eng", 100))
+    r.add(("bob", "eng", 80))
+    r.add(("cat", "hr", 90))
+    r.add(("bob", "eng", 80))  # duplicate -> multiplicity 2
+    return r
+
+
+class TestRelation:
+    def test_multiplicities_merge(self):
+        r = sample_relation()
+        assert r.multiplicity(("bob", "eng", 80)) == 2
+        assert len(r) == 3
+        assert r.cardinality == 4
+
+    def test_expanded_rows(self):
+        assert len(sample_relation().expanded_rows()) == 4
+
+    def test_add_validation(self):
+        r = Relation(["a"])
+        with pytest.raises(SchemaError):
+            r.add((1, 2))
+        with pytest.raises(SchemaError):
+            r.add((1,), -1)
+
+    def test_zero_multiplicity_ignored(self):
+        r = Relation(["a"])
+        r.add((1,), 0)
+        assert r.is_empty()
+
+    def test_from_dicts(self):
+        r = Relation.from_dicts(["a", "b"], [{"a": 1, "b": 2}])
+        assert r.multiplicity((1, 2)) == 1
+
+    def test_values(self):
+        assert sorted(sample_relation().values("salary")) == [80, 80, 90, 100]
+
+    def test_equality(self):
+        assert sample_relation() == sample_relation()
+
+
+class TestOperators:
+    def test_select(self):
+        result = select(sample_relation(), attr("salary").ge(90))
+        assert result.cardinality == 2
+
+    def test_select_with_callable(self):
+        result = select(sample_relation(), lambda row: row["dept"] == "eng")
+        assert result.cardinality == 3
+
+    def test_project_merges_duplicates(self):
+        result = project(sample_relation(), ["dept"])
+        assert result.multiplicity(("eng",)) == 3
+
+    def test_extend(self):
+        result = extend(sample_relation(), "bonus", attr("salary") * 2)
+        assert result.multiplicity(("ann", "eng", 100, 200)) == 1
+
+    def test_rename(self):
+        result = rename(sample_relation(), {"salary": "pay"})
+        assert "pay" in result.schema and "salary" not in result.schema
+
+    def test_union(self):
+        result = union(sample_relation(), sample_relation())
+        assert result.multiplicity(("bob", "eng", 80)) == 4
+
+    def test_union_schema_mismatch(self):
+        with pytest.raises(SchemaError):
+            union(sample_relation(), Relation(["x"]))
+
+    def test_difference(self):
+        other = Relation(["name", "dept", "salary"])
+        other.add(("bob", "eng", 80))
+        result = difference(sample_relation(), other)
+        assert result.multiplicity(("bob", "eng", 80)) == 1
+
+    def test_cross_multiplies(self):
+        left = Relation(["a"])
+        left.add((1,), 2)
+        right = Relation(["b"])
+        right.add((10,), 3)
+        assert cross(left, right).multiplicity((1, 10)) == 6
+
+    def test_equi_join(self):
+        depts = Relation(["dept", "floor"])
+        depts.add(("eng", 3))
+        depts.add(("hr", 1))
+        result = join(sample_relation(), depts, on=["dept"])
+        assert result.multiplicity(("ann", "eng", 100, "eng", 3)) == 1
+        assert result.cardinality == 4
+
+    def test_theta_join(self):
+        left = Relation(["a"])
+        left.add((1,))
+        left.add((5,))
+        right = Relation(["b"])
+        right.add((3,))
+        result = join(left, right, attr("a").lt(attr("b")))
+        assert result.rows() == [(1, 3)]
+
+    def test_join_requires_predicate_or_on(self):
+        with pytest.raises(OperatorError):
+            join(Relation(["a"]), Relation(["b"]))
+
+
+class TestGroupByAggregate:
+    def test_sum_and_count(self):
+        result = groupby_aggregate(
+            sample_relation(),
+            ["dept"],
+            [("sum", "salary", "total"), ("count", "*", "ct")],
+        )
+        assert result.multiplicity(("eng", 260, 3)) == 1
+        assert result.multiplicity(("hr", 90, 1)) == 1
+
+    def test_min_max_avg(self):
+        result = groupby_aggregate(
+            sample_relation(),
+            ["dept"],
+            [("min", "salary", "lo"), ("max", "salary", "hi"), ("avg", "salary", "mean")],
+        )
+        rows = {row[0]: row[1:] for row, _m in result}
+        assert rows["eng"] == (80, 100, pytest.approx(260 / 3))
+
+    def test_scalar_aggregation_on_empty_input(self):
+        result = groupby_aggregate(Relation(["x"]), [], [("count", "*", "ct")])
+        assert result.rows() == [(0,)]

@@ -1,0 +1,133 @@
+"""Unit tests for the deterministic sort and window operators (Section 4)."""
+
+import pytest
+
+from repro.errors import OperatorError, WindowSpecError
+from repro.relational.relation import Relation
+from repro.relational.sort import sort_operator, topk, total_order_key
+from repro.relational.window import window_aggregate
+
+
+class TestSortOperator:
+    def test_paper_example_4(self):
+        """Example 4: duplicates get distinct positions, ties broken on B."""
+        r = Relation(["A", "B"])
+        r.add((3, 15), 1)
+        r.add((1, 1), 2)
+        result = sort_operator(r, ["A"])
+        assert result.multiplicity((1, 1, 0)) == 1
+        assert result.multiplicity((1, 1, 1)) == 1
+        assert result.multiplicity((3, 15, 2)) == 1
+
+    def test_descending(self):
+        r = Relation.from_rows(["A"], [(1,), (3,), (2,)])
+        result = sort_operator(r, ["A"], descending=True)
+        assert result.multiplicity((3, 0)) == 1
+        assert result.multiplicity((1, 2)) == 1
+
+    def test_requires_order_by(self):
+        with pytest.raises(OperatorError):
+            sort_operator(Relation(["A"]), [])
+
+    def test_total_order_key_handles_none(self):
+        key_none = total_order_key(Relation(["A"]).schema, ["A"], (None,))
+        key_val = total_order_key(Relation(["A"]).schema, ["A"], (1,))
+        assert key_none < key_val
+
+    def test_custom_position_attribute(self):
+        r = Relation.from_rows(["A"], [(2,), (1,)])
+        result = sort_operator(r, ["A"], position_attribute="rank")
+        assert "rank" in result.schema
+
+
+class TestTopK:
+    def test_topk_keeps_k_rows(self):
+        r = Relation.from_rows(["A"], [(5,), (1,), (3,), (4,)])
+        result = topk(r, ["A"], 2)
+        assert sorted(result.rows()) == [(1,), (3,)]
+
+    def test_topk_keep_position(self):
+        r = Relation.from_rows(["A"], [(5,), (1,)])
+        result = topk(r, ["A"], 1, keep_position=True)
+        assert result.rows() == [(1, 0)]
+
+    def test_topk_negative_k_rejected(self):
+        with pytest.raises(OperatorError):
+            topk(Relation(["A"]), ["A"], -1)
+
+    def test_topk_descending(self):
+        r = Relation.from_rows(["A"], [(5,), (1,), (3,)])
+        result = topk(r, ["A"], 1, descending=True)
+        assert result.rows() == [(5,)]
+
+
+class TestWindowAggregate:
+    def test_paper_example_5(self):
+        """Example 5: sum(B) over window [-2, 0] ordered by A with duplicates."""
+        r = Relation(["A", "B", "C"])
+        r.add(("a", 5, 3), 3)
+        r.add(("b", 3, 1), 1)
+        r.add(("b", 3, 4), 1)
+        result = window_aggregate(
+            r, function="sum", attribute="B", output="s", order_by=["A"], frame=(-2, 0)
+        )
+        sums = sorted(row[3] for row, _m in result for _ in range(_m))
+        assert sums == [5, 10, 11, 13, 15]
+
+    def test_rolling_sum(self):
+        r = Relation.from_rows(["t", "v"], [(1, 10), (2, 20), (3, 30)])
+        result = window_aggregate(
+            r, function="sum", attribute="v", output="s", order_by=["t"], frame=(-1, 0)
+        )
+        values = {row[0]: row[2] for row, _m in result}
+        assert values == {1: 10, 2: 30, 3: 50}
+
+    def test_following_frame(self):
+        r = Relation.from_rows(["t", "v"], [(1, 10), (2, 20), (3, 30)])
+        result = window_aggregate(
+            r, function="sum", attribute="v", output="s", order_by=["t"], frame=(0, 1)
+        )
+        values = {row[0]: row[2] for row, _m in result}
+        assert values == {1: 30, 2: 50, 3: 30}
+
+    def test_partition_by(self):
+        r = Relation.from_rows(["g", "t", "v"], [("x", 1, 1), ("x", 2, 2), ("y", 1, 5)])
+        result = window_aggregate(
+            r,
+            function="sum",
+            attribute="v",
+            output="s",
+            order_by=["t"],
+            partition_by=["g"],
+            frame=(-10, 0),
+        )
+        values = {(row[0], row[1]): row[3] for row, _m in result}
+        assert values == {("x", 1): 1, ("x", 2): 3, ("y", 1): 5}
+
+    def test_count_min_max_avg(self):
+        r = Relation.from_rows(["t", "v"], [(1, 10), (2, 20), (3, 30)])
+        for function, expected_at_3 in (("count", 2), ("min", 20), ("max", 30), ("avg", 25)):
+            result = window_aggregate(
+                r,
+                function=function,
+                attribute=None if function == "count" else "v",
+                output="x",
+                order_by=["t"],
+                frame=(-1, 0),
+            )
+            values = {row[0]: row[2] for row, _m in result}
+            assert values[3] == expected_at_3
+
+    def test_invalid_frame(self):
+        with pytest.raises(WindowSpecError):
+            window_aggregate(
+                Relation(["t"]), function="count", attribute=None, output="c",
+                order_by=["t"], frame=(1, 0),
+            )
+
+    def test_missing_order_by(self):
+        with pytest.raises(WindowSpecError):
+            window_aggregate(
+                Relation(["t"]), function="count", attribute=None, output="c",
+                order_by=[], frame=(0, 0),
+            )

@@ -1,0 +1,67 @@
+"""Unit tests for relation schemas (repro.core.schema)."""
+
+import pytest
+
+from repro.core.schema import Schema
+from repro.errors import SchemaError
+
+
+class TestConstruction:
+    def test_basic(self):
+        schema = Schema(["a", "b", "c"])
+        assert len(schema) == 3
+        assert list(schema) == ["a", "b", "c"]
+        assert "b" in schema and "z" not in schema
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", "a"])
+
+    def test_empty_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(["a", ""])
+
+    def test_equality_and_hash(self):
+        assert Schema(["a", "b"]) == Schema(["a", "b"])
+        assert Schema(["a", "b"]) != Schema(["b", "a"])
+        assert hash(Schema(["a"])) == hash(Schema(["a"]))
+
+
+class TestLookups:
+    def test_index_of(self):
+        schema = Schema(["a", "b"])
+        assert schema.index_of("b") == 1
+        with pytest.raises(SchemaError):
+            schema.index_of("missing")
+
+    def test_indexes_of_preserves_order(self):
+        assert Schema(["a", "b", "c"]).indexes_of(["c", "a"]) == (2, 0)
+
+    def test_require(self):
+        Schema(["a", "b"]).require(["a"])
+        with pytest.raises(SchemaError):
+            Schema(["a"]).require(["b"])
+
+
+class TestDerivation:
+    def test_project_reorders(self):
+        assert Schema(["a", "b", "c"]).project(["c", "a"]) == Schema(["c", "a"])
+
+    def test_extend(self):
+        assert Schema(["a"]).extend("b", "c") == Schema(["a", "b", "c"])
+
+    def test_rename(self):
+        assert Schema(["a", "b"]).rename({"a": "x"}) == Schema(["x", "b"])
+
+    def test_concat_disambiguates(self):
+        combined = Schema(["a", "b"]).concat(Schema(["b", "c"]), disambiguate=True)
+        assert combined == Schema(["a", "b", "b_r", "c"])
+
+    def test_concat_clash_without_disambiguation_fails(self):
+        with pytest.raises(SchemaError):
+            Schema(["a"]).concat(Schema(["a"]))
+
+    def test_drop(self):
+        assert Schema(["a", "b", "c"]).drop(["b"]) == Schema(["a", "c"])
+        with pytest.raises(SchemaError):
+            Schema(["a"]).drop(["z"])

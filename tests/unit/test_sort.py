@@ -1,0 +1,126 @@
+"""Unit tests for the uncertain sort operators (rewrite and native)."""
+
+import pytest
+
+from repro.core.multiplicity import Multiplicity
+from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation
+from repro.errors import OperatorError
+from repro.ranking.native import sort_native
+from repro.ranking.semantics import sort_rewrite, split_duplicates
+from repro.ranking.topk import sort
+from repro.workloads.synthetic import SyntheticConfig, as_audb, generate_sort_table
+
+
+def example6_relation() -> AURelation:
+    return AURelation.from_rows(
+        ["A", "B"],
+        [
+            ((1, RangeValue(1, 1, 3)), (1, 1, 2)),
+            ((RangeValue(2, 3, 3), 15), (0, 1, 1)),
+            ((RangeValue(1, 1, 2), 2), (1, 1, 1)),
+        ],
+    )
+
+
+def result_as_set(relation: AURelation) -> set:
+    return {
+        (tup.values, (mult.lb, mult.sg, mult.ub)) for tup, mult in relation
+    }
+
+
+class TestSplitDuplicates:
+    def test_case_split_of_fig4(self):
+        pieces = split_duplicates(RangeValue(0, 1, 2), Multiplicity(1, 2, 3))
+        assert pieces[0] == (RangeValue(0, 1, 2), Multiplicity(1, 1, 1))
+        assert pieces[1] == (RangeValue(1, 2, 3), Multiplicity(0, 1, 1))
+        assert pieces[2] == (RangeValue(2, 3, 4), Multiplicity(0, 0, 1))
+
+    def test_zero_possible_multiplicity_yields_nothing(self):
+        assert split_duplicates(RangeValue.certain(0), Multiplicity(0, 0, 0)) == []
+
+
+class TestRewriteSort:
+    def test_example6_output(self):
+        result = sort_rewrite(example6_relation(), ["A", "B"])
+        expected = {
+            ((RangeValue.certain(1), RangeValue(1, 1, 3), RangeValue(0, 0, 1)), (1, 1, 1)),
+            ((RangeValue.certain(1), RangeValue(1, 1, 3), RangeValue(1, 1, 2)), (0, 0, 1)),
+            ((RangeValue(1, 1, 2), RangeValue.certain(2), RangeValue(0, 1, 2)), (1, 1, 1)),
+            ((RangeValue(2, 3, 3), RangeValue.certain(15), RangeValue(2, 2, 3)), (0, 1, 1)),
+        }
+        assert result_as_set(result) == expected
+
+    def test_position_attribute_name(self):
+        result = sort_rewrite(example6_relation(), ["A"], position_attribute="rank")
+        assert "rank" in result.schema
+
+    def test_requires_order_by(self):
+        with pytest.raises(OperatorError):
+            sort_rewrite(example6_relation(), [])
+
+    def test_certain_input_matches_deterministic_sort(self):
+        relation = AURelation.from_rows(["A"], [((5,), 1), ((1,), 1), ((3,), 1)])
+        result = sort_rewrite(relation, ["A"])
+        positions = {tup.value("A").sg: tup.value("pos") for tup, _m in result}
+        assert positions == {
+            1: RangeValue.certain(0),
+            3: RangeValue.certain(1),
+            5: RangeValue.certain(2),
+        }
+
+
+class TestNativeSort:
+    def test_matches_rewrite_on_example6(self):
+        relation = example6_relation()
+        assert result_as_set(sort_native(relation, ["A", "B"])) == result_as_set(
+            sort_rewrite(relation, ["A", "B"])
+        )
+
+    def test_matches_rewrite_on_synthetic_workloads(self):
+        for seed in range(4):
+            config = SyntheticConfig(rows=60, uncertainty=0.2, attribute_range=40, domain=300, seed=seed)
+            audb = as_audb(generate_sort_table(config))
+            native = result_as_set(sort_native(audb, ["a"]))
+            rewrite = result_as_set(sort_rewrite(audb, ["a"]))
+            assert native == rewrite
+
+    def test_descending_matches_rewrite(self):
+        config = SyntheticConfig(rows=40, uncertainty=0.25, attribute_range=30, domain=200, seed=9)
+        audb = as_audb(generate_sort_table(config))
+        assert result_as_set(sort_native(audb, ["a"], descending=True)) == result_as_set(
+            sort_rewrite(audb, ["a"], descending=True)
+        )
+
+    def test_empty_relation(self):
+        relation = AURelation.from_rows(["A"], [])
+        assert len(sort_native(relation, ["A"])) == 0
+
+    def test_requires_order_by(self):
+        with pytest.raises(OperatorError):
+            sort_native(example6_relation(), [])
+
+    def test_early_termination_keeps_possible_topk_tuples(self):
+        config = SyntheticConfig(rows=80, uncertainty=0.2, attribute_range=60, domain=400, seed=2)
+        audb = as_audb(generate_sort_table(config))
+        full = sort_native(audb, ["a"])
+        limited = sort_native(audb, ["a"], k=5)
+        possible_full = {
+            tup.value("rid").sg
+            for tup, _m in full
+            if tup.value("pos").lb < 5
+        }
+        possible_limited = {tup.value("rid").sg for tup, _m in limited}
+        assert possible_full <= possible_limited
+
+
+class TestSortDispatcher:
+    def test_method_selection(self):
+        relation = example6_relation()
+        assert result_as_set(sort(relation, ["A", "B"], method="native")) == result_as_set(
+            sort(relation, ["A", "B"], method="rewrite")
+        )
+
+    def test_unknown_method(self):
+        with pytest.raises(OperatorError):
+            sort(example6_relation(), ["A"], method="magic")

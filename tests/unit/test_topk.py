@@ -1,0 +1,61 @@
+"""Unit tests for uncertain top-k queries (repro.ranking.topk)."""
+
+import pytest
+
+from repro.core.ranges import RangeValue
+from repro.errors import OperatorError
+from repro.ranking.topk import topk
+from repro.workloads.examples import sales_audb
+
+
+class TestFigure1TopK:
+    """Top-2 terms by sales over the running example (Fig. 1f)."""
+
+    def test_possible_answers_cover_all_worlds(self):
+        result = topk(sales_audb(), ["sales"], k=2, descending=True)
+        # Terms 3/5 (one hypercube) and 4 are possible answers; terms 1 and 2
+        # are filtered out because they are certainly not in the top-2.
+        terms = {tup.value("term") for tup, mult in result if mult.possibly_exists}
+        assert RangeValue(3, 3, 5) in terms
+        assert RangeValue.certain(4) in terms
+        assert RangeValue.certain(1) not in terms
+        assert RangeValue.certain(2) not in terms
+
+    def test_both_answers_are_certain(self):
+        result = topk(sales_audb(), ["sales"], k=2, descending=True)
+        assert all(mult.lb == 1 for _tup, mult in result)
+
+    def test_position_ranges_match_paper(self):
+        result = topk(sales_audb(), ["sales"], k=2, descending=True)
+        by_term = {tup.value("term").sg: tup.value("pos") for tup, _m in result}
+        assert by_term[3] == RangeValue(0, 0, 1)
+        assert by_term[4] == RangeValue(0, 1, 1)
+
+    def test_methods_agree(self):
+        native = topk(sales_audb(), ["sales"], k=2, descending=True, method="native")
+        rewrite = topk(sales_audb(), ["sales"], k=2, descending=True, method="rewrite")
+        assert {t.values for t, _ in native} == {t.values for t, _ in rewrite}
+
+
+class TestTopKBehaviour:
+    def test_k_zero_returns_nothing(self):
+        assert len(topk(sales_audb(), ["sales"], k=0)) == 0
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(OperatorError):
+            topk(sales_audb(), ["sales"], k=-1)
+
+    def test_keep_position_false_drops_pos(self):
+        result = topk(sales_audb(), ["sales"], k=2, keep_position=False)
+        assert "pos" not in result.schema
+
+    def test_large_k_keeps_everything(self):
+        result = topk(sales_audb(), ["sales"], k=100)
+        assert len(result.tuples()) == 4
+
+    def test_ascending_topk(self):
+        result = topk(sales_audb(), ["sales"], k=1, descending=False)
+        terms = {tup.value("term").sg for tup, _m in result}
+        # Term 1 has the smallest possible sales; terms 2 and the 3/5 hypercube
+        # may tie or undercut it in some world.
+        assert 1 in terms

@@ -1,0 +1,100 @@
+"""Unit tests for range-annotated tuples (repro.core.tuples)."""
+
+import pytest
+
+from repro.core.ranges import RangeValue
+from repro.core.schema import Schema
+from repro.core.tuples import AUTuple
+from repro.errors import SchemaError
+
+SCHEMA = Schema(["a", "b"])
+
+
+class TestConstruction:
+    def test_from_values_lifts_scalars(self):
+        tup = AUTuple.from_values(SCHEMA, [1, RangeValue(2, 3, 4)])
+        assert tup.value("a") == RangeValue.certain(1)
+        assert tup.value("b") == RangeValue(2, 3, 4)
+
+    def test_from_mapping(self):
+        tup = AUTuple.from_mapping(SCHEMA, {"b": 5, "a": 1})
+        assert tup.values == (RangeValue.certain(1), RangeValue.certain(5))
+
+    def test_certain(self):
+        tup = AUTuple.certain(SCHEMA, (1, 2))
+        assert tup.is_certain
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            AUTuple.from_values(SCHEMA, [1])
+
+    def test_getitem(self):
+        tup = AUTuple.certain(SCHEMA, (1, 2))
+        assert tup["b"] == RangeValue.certain(2)
+
+
+class TestProjections:
+    def test_rows(self):
+        tup = AUTuple.from_values(SCHEMA, [RangeValue(1, 2, 3), 5])
+        assert tup.lower_row() == (1, 5)
+        assert tup.sg_row() == (2, 5)
+        assert tup.upper_row() == (3, 5)
+
+    def test_bounds_row(self):
+        tup = AUTuple.from_values(SCHEMA, [RangeValue(1, 2, 3), 5])
+        assert tup.bounds_row((2, 5))
+        assert tup.bounds_row((1, 5)) and tup.bounds_row((3, 5))
+        assert not tup.bounds_row((4, 5))
+        assert not tup.bounds_row((2, 6))
+        assert not tup.bounds_row((2,))
+
+
+class TestStructuralOps:
+    def test_project(self):
+        tup = AUTuple.certain(SCHEMA, (1, 2))
+        assert tup.project(["b"]).values == (RangeValue.certain(2),)
+
+    def test_extend_and_replace(self):
+        tup = AUTuple.certain(SCHEMA, (1, 2)).extend("c", RangeValue(0, 1, 2))
+        assert tup.schema == Schema(["a", "b", "c"])
+        replaced = tup.replace("a", 9)
+        assert replaced.value("a") == RangeValue.certain(9)
+
+    def test_extend_many(self):
+        tup = AUTuple.certain(SCHEMA, (1, 2)).extend_many([("c", 3), ("d", 4)])
+        assert tup.schema == Schema(["a", "b", "c", "d"])
+
+    def test_concat(self):
+        left = AUTuple.certain(SCHEMA, (1, 2))
+        right = AUTuple.certain(Schema(["c"]), (3,))
+        assert left.concat(right).schema == Schema(["a", "b", "c"])
+
+    def test_as_dict(self):
+        tup = AUTuple.certain(SCHEMA, (1, 2))
+        assert tup.as_dict() == {"a": RangeValue.certain(1), "b": RangeValue.certain(2)}
+
+
+class TestUncertainComparison:
+    def test_certainly_less(self):
+        t1 = AUTuple.from_values(SCHEMA, [RangeValue(1, 1, 2), 0])
+        t2 = AUTuple.from_values(SCHEMA, [RangeValue(3, 4, 5), 0])
+        triple = t1.compare_lt(t2, ["a"])
+        assert triple.lb and triple.sg and triple.ub
+
+    def test_possibly_less_only(self):
+        t1 = AUTuple.from_values(SCHEMA, [RangeValue(1, 3, 5), 0])
+        t2 = AUTuple.from_values(SCHEMA, [RangeValue(2, 2, 4), 0])
+        triple = t1.compare_lt(t2, ["a"])
+        assert not triple.lb and triple.ub
+
+    def test_lexicographic_second_attribute(self):
+        t1 = AUTuple.from_values(SCHEMA, [1, 2])
+        t2 = AUTuple.from_values(SCHEMA, [1, 5])
+        triple = t1.compare_lt(t2, ["a", "b"])
+        assert triple.lb
+
+    def test_incomparable(self):
+        t1 = AUTuple.from_values(SCHEMA, [5, 0])
+        t2 = AUTuple.from_values(SCHEMA, [1, 0])
+        triple = t1.compare_lt(t2, ["a"])
+        assert not triple.ub

@@ -1,0 +1,167 @@
+"""Unit tests for uncertain windowed aggregation (rewrite and native)."""
+
+import pytest
+
+from repro.core.multiplicity import Multiplicity
+from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation
+from repro.errors import WindowSpecError
+from repro.window.native import window_native
+from repro.window.semantics import window_rewrite
+from repro.window.spec import WindowSpec
+from repro.workloads.examples import sales_audb
+
+
+def example7_relation() -> AURelation:
+    """The input of the paper's Example 7."""
+    return AURelation.from_rows(
+        ["A", "B", "C"],
+        [
+            ((1, RangeValue(1, 1, 3), 7), (1, 1, 2)),
+            ((RangeValue(2, 3, 3), 15, 4), (0, 1, 1)),
+            ((RangeValue(1, 1, 2), 2, RangeValue(2, 4, 5)), (1, 1, 1)),
+        ],
+    )
+
+
+EXAMPLE7_SPEC = WindowSpec(
+    function="sum",
+    attribute="C",
+    output="SumC",
+    order_by=("B",),
+    partition_by=("A",),
+    frame=(-1, 0),
+)
+
+
+def sums_by_tuple(result: AURelation) -> dict:
+    return {tup.value("B").sg: tup.value("SumC") for tup, _m in result}
+
+
+class TestExample7:
+    @pytest.mark.parametrize("operator", [window_rewrite, window_native])
+    def test_bounds_match_paper(self, operator):
+        result = operator(example7_relation(), EXAMPLE7_SPEC)
+        sums = sums_by_tuple(result)
+        assert sums[1] == RangeValue(7, 7, 14)
+        assert sums[2] == RangeValue(2, 11, 12)
+        assert sums[15] == RangeValue(4, 4, 9)
+
+    def test_multiplicities_preserved(self):
+        result = window_rewrite(example7_relation(), EXAMPLE7_SPEC)
+        mults = {tup.value("B").sg: m for tup, m in result}
+        assert mults[1] == Multiplicity(1, 1, 2)
+        assert mults[15] == Multiplicity(0, 1, 1)
+
+
+class TestFigure1Window:
+    """The rolling-sum query of Fig. 1g over the running example AU-DB."""
+
+    SPEC = WindowSpec(
+        function="sum", attribute="sales", output="sum", order_by=("term",), frame=(0, 1)
+    )
+
+    @pytest.mark.parametrize("operator", [window_rewrite, window_native])
+    def test_fig1g_bounds(self, operator):
+        result = operator(sales_audb(), self.SPEC)
+        sums = {tup.value("term").sg: tup.value("sum") for tup, _m in result}
+        assert sums[1] == RangeValue(4, 5, 6)
+        assert sums[2] == RangeValue(6, 10, 10)
+        assert sums[3] == RangeValue(4, 11, 14)
+        assert sums[4] == RangeValue(4, 4, 14)
+
+
+class TestOtherAggregates:
+    def base(self) -> AURelation:
+        return AURelation.from_rows(
+            ["t", "v"],
+            [
+                ((1, 10), (1, 1, 1)),
+                ((RangeValue(2, 2, 4), RangeValue(15, 20, 25)), (1, 1, 1)),
+                ((3, 30), (1, 1, 1)),
+            ],
+        )
+
+    def spec(self, function, attribute="v"):
+        return WindowSpec(function, attribute, "out", order_by=("t",), frame=(-1, 0))
+
+    @pytest.mark.parametrize("operator", [window_rewrite, window_native])
+    def test_count(self, operator):
+        result = operator(self.base(), self.spec("count", None))
+        outs = {tup.value("t").sg: tup.value("out") for tup, _m in result}
+        assert outs[1].lb <= 1 <= outs[1].ub
+        assert outs[3].lb <= 2 <= outs[3].ub
+
+    @pytest.mark.parametrize("operator", [window_rewrite, window_native])
+    def test_min(self, operator):
+        result = operator(self.base(), self.spec("min"))
+        outs = {tup.value("t").sg: tup.value("out") for tup, _m in result}
+        assert outs[3].lb <= 15
+        assert outs[1] == RangeValue(10, 10, 10)
+
+    @pytest.mark.parametrize("operator", [window_rewrite, window_native])
+    def test_max(self, operator):
+        result = operator(self.base(), self.spec("max"))
+        outs = {tup.value("t").sg: tup.value("out") for tup, _m in result}
+        assert outs[3].ub >= 30
+
+    @pytest.mark.parametrize("operator", [window_rewrite, window_native])
+    def test_avg_envelope(self, operator):
+        result = operator(self.base(), self.spec("avg"))
+        outs = {tup.value("t").sg: tup.value("out") for tup, _m in result}
+        assert outs[3].lb <= 20 <= outs[3].ub
+
+
+class TestValidationAndFallbacks:
+    def test_output_attribute_clash(self):
+        spec = WindowSpec("sum", "v", "v", order_by=("t",), frame=(-1, 0))
+        relation = AURelation.from_rows(["t", "v"], [((1, 1), 1)])
+        with pytest.raises(WindowSpecError):
+            window_rewrite(relation, spec)
+
+    def test_native_following_frame_matches_rewrite(self):
+        relation = AURelation.from_rows(
+            ["t", "v"],
+            [((1, 10), 1), ((2, RangeValue(5, 6, 7)), 1), ((RangeValue(3, 3, 4), 30), 1)],
+        )
+        spec = WindowSpec("sum", "v", "s", order_by=("t",), frame=(0, 1))
+        native = window_native(relation, spec)
+        rewrite = window_rewrite(relation, spec)
+        native_sums = {tup.value("t").sg: tup.value("s") for tup, _m in native}
+        rewrite_sums = {tup.value("t").sg: tup.value("s") for tup, _m in rewrite}
+        for key, value in rewrite_sums.items():
+            assert native_sums[key].lb <= value.lb and native_sums[key].ub >= value.ub or (
+                native_sums[key].lb <= value.sg <= native_sums[key].ub
+            )
+
+    def test_native_two_sided_frame_falls_back(self):
+        relation = AURelation.from_rows(["t", "v"], [((1, 1), 1), ((2, 2), 1), ((3, 3), 1)])
+        spec = WindowSpec("sum", "v", "s", order_by=("t",), frame=(-1, 1))
+        native = window_native(relation, spec)
+        rewrite = window_rewrite(relation, spec)
+        assert {t.values for t, _ in native} == {t.values for t, _ in rewrite}
+
+    def test_native_certain_partitions_split(self):
+        relation = AURelation.from_rows(
+            ["g", "t", "v"],
+            [(("x", 1, 1), 1), (("x", 2, 2), 1), (("y", 1, 5), 1)],
+        )
+        spec = WindowSpec("sum", "v", "s", order_by=("t",), partition_by=("g",), frame=(-5, 0))
+        result = window_native(relation, spec)
+        sums = {(tup.value("g").sg, tup.value("t").sg): tup.value("s") for tup, _m in result}
+        assert sums[("x", 2)] == RangeValue(3, 3, 3)
+        assert sums[("y", 1)] == RangeValue(5, 5, 5)
+
+    def test_certain_input_matches_deterministic(self):
+        relation = AURelation.from_rows(
+            ["t", "v"], [((1, 10), 1), ((2, 20), 1), ((3, 30), 1)]
+        )
+        spec = WindowSpec("sum", "v", "s", order_by=("t",), frame=(-1, 0))
+        for operator in (window_rewrite, window_native):
+            result = operator(relation, spec)
+            sums = {tup.value("t").sg: tup.value("s") for tup, _m in result}
+            assert sums == {
+                1: RangeValue.certain(10),
+                2: RangeValue.certain(30),
+                3: RangeValue.certain(50),
+            }

@@ -1,0 +1,134 @@
+"""Unit tests for window aggregate bound computation (repro.window.bounds)."""
+
+import pytest
+
+from repro.core.ranges import RangeValue
+from repro.errors import OperatorError
+from repro.window.bounds import WindowMember, aggregate_bounds
+
+
+def member(lb, ub=None, count=1):
+    return WindowMember(lb, lb if ub is None else ub, count)
+
+
+class TestSumBounds:
+    def test_certain_members_only(self):
+        result = aggregate_bounds(
+            "sum",
+            self_member=member(5),
+            certain=[member(2), member(3)],
+            possible=[],
+            frame_size=3,
+        )
+        assert result == RangeValue(10, 10, 10)
+
+    def test_possible_positive_members_raise_upper_only(self):
+        result = aggregate_bounds(
+            "sum",
+            self_member=member(5),
+            certain=[],
+            possible=[member(4), member(7)],
+            frame_size=3,
+        )
+        assert result.lb == 5 and result.ub == 16
+
+    def test_possible_members_limited_by_frame_slots(self):
+        result = aggregate_bounds(
+            "sum",
+            self_member=member(0),
+            certain=[],
+            possible=[member(10), member(9), member(8)],
+            frame_size=3,
+        )
+        assert result.ub == 19  # only two slots remain next to the current row
+
+    def test_negative_possible_members_lower_bound(self):
+        result = aggregate_bounds(
+            "sum",
+            self_member=member(1),
+            certain=[],
+            possible=[member(-5, -5), member(-2, -2), member(3, 3)],
+            frame_size=3,
+        )
+        assert result.lb == 1 - 5 - 2
+        assert result.ub == 1 + 3
+
+    def test_uncertain_values_use_their_bounds(self):
+        result = aggregate_bounds(
+            "sum",
+            self_member=WindowMember(2, 5),
+            certain=[WindowMember(1, 4)],
+            possible=[],
+            frame_size=2,
+        )
+        assert result == RangeValue(3, 3, 9)
+
+    def test_sg_value_clamped(self):
+        result = aggregate_bounds(
+            "sum", self_member=member(1), certain=[], possible=[], frame_size=1, sg_value=99
+        )
+        assert result.sg == result.ub == 1
+
+
+class TestCountBounds:
+    def test_count(self):
+        result = aggregate_bounds(
+            "count",
+            self_member=member(1),
+            certain=[member(1)],
+            possible=[member(1), member(1)],
+            frame_size=3,
+        )
+        assert result.lb == 2 and result.ub == 3
+
+    def test_count_capped_by_frame(self):
+        result = aggregate_bounds(
+            "count",
+            self_member=member(1),
+            certain=[],
+            possible=[member(1)] * 10,
+            frame_size=4,
+        )
+        assert result.ub == 4
+
+
+class TestMinMaxAvg:
+    def test_min(self):
+        result = aggregate_bounds(
+            "min",
+            self_member=WindowMember(5, 6),
+            certain=[WindowMember(3, 8)],
+            possible=[WindowMember(-1, 2)],
+            frame_size=3,
+        )
+        assert result.lb == -1  # a possible member could push the minimum down
+        assert result.ub == 6  # but it can never exceed a certain member's upper bound
+
+    def test_min_without_any_member(self):
+        assert aggregate_bounds(
+            "min", self_member=None, certain=[], possible=[], frame_size=2
+        ) == RangeValue.certain(None)
+
+    def test_max(self):
+        result = aggregate_bounds(
+            "max",
+            self_member=WindowMember(5, 6),
+            certain=[WindowMember(3, 8)],
+            possible=[WindowMember(10, 20)],
+            frame_size=3,
+        )
+        assert result.ub == 20 and result.lb == 5
+
+    def test_avg_envelope(self):
+        result = aggregate_bounds(
+            "avg",
+            self_member=WindowMember(4, 4),
+            certain=[WindowMember(2, 2)],
+            possible=[WindowMember(0, 10)],
+            frame_size=3,
+        )
+        assert result.lb == 0 and result.ub == 10
+
+    def test_unknown_function(self):
+        with pytest.raises(OperatorError):
+            aggregate_bounds("median", self_member=None, certain=[], possible=[], frame_size=1)

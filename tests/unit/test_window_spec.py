@@ -1,0 +1,56 @@
+"""Unit tests for window specifications (repro.window.spec)."""
+
+import pytest
+
+from repro.errors import WindowSpecError
+from repro.window.spec import WindowSpec
+
+
+class TestValidation:
+    def test_basic_spec(self):
+        spec = WindowSpec("sum", "v", "s", order_by=["o"], frame=(-2, 0))
+        assert spec.frame_size == 3
+        assert spec.includes_current_row and spec.preceding_only
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(WindowSpecError):
+            WindowSpec("median", "v", "s", order_by=["o"])
+
+    def test_missing_attribute_for_sum(self):
+        with pytest.raises(WindowSpecError):
+            WindowSpec("sum", None, "s", order_by=["o"])
+
+    def test_count_star_allowed(self):
+        spec = WindowSpec("count", None, "c", order_by=["o"])
+        assert spec.attribute is None
+
+    def test_requires_order_by(self):
+        with pytest.raises(WindowSpecError):
+            WindowSpec("sum", "v", "s", order_by=[])
+
+    def test_invalid_frame(self):
+        with pytest.raises(WindowSpecError):
+            WindowSpec("sum", "v", "s", order_by=["o"], frame=(1, 0))
+
+
+class TestDerivedProperties:
+    def test_following_only(self):
+        spec = WindowSpec("sum", "v", "s", order_by=["o"], frame=(0, 3))
+        assert spec.following_only and not spec.preceding_only
+        assert spec.frame_size == 4
+
+    def test_excludes_current_row(self):
+        spec = WindowSpec("sum", "v", "s", order_by=["o"], frame=(-3, -1))
+        assert not spec.includes_current_row
+
+    def test_mirrored_swaps_frame_and_direction(self):
+        spec = WindowSpec("sum", "v", "s", order_by=["o"], frame=(0, 3), descending=False)
+        mirrored = spec.mirrored()
+        assert mirrored.frame == (-3, 0)
+        assert mirrored.descending is True
+        assert mirrored.mirrored() == spec
+
+    def test_spec_is_hashable_value_object(self):
+        a = WindowSpec("sum", "v", "s", order_by=["o"], frame=(-1, 0))
+        b = WindowSpec("sum", "v", "s", order_by=("o",), frame=(-1, 0))
+        assert a == b and hash(a) == hash(b)

@@ -1,0 +1,118 @@
+"""Unit tests for workload generators (synthetic, real-world, running example)."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.examples import SALES_SCHEMA, sales_audb, sales_worlds
+from repro.workloads.realworld import (
+    REAL_WORLD_DATASETS,
+    crimes_dataset,
+    healthcare_dataset,
+    iceberg_dataset,
+)
+from repro.workloads.synthetic import SyntheticConfig, as_audb, generate_sort_table, generate_window_table
+
+
+class TestSyntheticConfig:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            SyntheticConfig(rows=-1)
+        with pytest.raises(WorkloadError):
+            SyntheticConfig(uncertainty=1.5)
+        with pytest.raises(WorkloadError):
+            SyntheticConfig(domain=0)
+
+
+class TestSortTable:
+    def test_shape(self):
+        config = SyntheticConfig(rows=100, uncertainty=0.1, attribute_range=50, seed=1)
+        relation = generate_sort_table(config)
+        assert len(relation) == 100
+        assert relation.uncertain_count == 10
+        assert list(relation.schema) == ["rid", "a", "b"]
+
+    def test_deterministic_given_seed(self):
+        config = SyntheticConfig(rows=30, uncertainty=0.2, seed=7)
+        first = generate_sort_table(config)
+        second = generate_sort_table(config)
+        assert [xt.alternatives for xt in first.xtuples] == [xt.alternatives for xt in second.xtuples]
+
+    def test_zero_uncertainty(self):
+        relation = generate_sort_table(SyntheticConfig(rows=20, uncertainty=0.0))
+        assert relation.uncertain_count == 0
+
+    def test_rid_certain_across_alternatives(self):
+        relation = generate_sort_table(SyntheticConfig(rows=50, uncertainty=0.3, seed=2))
+        for xt in relation.xtuples:
+            assert len({alt[0] for alt in xt.alternatives}) == 1
+
+    def test_range_respected(self):
+        config = SyntheticConfig(rows=60, uncertainty=0.5, attribute_range=10, seed=3)
+        audb = as_audb(generate_sort_table(config))
+        for tup, _m in audb:
+            assert tup.value("a").ub - tup.value("a").lb <= 10
+
+
+class TestWindowTable:
+    def test_shape(self):
+        config = SyntheticConfig(rows=80, uncertainty=0.1, attribute_range=20, seed=5)
+        relation = generate_window_table(config, partitions=3)
+        assert list(relation.schema) == ["rid", "o", "g", "v"]
+        assert relation.uncertain_count == 8
+        groups = {alt[2] for xt in relation.xtuples for alt in xt.alternatives}
+        assert groups <= {0, 1, 2}
+
+    def test_single_partition(self):
+        relation = generate_window_table(SyntheticConfig(rows=10, seed=1), partitions=1)
+        assert {alt[2] for xt in relation.xtuples for alt in xt.alternatives} == {0}
+
+
+class TestRealWorldDatasets:
+    def test_bundles(self):
+        bundles = REAL_WORLD_DATASETS(scale=0.05, seed=0)
+        assert [b.name for b in bundles] == ["iceberg", "crimes", "healthcare"]
+        for bundle in bundles:
+            assert bundle.rank_query.k > 0
+            assert bundle.window_query.output not in ("",)
+            assert len(bundle.rank_table) > 0
+            assert len(bundle.window_table) > 0
+
+    def test_scale_must_be_positive(self):
+        with pytest.raises(WorkloadError):
+            REAL_WORLD_DATASETS(scale=0)
+
+    def test_iceberg_window_is_following_sum(self):
+        bundle = iceberg_dataset(rows=50, seed=1)
+        assert bundle.window_query.function == "sum"
+        assert bundle.window_query.frame == (0, 3)
+
+    def test_crimes_window_is_two_sided_min(self):
+        bundle = crimes_dataset(rows=50, seed=1)
+        assert bundle.window_query.function == "min"
+        assert bundle.window_query.frame == (-1, 1)
+
+    def test_healthcare_rank_query_ascending(self):
+        bundle = healthcare_dataset(rows=50, seed=1)
+        assert bundle.rank_query.descending is False
+        assert bundle.window_query.descending is True
+
+    def test_uncertainty_rates_match_paper(self):
+        assert iceberg_dataset(rows=100).uncertainty == pytest.approx(0.011)
+        assert crimes_dataset(rows=100).uncertainty == pytest.approx(0.001)
+        assert healthcare_dataset(rows=100).uncertainty == pytest.approx(0.01)
+
+
+class TestRunningExample:
+    def test_worlds(self):
+        worlds = sales_worlds()
+        assert len(worlds) == 3
+        assert worlds.probabilities == pytest.approx((0.4, 0.3, 0.3))
+        assert worlds.schema == SALES_SCHEMA
+
+    def test_audb_bounds_all_worlds(self):
+        from repro.core.bounding import bounds_worlds, sg_world_matches
+
+        worlds = sales_worlds()
+        audb = sales_audb()
+        assert bounds_worlds(audb, worlds)
+        assert sg_world_matches(audb, worlds)
