@@ -1,0 +1,89 @@
+"""Small-N smoke run of the sort-scaling benchmark on both backends.
+
+Used by CI to catch two regressions fast, without the full benchmark suite:
+
+* **backend divergence** — the columnar backend must produce bit-identical
+  results to the Python backend (and both must match the definitional
+  rewrite),
+* **performance regressions** — the columnar backend should stay faster
+  than the Python backend at the smoke size (the full
+  ``bench_fig14_sort_scaling.py`` run measures the real ratios, >=3x at the
+  larger sizes).  Wall-clock comparisons are noisy on shared CI runners, so
+  a slowdown only *warns* by default; set ``REPRO_SMOKE_STRICT_PERF=1`` to
+  make it fatal (e.g. for local regression hunting).
+
+Run directly: ``PYTHONPATH=src python benchmarks/smoke_backends.py [rows]``.
+Exits non-zero on divergence (always) or slowdown (strict mode only).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+
+from repro.columnar.relation import ColumnarAURelation
+from repro.harness.adapters import audb_from_workload
+from repro.ranking.topk import sort as au_sort, topk as au_topk
+from repro.workloads.synthetic import SyntheticConfig, generate_sort_table
+
+
+def best_of(fn, reps: int = 5) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def main(rows: int = 200) -> int:
+    config = SyntheticConfig(
+        rows=rows, uncertainty=0.05, attribute_range=max(4, rows // 2), domain=10 * rows, seed=0
+    )
+    audb = audb_from_workload(generate_sort_table(config))
+    columnar = ColumnarAURelation.from_relation(audb)
+    order_by = ["a"]
+
+    python_result = au_sort(audb, order_by, method="native")
+    columnar_result = au_sort(columnar, order_by, method="native", backend="columnar")
+    rewrite_result = au_sort(audb, order_by, method="rewrite")
+
+    failures = 0
+    if not (
+        python_result.schema == columnar_result.schema == rewrite_result.schema
+        and python_result._rows == columnar_result._rows == rewrite_result._rows
+    ):
+        print("FAIL: sort backends/methods diverge (python vs columnar vs rewrite)")
+        failures += 1
+    for k in (1, rows // 4):
+        tp = au_topk(audb, order_by, k, method="native")
+        tc = au_topk(audb, order_by, k, method="native", backend="columnar")
+        if tp._rows != tc._rows:
+            print(f"FAIL: top-{k} backends diverge")
+            failures += 1
+
+    python_ms = best_of(lambda: au_sort(audb, order_by, method="native"))
+    columnar_ms = best_of(lambda: au_sort(columnar, order_by, method="native", backend="columnar"))
+    speedup = python_ms / columnar_ms if columnar_ms else float("inf")
+    print(
+        f"rows={rows}: python={python_ms:.2f}ms columnar={columnar_ms:.2f}ms "
+        f"speedup={speedup:.2f}x"
+    )
+    if speedup < 1.0:
+        if os.environ.get("REPRO_SMOKE_STRICT_PERF") == "1":
+            print("FAIL: columnar backend slower than the Python backend at smoke size")
+            failures += 1
+        else:
+            print(
+                "WARN: columnar backend slower than the Python backend at smoke size "
+                "(not fatal; set REPRO_SMOKE_STRICT_PERF=1 to enforce)"
+            )
+
+    if not failures:
+        print("OK: backends agree bit-for-bit")
+    return failures
+
+
+if __name__ == "__main__":
+    sys.exit(main(int(sys.argv[1]) if len(sys.argv) > 1 else 200))

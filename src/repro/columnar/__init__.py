@@ -1,0 +1,29 @@
+"""Columnar AU-relation backend (NumPy-backed vectorized kernels).
+
+The tuple-at-a-time Python operators in :mod:`repro.ranking` pay interpreter
+overhead per tuple; this package trades the row-major ``AURelation`` layout
+for a columnar one — per-attribute ``lb`` / ``sg`` / ``ub`` arrays plus a
+``(lb, sg, ub)`` multiplicity matrix — and evaluates the hot paths of the
+native operators with vectorized kernels:
+
+* interval-lexicographic "certainly / possibly precedes" comparisons,
+* sort-position bounds (Equations 1-3 of the paper),
+* selected-guess positions under the total order ``<ᵗᵒᵗᵃˡ_O``, and
+* the batched emission schedule that replaces per-tuple heap feeding in
+  the one-pass sort / top-k sweep.
+
+The public entry points (:func:`repro.ranking.topk.sort`,
+:func:`repro.ranking.native.sort_native`,
+:func:`repro.relational.sort.sort_operator`) expose the backend behind a
+``backend="python" | "columnar"`` switch; results are bound-identical to the
+Python backend (enforced by the differential property suite under
+``tests/property/``).
+
+NumPy is required only when the columnar backend is actually selected; the
+rest of the library stays importable without it.
+"""
+
+from repro.columnar.relation import ColumnarAURelation
+from repro.columnar.sort import sort_columnar
+
+__all__ = ["ColumnarAURelation", "sort_columnar"]

@@ -1,0 +1,188 @@
+"""Columnar storage for AU-relations.
+
+A :class:`ColumnarAURelation` stores an :class:`~repro.core.relation.AURelation`
+in structure-of-arrays form: for every attribute three aligned arrays holding
+the ``lb`` / ``sg`` / ``ub`` components of the range-annotated values, plus a
+``(lb, sg, ub)`` multiplicity matrix.  Row ``i`` of every array corresponds to
+the ``i``-th distinct range tuple of the source relation (in iteration
+order), so conversions are lossless round trips:
+
+>>> columnar = ColumnarAURelation.from_relation(audb)
+>>> columnar.to_relation()._rows == audb._rows
+True
+
+Numeric columns are stored as ``int64`` / ``float64`` arrays (enabling the
+vectorized kernels of :mod:`repro.columnar.kernels`); columns mixing types or
+containing strings / ``None`` fall back to ``object`` arrays, which keeps the
+representation lossless for every scalar the row-major layout accepts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.core.multiplicity import Multiplicity
+from repro.core.ranges import RangeValue, Scalar
+from repro.core.relation import AURelation
+from repro.core.schema import Schema
+from repro.core.tuples import AUTuple
+
+__all__ = ["ColumnarAURelation", "AttributeColumn", "column_array", "as_columnar"]
+
+
+def column_array(values: Sequence[Scalar]) -> np.ndarray:
+    """Pack one bound-component column into the tightest lossless array.
+
+    ``int``-only columns become ``int64`` (falling back to ``object`` on
+    overflow), ``float``-only columns become ``float64``, and everything else
+    (strings, ``None``, booleans, mixed types) is stored as ``object`` so the
+    original Python scalars survive the round trip unchanged.
+    """
+    kinds = {type(v) for v in values}
+    if kinds == {int}:
+        try:
+            return np.array(values, dtype=np.int64)
+        except OverflowError:
+            pass
+    elif kinds == {float}:
+        return np.array(values, dtype=np.float64)
+    out = np.empty(len(values), dtype=object)
+    for i, value in enumerate(values):
+        out[i] = value
+    return out
+
+
+class AttributeColumn:
+    """The three bound-component arrays of one attribute."""
+
+    __slots__ = ("name", "lb", "sg", "ub")
+
+    def __init__(self, name: str, lb: np.ndarray, sg: np.ndarray, ub: np.ndarray):
+        self.name = name
+        self.lb = lb
+        self.sg = sg
+        self.ub = ub
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether every component array has a (vectorizable) numeric dtype."""
+        return all(arr.dtype != object for arr in (self.lb, self.sg, self.ub))
+
+    def value(self, row: int) -> RangeValue:
+        """Reconstruct the range value of one row."""
+        return RangeValue(_item(self.lb[row]), _item(self.sg[row]), _item(self.ub[row]))
+
+
+def _item(value: object) -> Scalar:
+    """Unwrap a NumPy scalar back to the corresponding Python scalar."""
+    return value.item() if isinstance(value, np.generic) else value  # type: ignore[return-value]
+
+
+class ColumnarAURelation:
+    """An AU-relation in structure-of-arrays (columnar) layout."""
+
+    __slots__ = ("schema", "columns", "mult_lb", "mult_sg", "mult_ub", "_values")
+
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Sequence[AttributeColumn],
+        mult_lb: np.ndarray,
+        mult_sg: np.ndarray,
+        mult_ub: np.ndarray,
+        _values: list[tuple[RangeValue, ...]] | None = None,
+    ):
+        self.schema = schema
+        self.columns = tuple(columns)
+        self.mult_lb = mult_lb
+        self.mult_sg = mult_sg
+        self.mult_ub = mult_ub
+        # Cached row-major value tuples (populated when converting from an
+        # AURelation) so that materialising results does not have to rebuild
+        # every RangeValue from the arrays.
+        self._values = _values
+
+    # -- conversions ---------------------------------------------------------
+
+    @staticmethod
+    def from_relation(relation: AURelation) -> "ColumnarAURelation":
+        """Losslessly convert a row-major AU-relation (iteration order kept)."""
+        schema = relation.schema
+        values: list[tuple[RangeValue, ...]] = []
+        mults: list[Multiplicity] = []
+        for tup, mult in relation:
+            values.append(tup.values)
+            mults.append(mult)
+        columns = []
+        for j, name in enumerate(schema):
+            columns.append(
+                AttributeColumn(
+                    name,
+                    column_array([row[j].lb for row in values]),
+                    column_array([row[j].sg for row in values]),
+                    column_array([row[j].ub for row in values]),
+                )
+            )
+        return ColumnarAURelation(
+            schema,
+            columns,
+            np.array([m.lb for m in mults], dtype=np.int64),
+            np.array([m.sg for m in mults], dtype=np.int64),
+            np.array([m.ub for m in mults], dtype=np.int64),
+            _values=values,
+        )
+
+    def to_relation(self) -> AURelation:
+        """Convert back to the row-major layout (tuples with equal hypercubes merge)."""
+        out = AURelation(self.schema)
+        for i in range(len(self)):
+            out.add(
+                AUTuple(self.schema, self.row_values(i)),
+                Multiplicity(int(self.mult_lb[i]), int(self.mult_sg[i]), int(self.mult_ub[i])),
+            )
+        return out
+
+    # -- access --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.mult_lb)
+
+    def column(self, name: str) -> AttributeColumn:
+        """The bound-component arrays of one attribute."""
+        return self.columns[self.schema.index_of(name)]
+
+    def row_values(self, row: int) -> tuple[RangeValue, ...]:
+        """The range values of one row (cached when converted from row-major)."""
+        if self._values is not None:
+            return self._values[row]
+        return tuple(column.value(row) for column in self.columns)
+
+    def multiplicity(self, row: int) -> Multiplicity:
+        return Multiplicity(
+            int(self.mult_lb[row]), int(self.mult_sg[row]), int(self.mult_ub[row])
+        )
+
+    def __iter__(self) -> Iterator[tuple[AUTuple, Multiplicity]]:
+        for i in range(len(self)):
+            yield AUTuple(self.schema, self.row_values(i)), self.multiplicity(i)
+
+    @property
+    def total_possible(self) -> int:
+        return int(self.mult_ub.sum()) if len(self) else 0
+
+    @property
+    def total_certain(self) -> int:
+        return int(self.mult_lb.sum()) if len(self) else 0
+
+    @property
+    def total_sg(self) -> int:
+        return int(self.mult_sg.sum()) if len(self) else 0
+
+
+def as_columnar(relation: AURelation | ColumnarAURelation) -> ColumnarAURelation:
+    """Coerce either relation layout to columnar (no copy when already columnar)."""
+    if isinstance(relation, ColumnarAURelation):
+        return relation
+    return ColumnarAURelation.from_relation(relation)

@@ -61,9 +61,16 @@ def audb_sort_bounds(
     method: str = "native",
     descending: bool = False,
     k: int | None = None,
+    backend: str = "python",
 ) -> dict[Scalar, tuple[float, float]]:
-    """Per-tuple sort-position bounds produced by the AU-DB sort operator."""
-    ranked = au_sort(audb, list(order_by), method=method, descending=descending, k=k)
+    """Per-tuple sort-position bounds produced by the AU-DB sort operator.
+
+    ``backend="columnar"`` evaluates the sort with the vectorized kernels of
+    :mod:`repro.columnar`; the bounds are identical to the Python backend.
+    """
+    ranked = au_sort(
+        audb, list(order_by), method=method, descending=descending, k=k, backend=backend
+    )
     return extract_bounds(ranked, key_attribute, "pos")
 
 

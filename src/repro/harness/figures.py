@@ -256,11 +256,22 @@ def fig14_sort_scaling(
     seed: int = 0,
     rewrite_limit: int = 1024,
 ) -> ExperimentResult:
-    """Figure 14: sorting runtime vs data size (small sweep incl. Symb / PT-k)."""
+    """Figure 14: sorting runtime vs data size (small sweep incl. Symb / PT-k).
+
+    ``Imp-Col`` reports the native operator on the columnar backend
+    (:mod:`repro.columnar`, vectorized kernels over a pre-converted columnar
+    relation); its bounds are identical to ``Imp``.  Without NumPy the
+    column degrades to ``-`` instead of aborting the figure.
+    """
+    try:
+        from repro.columnar.relation import ColumnarAURelation
+    except ImportError:
+        ColumnarAURelation = None
+
     result = ExperimentResult(
         name="fig14",
         description="Sorting runtime (ms) vs data size; '-' marks methods infeasible at that size",
-        headers=["Panel", "Size", "Det", "Imp", "Rewr", "MCDB10", "MCDB20", "Symb", "PT-k"],
+        headers=["Panel", "Size", "Det", "Imp", "Imp-Col", "Rewr", "MCDB10", "MCDB20", "Symb", "PT-k"],
     )
     order_by = ["a"]
     for panel, sizes, include_exact in (("a-small", small_sizes, True), ("b-large", large_sizes, False)):
@@ -270,6 +281,12 @@ def fig14_sort_scaling(
             audb = audb_from_workload(workload)
             _, det_ms = timed_ms(lambda: det_sort(workload, order_by))
             _, imp_ms = timed_ms(lambda: au_sort(audb, order_by, method="native"))
+            imp_col_ms: object = "-"
+            if ColumnarAURelation is not None:
+                columnar = ColumnarAURelation.from_relation(audb)
+                _, imp_col_ms = timed_ms(
+                    lambda: au_sort(columnar, order_by, method="native", backend="columnar")
+                )
             if size <= rewrite_limit:
                 _, rewr_ms = timed_ms(lambda: au_sort(audb, order_by, method="rewrite"))
             else:
@@ -296,7 +313,7 @@ def fig14_sort_scaling(
                         workload, order_by, k=max(2, size // 4), key_attribute="rid", samples=100, seed=seed
                     )
                 )
-            result.add(panel, size, det_ms, imp_ms, rewr_ms, mcdb10_ms, mcdb20_ms, symb_ms, ptk_ms)
+            result.add(panel, size, det_ms, imp_ms, imp_col_ms, rewr_ms, mcdb10_ms, mcdb20_ms, symb_ms, ptk_ms)
     return result
 
 

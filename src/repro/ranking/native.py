@@ -64,6 +64,7 @@ def sort_native(
     k: int | None = None,
     position_attribute: str = "pos",
     descending: bool = False,
+    backend: str = "python",
 ) -> AURelation:
     """One-pass uncertain sort (Algorithm 1); optionally top-k limited.
 
@@ -71,7 +72,28 @@ def sort_native(
     With ``k`` given, tuples that are certainly not among the first ``k`` may
     be omitted (their multiplicity would be filtered to zero by the top-k
     selection anyway), which lets the sweep terminate early.
+
+    ``backend="columnar"`` evaluates the same bounds with the NumPy-backed
+    vectorized kernels of :mod:`repro.columnar` (results are bit-identical;
+    the heap sweep is replaced by the batched emission schedule).
     """
+    if backend == "columnar":
+        try:
+            from repro.columnar.sort import sort_columnar  # local: NumPy optional
+        except ImportError as exc:
+            raise OperatorError("the columnar backend requires NumPy") from exc
+
+        return sort_columnar(
+            relation,
+            order_by,
+            k=k,
+            position_attribute=position_attribute,
+            descending=descending,
+        )
+    if backend != "python":
+        raise OperatorError(
+            f"unknown sort backend {backend!r}; expected 'python' or 'columnar'"
+        )
     if not order_by:
         raise OperatorError("sort requires at least one order-by attribute")
     items = relation_items(relation, order_by, descending=descending)
@@ -101,9 +123,14 @@ def sort_native(
         sg = max(lower, min(sg, upper))
         base = RangeValue(lower, sg, upper)
         for position, mult in split_duplicates(base, item.mult):
+            if k is not None and position.lb >= k:
+                # This duplicate is certainly outside the top-k; a selection
+                # on the position attribute would filter it to zero anyway.
+                break
             out.add(item.tup.extend(position_attribute, position), mult)
         rank_lower += item.mult.lb
 
+    cutoff = False
     for index, item in enumerate(items):
         # Emit every tuple that certainly precedes the incoming one.
         while todo and todo[0][0] < item.key_lower:
@@ -111,11 +138,17 @@ def sort_native(
             emit(closed_index)
         if k is not None and rank_lower > k:
             # Every unprocessed tuple certainly follows all emitted tuples and
-            # is therefore certainly outside the top-k.  Tuples still in the
-            # heap may yet be possible answers, so flush them before stopping.
+            # is therefore certainly outside the top-k: stop feeding the heap.
+            # Tuples still in the heap may yet be possible answers, so keep
+            # accumulating the possible-multiplicity prefix (which keeps their
+            # position upper bounds identical to the definitional semantics)
+            # until the heap drains.
+            cutoff = True
+        if cutoff and not todo:
             break
-        pos_lower_of[item.seq] = rank_lower
-        heapq.heappush(todo, (item.key_upper, item.seq, index))
+        if not cutoff:
+            pos_lower_of[item.seq] = rank_lower
+            heapq.heappush(todo, (item.key_upper, item.seq, index))
         processed_keys.append(item.key_lower)
         prefix_possible.append(prefix_possible[-1] + item.mult.ub)
 

@@ -29,21 +29,32 @@ def sort(
     position_attribute: str = "pos",
     k: int | None = None,
     descending: bool = False,
+    backend: str = "python",
 ) -> AURelation:
-    """Uncertain sort using either the native sweep or the rewrite semantics."""
-    if method == "native":
-        return sort_native(
-            relation,
-            order_by,
-            k=k,
-            position_attribute=position_attribute,
-            descending=descending,
-        )
-    if method == "rewrite":
+    """Uncertain sort using either the native sweep or the rewrite semantics.
+
+    ``backend="columnar"`` routes to the NumPy-backed vectorized kernels of
+    :mod:`repro.columnar` (bit-identical bounds for both methods — the
+    columnar kernels evaluate the definitional Equations 1-3 directly, which
+    the native sweep reproduces).
+    """
+    if method not in ("native", "rewrite"):
+        raise OperatorError(f"unknown sort method {method!r}; expected 'native' or 'rewrite'")
+    if method == "rewrite" and backend == "python":
         return sort_rewrite(
             relation, order_by, position_attribute=position_attribute, descending=descending
         )
-    raise OperatorError(f"unknown sort method {method!r}; expected 'native' or 'rewrite'")
+    # sort_native owns the backend dispatch (including the NumPy gate); the
+    # columnar kernels evaluate the definitional equations directly, so the
+    # rewrite method on the columnar backend is the unpruned columnar sort.
+    return sort_native(
+        relation,
+        order_by,
+        k=k if method == "native" else None,
+        position_attribute=position_attribute,
+        descending=descending,
+        backend=backend,
+    )
 
 
 def topk(
@@ -55,12 +66,14 @@ def topk(
     position_attribute: str = "pos",
     keep_position: bool = True,
     descending: bool = False,
+    backend: str = "python",
 ) -> AURelation:
     """Uncertain top-k: tuples possibly among the first ``k`` in the sort order.
 
     The result's multiplicity triples encode answer classes: a lower bound of
     one marks a *certain* answer, an upper bound of one with a lower bound of
-    zero marks a merely *possible* answer.
+    zero marks a merely *possible* answer.  ``backend="columnar"`` computes
+    the underlying sort with the vectorized kernels of :mod:`repro.columnar`.
     """
     if k < 0:
         raise OperatorError("k must be non-negative")
@@ -71,6 +84,7 @@ def topk(
         position_attribute=position_attribute,
         k=k if method == "native" else None,
         descending=descending,
+        backend=backend,
     )
     filtered = select(ranked, attr(position_attribute).lt(k))
     if keep_position:

@@ -12,7 +12,7 @@ from repro.relational.operators import (
     select,
     union,
 )
-from repro.relational.sort import sort_operator, topk, total_order_key
+from repro.relational.sort import make_total_order_key, sort_operator, topk, total_order_key
 from repro.relational.window import window_aggregate
 from repro.relational.aggregates import aggregate, supported_aggregates
 
@@ -31,6 +31,7 @@ __all__ = [
     "sort_operator",
     "topk",
     "total_order_key",
+    "make_total_order_key",
     "window_aggregate",
     "aggregate",
     "supported_aggregates",

@@ -16,7 +16,7 @@ from repro.core.ranges import Scalar
 from repro.errors import WindowSpecError
 from repro.relational.aggregates import aggregate
 from repro.relational.relation import Relation, Row
-from repro.relational.sort import total_order_key
+from repro.relational.sort import _checked_sort, make_total_order_key
 
 __all__ = ["window_aggregate"]
 
@@ -69,11 +69,9 @@ def window_aggregate(
         key = tuple(row[i] for i in partition_idx)
         partitions.setdefault(key, []).append(row)
 
+    order_key = make_total_order_key(relation.schema, order_by)
     for rows in partitions.values():
-        rows.sort(
-            key=lambda row: total_order_key(relation.schema, order_by, row),
-            reverse=descending,
-        )
+        _checked_sort(rows, relation, order_key, reverse=descending)
         n = len(rows)
         for position, row in enumerate(rows):
             start = max(0, position + lower)

@@ -4,10 +4,20 @@ from __future__ import annotations
 
 from hypothesis import strategies as st
 
+from repro.core.multiplicity import Multiplicity
 from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation
+from repro.core.schema import Schema
 from repro.incomplete.xtuples import UncertainRelation
 
-__all__ = ["range_values", "uncertain_relations", "small_ints"]
+__all__ = [
+    "range_values",
+    "uncertain_relations",
+    "small_ints",
+    "multiplicities",
+    "au_relations",
+    "lifted_au_relations",
+]
 
 small_ints = st.integers(min_value=-6, max_value=6)
 
@@ -56,4 +66,72 @@ def uncertain_relations(
         share = (0.5 if maybe_absent else 1.0) / n_alternatives
         probabilities = [share] * n_alternatives
         relation.add_alternatives(alternatives, probabilities, sg_index=0)
+    return relation
+
+
+@st.composite
+def multiplicities(draw, *, max_count: int = 2) -> Multiplicity:
+    """A well-formed ``N³`` multiplicity triple (possibly zero)."""
+    bounds = sorted(
+        draw(st.lists(st.integers(min_value=0, max_value=max_count), min_size=3, max_size=3))
+    )
+    return Multiplicity(bounds[0], bounds[1], bounds[2])
+
+
+@st.composite
+def au_relations(
+    draw,
+    *,
+    attributes: tuple[str, ...] = ("a", "b"),
+    max_tuples: int = 6,
+    min_value: int = -6,
+    max_value: int = 6,
+    max_count: int = 2,
+) -> AURelation:
+    """A small random AU-relation with integer range values.
+
+    Tuples with equal hypercubes merge on insertion (the ``K``-relation
+    view), exactly as operator inputs do; multiplicity triples may exceed one
+    in every component.
+    """
+    relation = AURelation(Schema(attributes))
+    count = draw(st.integers(min_value=0, max_value=max_tuples))
+    for _ in range(count):
+        values = [
+            draw(range_values(min_value=min_value, max_value=max_value)) for _ in attributes
+        ]
+        relation.add_values(values, draw(multiplicities(max_count=max_count)))
+    return relation
+
+
+@st.composite
+def lifted_au_relations(
+    draw,
+    *,
+    attributes: tuple[str, ...] = ("a", "b"),
+    max_tuples: int = 6,
+    min_value: int = -6,
+    max_value: int = 6,
+) -> AURelation:
+    """A random AU-relation from the lifted x-tuple class of the paper.
+
+    :func:`repro.incomplete.lift.lift_xtuples` always produces multiplicity
+    triples with ``ub == 1`` (each x-tuple occurs at most once); this is the
+    workload class the paper's window operators are evaluated on, and the
+    class over which the native window sweep is bit-identical to the
+    definitional rewrite.
+    """
+    relation = AURelation(Schema(attributes))
+    count = draw(st.integers(min_value=0, max_value=max_tuples))
+    seen: set[tuple[RangeValue, ...]] = set()
+    for _ in range(count):
+        values = tuple(
+            draw(range_values(min_value=min_value, max_value=max_value)) for _ in attributes
+        )
+        if values in seen:  # equal hypercubes would merge and exceed ub == 1
+            continue
+        seen.add(values)
+        lb = draw(st.integers(min_value=0, max_value=1))
+        sg = draw(st.integers(min_value=lb, max_value=1))
+        relation.add_values(values, Multiplicity(lb, sg, 1))
     return relation

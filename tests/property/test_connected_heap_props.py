@@ -1,0 +1,121 @@
+"""Model-based properties for the connected heap (Section 8.2).
+
+A :class:`ConnectedHeap` must behave exactly like a set of records offering
+"pop the minimum under key ``i``" for every component — the backwards-pointer
+machinery is pure optimisation.  These properties drive random interleaved
+insert / pop / pop_while sequences against a naive model (a plain list) and
+against :class:`NaiveMultiHeap`, checking every invariant the window sweep
+relies on:
+
+* ``pop(h)`` returns a payload minimising component ``h``'s key over the
+  *live* records, and removes it from every component,
+* ``peek`` / ``peek_key`` agree with ``pop`` without mutating,
+* ``len`` equals the number of live records in every component heap.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.connected_heap import ConnectedHeap, NaiveMultiHeap
+
+KEY_FUNCTIONS = (
+    lambda item: item[0],
+    lambda item: item[1],
+    lambda item: -item[2],
+)
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(
+            st.just("insert"),
+            st.tuples(
+                st.integers(min_value=0, max_value=9),
+                st.integers(min_value=-9, max_value=9),
+                st.integers(min_value=-9, max_value=9),
+            ),
+        ),
+        st.tuples(st.just("pop"), st.integers(min_value=0, max_value=2)),
+        st.tuples(st.just("pop_while"), st.integers(min_value=0, max_value=2)),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(ops=operations)
+def test_connected_heap_matches_reference_model(ops):
+    heap = ConnectedHeap(KEY_FUNCTIONS)
+    model: list[tuple[int, int, int]] = []
+    serial = 0
+
+    for op, payload in ops:
+        if op == "insert":
+            # Tag payloads with a serial so equal keys stay distinguishable.
+            record = payload + (serial,)
+            serial += 1
+            heap.insert(record)
+            model.append(record)
+        elif op == "pop":
+            component = payload
+            if not model:
+                continue
+            min_key = min(KEY_FUNCTIONS[component](item) for item in model)
+            assert heap.peek_key(component) == min_key
+            popped = heap.pop(component)
+            assert KEY_FUNCTIONS[component](popped) == min_key
+            assert popped in model
+            model.remove(popped)
+        else:  # pop_while: drain everything below the current median key
+            component = payload
+            if not model:
+                continue
+            keys = sorted(KEY_FUNCTIONS[component](item) for item in model)
+            threshold = keys[len(keys) // 2]
+            popped = heap.pop_while(component, lambda item: KEY_FUNCTIONS[component](item) < threshold)
+            expected = [item for item in model if KEY_FUNCTIONS[component](item) < threshold]
+            assert sorted(popped) == sorted(expected)
+            for item in popped:
+                model.remove(item)
+
+        assert len(heap) == len(model)
+        assert sorted(heap.items()) == sorted(model)
+        # Every component heap must agree on the live record set.
+        for component in range(3):
+            if model:
+                expected_min = min(KEY_FUNCTIONS[component](item) for item in model)
+                assert heap.peek_key(component) == expected_min
+
+
+#: Totally ordered key functions (serial tiebreak) so that both
+#: implementations are forced to pop the *same* record on every operation.
+UNIQUE_KEY_FUNCTIONS = (
+    lambda item: (item[0], item[3]),
+    lambda item: (item[1], item[3]),
+    lambda item: (-item[2], item[3]),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=operations)
+def test_connected_heap_agrees_with_naive_multi_heap(ops):
+    """The backwards-pointer heap and the linear-search baseline are equivalent."""
+    connected = ConnectedHeap(UNIQUE_KEY_FUNCTIONS)
+    naive = NaiveMultiHeap(UNIQUE_KEY_FUNCTIONS)
+    serial = 0
+    for op, payload in ops:
+        if op == "insert":
+            record = payload + (serial,)
+            serial += 1
+            connected.insert(record)
+            naive.insert(record)
+        elif op == "pop":
+            component = payload
+            if not len(connected):
+                continue
+            assert connected.pop(component) == naive.pop(component)
+        else:
+            continue
+        assert len(connected) == len(naive)
+        assert sorted(connected.items()) == sorted(naive.items())

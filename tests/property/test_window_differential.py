@@ -1,0 +1,183 @@
+"""Differential properties: native windowed aggregation vs the definitional rewrite.
+
+The native sweep (:func:`repro.window.native.window_native`) must agree with
+the definitional rewrite bit for bit on the paper's workload class — AU-DBs
+lifted from x-tuple relations, whose multiplicity triples always have
+``ub == 1`` (:func:`repro.incomplete.lift.lift_xtuples`) — across every
+dispatch path:
+
+* the real one-pass sweep (``N PRECEDING AND CURRENT ROW`` frames, no
+  partition-by),
+* the per-partition sweep (certain partition-by attributes),
+* the fallback paths (two-sided frames, uncertain partition-by attributes),
+  which route to the rewrite and must do so transparently.
+
+Known divergence, pinned below: the mirrored-order reduction for
+``CURRENT ROW AND N FOLLOWING`` frames compares order-by *keys* directly,
+while the rewrite classifies window membership through sort-position
+intervals; the two produce different (each individually sound) bounds.  See
+the ROADMAP open item before relying on following-only frames.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.multiplicity import Multiplicity
+from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation
+from repro.window.native import window_native
+from repro.window.semantics import window_rewrite
+from repro.window.spec import WindowSpec
+
+from tests.property.strategies import lifted_au_relations
+
+FUNCTIONS = ["sum", "count", "min", "max"]
+
+
+def _spec(function: str, frame: tuple[int, int], partition_by: tuple[str, ...]) -> WindowSpec:
+    return WindowSpec(
+        function=function,
+        attribute=None if function == "count" else "v",
+        output="w",
+        order_by=("o",),
+        partition_by=partition_by,
+        frame=frame,
+    )
+
+
+def assert_same_relation(left: AURelation, right: AURelation) -> None:
+    assert left.schema == right.schema
+    assert left._rows == right._rows
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    relation=lifted_au_relations(attributes=("o", "v")),
+    function=st.sampled_from(FUNCTIONS),
+    preceding=st.integers(min_value=0, max_value=3),
+)
+def test_sweep_matches_rewrite_preceding_frames(relation, function, preceding):
+    spec = _spec(function, (-preceding, 0), ())
+    assert_same_relation(window_native(relation, spec), window_rewrite(relation, spec))
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    relation=lifted_au_relations(attributes=("o", "v", "g"), min_value=0, max_value=4),
+    function=st.sampled_from(FUNCTIONS),
+)
+def test_partitioned_sweep_matches_rewrite(relation, function):
+    """Partition-by attributes: certain values sweep per partition, uncertain fall back."""
+    spec = _spec(function, (-2, 0), ("g",))
+    assert_same_relation(window_native(relation, spec), window_rewrite(relation, spec))
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    relation=lifted_au_relations(attributes=("o", "v")),
+    function=st.sampled_from(FUNCTIONS),
+)
+def test_two_sided_frame_falls_back_to_rewrite(relation, function):
+    spec = _spec(function, (-1, 1), ())
+    assert_same_relation(window_native(relation, spec), window_rewrite(relation, spec))
+
+
+def test_certain_partitions_take_the_sweep_path():
+    """Sanity: fully certain partition keys do *not* fall back to the rewrite."""
+    relation = AURelation.from_rows(
+        ["o", "v", "g"],
+        [
+            ((RangeValue(0, 1, 2), 4, 0), (1, 1, 1)),
+            ((RangeValue(1, 1, 3), 5, 0), (0, 1, 1)),
+            ((2, 6, 1), (1, 1, 1)),
+        ],
+    )
+    spec = _spec("sum", (-1, 0), ("g",))
+    assert_same_relation(window_native(relation, spec), window_rewrite(relation, spec))
+
+
+def test_following_frame_mirror_reduction_divergence_is_pinned():
+    """Known divergence of the ``CURRENT ROW AND N FOLLOWING`` mirror reduction.
+
+    The mirrored sweep decides window membership from order-by keys, the
+    rewrite from sort-position intervals; on this example the sweep's bounds
+    are strictly tighter.  If this assertion ever fails the implementations
+    have converged — delete this test, tighten the property suite to cover
+    following-only frames, and close the ROADMAP open item.
+    """
+    relation = AURelation.from_rows(
+        ["o", "v"],
+        [
+            ((RangeValue(45, 48, 51), RangeValue(-1, 1, 4)), (1, 1, 1)),
+            ((RangeValue(26, 26, 28), RangeValue(-3, -3, 1)), (0, 1, 1)),
+            ((RangeValue(0, 2, 5), RangeValue(3, 3, 4)), (1, 1, 1)),
+            ((RangeValue(16, 16, 19), RangeValue(-1, 1, 1)), (0, 1, 1)),
+        ],
+    )
+    spec = _spec("sum", (0, 2), ())
+    native = window_native(relation, spec)
+    rewrite = window_rewrite(relation, spec)
+    assert native._rows != rewrite._rows
+
+    # Both are sound for the selected-guess world: every selected-guess
+    # aggregate reported by either implementation lies within the other's
+    # bounds for the same input tuple.
+    def sg_bounds(result):
+        out = {}
+        for tup, mult in result:
+            if mult.sg == 0:
+                continue
+            out.setdefault(tup.project(["o", "v"]).values, []).append(tup.value("w"))
+        return out
+
+    native_bounds = sg_bounds(native)
+    rewrite_bounds = sg_bounds(rewrite)
+    assert native_bounds.keys() == rewrite_bounds.keys()
+    for key, native_values in native_bounds.items():
+        for nat_value, rew_value in zip(native_values, rewrite_bounds[key]):
+            assert rew_value.lb <= nat_value.sg <= rew_value.ub
+            assert nat_value.lb <= rew_value.sg <= nat_value.ub
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    relation=lifted_au_relations(attributes=("o", "v")),
+    function=st.sampled_from(FUNCTIONS),
+)
+def test_following_frame_bounds_contain_selected_guess_world(relation, function):
+    """Soundness of the mirror reduction: bounds contain the SG-world result.
+
+    Following-only frames are excluded from the bit-for-bit property (see the
+    pinned divergence above), but the native bounds must still bound the
+    deterministic aggregate of the selected-guess world.
+    """
+    from repro.baselines.det import det_window
+    from repro.relational.relation import Relation
+
+    spec = _spec(function, (0, 2), ())
+    native = window_native(relation, spec)
+
+    sg_world = Relation(["o", "v"])
+    for tup, mult in relation:
+        if mult.sg:
+            sg_world.add(tup.sg_row(), mult.sg)
+    expected = det_window(sg_world, spec)
+
+    # Hull the native bounds per selected-guess row and compare against the
+    # multiset of deterministic window values of that row.
+    hulls: dict[tuple, tuple[float, float]] = {}
+    for tup, mult in native:
+        if mult.sg == 0:
+            continue
+        row = tup.project(["o", "v"]).sg_row()
+        value = tup.value("w")
+        low, high = hulls.get(row, (value.lb, value.ub))
+        hulls[row] = (min(low, value.lb), max(high, value.ub))
+    for row, det_mult in expected:
+        base, w_value = row[:2], row[2]
+        if base not in hulls:
+            continue  # duplicate splitting may hull several duplicates together
+        low, high = hulls[base]
+        assert low <= w_value <= high

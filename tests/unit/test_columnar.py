@@ -1,0 +1,216 @@
+"""Unit tests for the columnar backend (repro.columnar)."""
+
+import pytest
+
+np = pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+
+from repro.columnar.kernels import (
+    dense_rank_codes,
+    emission_schedule,
+    lex_rank_pairs,
+    order_code_matrices,
+    sort_position_bounds,
+)
+from repro.columnar.relation import ColumnarAURelation, as_columnar, column_array
+from repro.columnar.sort import sort_columnar
+from repro.core.multiplicity import Multiplicity
+from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation
+from repro.errors import OperatorError
+from repro.ranking.positions import position_bounds
+from repro.ranking.semantics import sort_rewrite
+from repro.workloads.examples import sales_audb
+
+
+def mixed_relation() -> AURelation:
+    """A relation exercising every column dtype path: int, float, str, None, bool."""
+    return AURelation.from_rows(
+        ["i", "f", "s", "n", "flag"],
+        [
+            ((1, 1.5, "x", None, True), (1, 1, 1)),
+            ((RangeValue(0, 2, 5), RangeValue(0.25, 0.5, 0.75), RangeValue("a", "b", "c"), 3, False), (0, 1, 2)),
+            ((-7, 2.0, "", RangeValue(None, None, 4), True), (2, 2, 3)),
+        ],
+    )
+
+
+class TestColumnArray:
+    def test_int_columns_use_int64(self):
+        assert column_array([1, 2, 3]).dtype == np.int64
+
+    def test_float_columns_use_float64(self):
+        assert column_array([1.0, 2.5]).dtype == np.float64
+
+    def test_mixed_and_string_columns_fall_back_to_object(self):
+        for values in ([1, 2.5], ["a", "b"], [None, 1], [True, False], []):
+            assert column_array(values).dtype == object
+
+    def test_huge_ints_fall_back_to_object(self):
+        arr = column_array([2**70, 1])
+        assert arr.dtype == object
+        assert arr[0] == 2**70
+
+
+class TestConversionRoundTrip:
+    def test_round_trip_is_lossless(self):
+        relation = mixed_relation()
+        columnar = ColumnarAURelation.from_relation(relation)
+        back = columnar.to_relation()
+        assert back.schema == relation.schema
+        assert back._rows == relation._rows
+
+    def test_round_trip_preserves_scalar_types(self):
+        relation = mixed_relation()
+        back = ColumnarAURelation.from_relation(relation).to_relation()
+        for (values, _), (expected, _) in zip(back, relation):
+            for got, want in zip(values.values, expected.values):
+                assert type(got.lb) is type(want.lb)
+                assert type(got.ub) is type(want.ub)
+
+    def test_round_trip_without_value_cache(self):
+        columnar = ColumnarAURelation.from_relation(mixed_relation())
+        columnar._values = None  # force reconstruction from the arrays
+        assert columnar.to_relation()._rows == mixed_relation()._rows
+
+    def test_empty_relation(self):
+        columnar = ColumnarAURelation.from_relation(AURelation.from_rows(["a"], []))
+        assert len(columnar) == 0
+        assert columnar.to_relation().is_empty()
+        assert columnar.total_possible == columnar.total_certain == columnar.total_sg == 0
+
+    def test_totals_match_row_major(self):
+        relation = mixed_relation()
+        columnar = ColumnarAURelation.from_relation(relation)
+        assert columnar.total_possible == relation.total_possible
+        assert columnar.total_certain == relation.total_certain
+        assert columnar.total_sg == relation.total_sg
+
+    def test_as_columnar_passthrough(self):
+        columnar = ColumnarAURelation.from_relation(mixed_relation())
+        assert as_columnar(columnar) is columnar
+
+
+class TestKernels:
+    def test_dense_rank_codes_order_none_first(self):
+        codes = dense_rank_codes([3, None, 1, 3], "a")
+        assert codes.tolist() == [2, 0, 1, 2]
+
+    def test_dense_rank_codes_mixed_numeric(self):
+        codes = dense_rank_codes([1, 0.5, 2], "a")
+        assert codes.tolist() == [1, 0, 2]
+
+    def test_dense_rank_codes_incomparable_raises(self):
+        with pytest.raises(OperatorError, match="'a'"):
+            dense_rank_codes([1, "x"], "a")
+
+    def test_sort_position_bounds_match_definitional(self):
+        relation = sales_audb()
+        columnar = ColumnarAURelation.from_relation(relation)
+        lower, sg, upper = sort_position_bounds(columnar, ["sales"])
+        for i, (tup, _mult) in enumerate(relation):
+            expected = position_bounds(relation, ["sales"], tup)
+            assert (int(lower[i]), int(sg[i]), int(upper[i])) == (
+                expected.lb,
+                expected.sg,
+                expected.ub,
+            )
+
+    def test_emission_schedule_counts_possible_predecessors(self):
+        relation = AURelation.from_rows(
+            ["a"],
+            [((RangeValue(0, 1, 5),), 1), ((2,), 1), ((7,), 1)],
+        )
+        columnar = ColumnarAURelation.from_relation(relation)
+        earliest, _sg, latest = order_code_matrices(columnar, ["a"])
+        earliest_rank, latest_rank = lex_rank_pairs(earliest, latest)
+        # [0..5] may be preceded by itself and 2; 2 by itself and [0..5];
+        # 7 by everything.
+        assert emission_schedule(earliest_rank, latest_rank).tolist() == [2, 2, 3]
+
+
+class TestSortColumnar:
+    def test_matches_rewrite_on_running_example(self):
+        relation = sales_audb()
+        for descending in (False, True):
+            columnar_result = sort_columnar(relation, ["sales"], descending=descending)
+            rewrite = sort_rewrite(relation, ["sales"], descending=descending)
+            assert columnar_result.schema == rewrite.schema
+            assert columnar_result._rows == rewrite._rows
+
+    def test_accepts_preconverted_columnar_input(self):
+        relation = sales_audb()
+        columnar = ColumnarAURelation.from_relation(relation)
+        assert sort_columnar(columnar, ["sales"])._rows == sort_columnar(relation, ["sales"])._rows
+
+    def test_requires_order_by(self):
+        with pytest.raises(OperatorError):
+            sort_columnar(sales_audb(), [])
+
+    def test_unknown_attribute_rejected(self):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError):
+            sort_columnar(sales_audb(), ["nope"])
+
+    def test_k_prunes_certainly_outside_duplicates(self):
+        relation = sales_audb()
+        full = sort_columnar(relation, ["sales"])
+        pos_idx = full.schema.index_of("pos")
+        for k in (0, 1, 2, 10):
+            pruned = sort_columnar(relation, ["sales"], k=k)
+            expected = {
+                values: mult for values, mult in full._rows.items() if values[pos_idx].lb < k
+            }
+            assert pruned._rows == expected
+
+    def test_mixed_type_order_column_raises_clear_error(self):
+        relation = AURelation.from_rows(["a"], [((1,), 1), (("x",), 1)])
+        with pytest.raises(OperatorError, match="mixes incomparable"):
+            sort_columnar(relation, ["a"])
+
+    def test_mixed_dtype_components_keep_integer_precision(self):
+        """int64 + float64 component columns must not pool via float upcast.
+
+        2**53 + 1 is not representable in float64; a pooled float code space
+        would collapse it onto 2**53 and lose a 'certainly precedes' edge.
+        """
+        big = 2**53
+        relation = AURelation.from_rows(
+            ["a"],
+            [
+                ((RangeValue(1, 1, float(big)),), 1),
+                ((RangeValue(big + 1, big + 1, float(big + 2)),), 1),
+            ],
+        )
+        columnar_result = sort_columnar(relation, ["a"])
+        rewrite = sort_rewrite(relation, ["a"])
+        assert columnar_result._rows == rewrite._rows
+
+    def test_none_in_order_column_sorts_first(self):
+        relation = AURelation.from_rows(["a"], [((3,), 1), ((None,), 1)])
+        result = sort_columnar(relation, ["a"])
+        by_value = {values[0]: values[1] for values in result._rows}
+        assert by_value[RangeValue.certain(None)] == RangeValue.certain(0)
+        assert by_value[RangeValue.certain(3)] == RangeValue.certain(1)
+
+
+class TestBackendDispatch:
+    def test_unknown_backend_rejected_everywhere(self):
+        from repro.ranking.native import sort_native
+        from repro.ranking.topk import sort as au_sort
+        from repro.relational.relation import Relation
+        from repro.relational.sort import sort_operator
+
+        with pytest.raises(OperatorError):
+            sort_native(sales_audb(), ["sales"], backend="fortran")
+        with pytest.raises(OperatorError):
+            au_sort(sales_audb(), ["sales"], backend="fortran")
+        with pytest.raises(OperatorError):
+            sort_operator(Relation(["a"], [((1,), 1)]), ["a"], backend="fortran")
+
+    def test_columnar_backend_with_rewrite_method(self):
+        from repro.ranking.topk import sort as au_sort
+
+        rewrite = au_sort(sales_audb(), ["sales"], method="rewrite")
+        columnar = au_sort(sales_audb(), ["sales"], method="rewrite", backend="columnar")
+        assert columnar._rows == rewrite._rows

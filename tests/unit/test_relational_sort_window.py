@@ -4,7 +4,12 @@ import pytest
 
 from repro.errors import OperatorError, WindowSpecError
 from repro.relational.relation import Relation
-from repro.relational.sort import sort_operator, topk, total_order_key
+from repro.relational.sort import (
+    make_total_order_key,
+    sort_operator,
+    topk,
+    total_order_key,
+)
 from repro.relational.window import window_aggregate
 
 
@@ -38,6 +43,50 @@ class TestSortOperator:
         r = Relation.from_rows(["A"], [(2,), (1,)])
         result = sort_operator(r, ["A"], position_attribute="rank")
         assert "rank" in result.schema
+
+    def test_make_total_order_key_matches_per_row_helper(self):
+        schema = Relation(["A", "B", "C"]).schema
+        key = make_total_order_key(schema, ["B"])
+        for row in ((1, 2, 3), (None, 0, "x"), (True, None, 1.5)):
+            assert key(row) == total_order_key(schema, ["B"], row)
+
+    def test_mixed_type_column_raises_clear_operator_error(self):
+        r = Relation.from_rows(["A", "B"], [(1, "x"), (1, 3)])
+        with pytest.raises(OperatorError, match="incomparable"):
+            sort_operator(r, ["A"])  # tiebreak column B is the broken one
+
+    def test_mixed_type_order_column_raises_clear_operator_error(self):
+        pytest.importorskip("numpy", reason="exercises the columnar backend too")
+        r = Relation.from_rows(["A"], [("x",), (1,)])
+        for backend in ("python", "columnar"):
+            with pytest.raises(OperatorError, match="incomparable"):
+                sort_operator(r, ["A"], backend=backend)
+
+    def test_none_mixed_with_ints_still_sorts(self):
+        pytest.importorskip("numpy", reason="exercises the columnar backend too")
+        r = Relation.from_rows(["A"], [(3,), (None,), (1,)])
+        for backend in ("python", "columnar"):
+            result = sort_operator(r, ["A"], backend=backend)
+            assert result.multiplicity((None, 0)) == 1
+            assert result.multiplicity((3, 2)) == 1
+
+    def test_window_mixed_type_order_column_raises_clear_operator_error(self):
+        r = Relation.from_rows(["A", "V"], [("x", 1), (2, 3)])
+        with pytest.raises(OperatorError, match="incomparable"):
+            window_aggregate(
+                r, function="sum", attribute="V", output="w", order_by=["A"], frame=(-1, 0)
+            )
+
+    def test_columnar_backend_matches_python(self):
+        pytest.importorskip("numpy", reason="exercises the columnar backend")
+        r = Relation(["A", "B"])
+        r.add((3, 15), 1)
+        r.add((1, 1), 2)
+        r.add((1, 0), 1)
+        for descending in (False, True):
+            python = sort_operator(r, ["A"], descending=descending)
+            columnar = sort_operator(r, ["A"], descending=descending, backend="columnar")
+            assert python._rows == columnar._rows
 
 
 class TestTopK:
