@@ -2,6 +2,8 @@
 
 Paper shape: Imp tracks MCDB10; the rewrite method is far slower (its
 range-overlap reasoning is quadratic) and is only run on the smaller sizes.
+``test_imp_columnar_scaling`` runs the same native semantics on the columnar
+backend (vectorized frame-membership kernels, bit-identical bounds).
 """
 
 import pytest
@@ -34,6 +36,15 @@ def test_det_scaling(benchmark, size):
 def test_imp_scaling(benchmark, size):
     audb = audb_from_workload(_workload(size))
     benchmark(window_native, audb, SPEC)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_imp_columnar_scaling(benchmark, size):
+    pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+    from repro.columnar.relation import ColumnarAURelation
+
+    columnar = ColumnarAURelation.from_relation(audb_from_workload(_workload(size)))
+    benchmark(window_native, columnar, SPEC, backend="columnar")
 
 
 @pytest.mark.parametrize("size", SIZES[:2])

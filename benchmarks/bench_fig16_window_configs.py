@@ -49,6 +49,19 @@ def test_imp_order_by_only(benchmark, label, window, attribute_range, uncertaint
     benchmark(window_native, audb, _spec(window, partitioned=False))
 
 
+@pytest.mark.parametrize("label,window,attribute_range,uncertainty", CONFIGS_A)
+def test_imp_columnar_order_by_only(benchmark, label, window, attribute_range, uncertainty):
+    pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+    from repro.columnar.relation import ColumnarAURelation
+
+    config = SyntheticConfig(rows=200, uncertainty=uncertainty, attribute_range=attribute_range, seed=0)
+    columnar = ColumnarAURelation.from_relation(
+        audb_from_workload(generate_window_table(config, partitions=1))
+    )
+    benchmark.extra_info["config"] = label
+    benchmark(window_native, columnar, _spec(window, partitioned=False), backend="columnar")
+
+
 @pytest.mark.parametrize("label,window,attribute_range,uncertainty", CONFIGS_A[:2])
 def test_det_order_by_only(benchmark, label, window, attribute_range, uncertainty):
     config = SyntheticConfig(rows=200, uncertainty=uncertainty, attribute_range=attribute_range, seed=0)

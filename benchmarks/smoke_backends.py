@@ -1,16 +1,18 @@
-"""Small-N smoke run of the sort-scaling benchmark on both backends.
+"""Small-N smoke run of the sort- and window-scaling benchmarks on both backends.
 
 Used by CI to catch two regressions fast, without the full benchmark suite:
 
 * **backend divergence** — the columnar backend must produce bit-identical
   results to the Python backend (and both must match the definitional
-  rewrite),
+  rewrite) on the sort, top-k, and window paths — including following-only
+  frames, which exercise the mirrored-order reduction,
 * **performance regressions** — the columnar backend should stay faster
   than the Python backend at the smoke size (the full
-  ``bench_fig14_sort_scaling.py`` run measures the real ratios, >=3x at the
-  larger sizes).  Wall-clock comparisons are noisy on shared CI runners, so
-  a slowdown only *warns* by default; set ``REPRO_SMOKE_STRICT_PERF=1`` to
-  make it fatal (e.g. for local regression hunting).
+  ``bench_fig14_sort_scaling.py`` / ``bench_fig15_window_scaling.py`` runs
+  measure the real ratios).  Wall-clock comparisons are noisy on shared CI
+  runners, so a slowdown only *warns* by default; set
+  ``REPRO_SMOKE_STRICT_PERF=1`` to make it fatal (e.g. for local regression
+  hunting).
 
 Run directly: ``PYTHONPATH=src python benchmarks/smoke_backends.py [rows]``.
 Exits non-zero on divergence (always) or slowdown (strict mode only).
@@ -25,7 +27,14 @@ import time
 from repro.columnar.relation import ColumnarAURelation
 from repro.harness.adapters import audb_from_workload
 from repro.ranking.topk import sort as au_sort, topk as au_topk
-from repro.workloads.synthetic import SyntheticConfig, generate_sort_table
+from repro.window.native import window_native
+from repro.window.semantics import window_rewrite
+from repro.window.spec import WindowSpec
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    generate_sort_table,
+    generate_window_table,
+)
 
 
 def best_of(fn, reps: int = 5) -> float:
@@ -37,7 +46,24 @@ def best_of(fn, reps: int = 5) -> float:
     return best * 1000.0
 
 
-def main(rows: int = 200) -> int:
+def _report_speedup(path: str, rows: int, python_ms: float, columnar_ms: float) -> int:
+    speedup = python_ms / columnar_ms if columnar_ms else float("inf")
+    print(
+        f"{path} rows={rows}: python={python_ms:.2f}ms columnar={columnar_ms:.2f}ms "
+        f"speedup={speedup:.2f}x"
+    )
+    if speedup < 1.0:
+        if os.environ.get("REPRO_SMOKE_STRICT_PERF") == "1":
+            print(f"FAIL: columnar backend slower than the Python backend on {path}")
+            return 1
+        print(
+            f"WARN: columnar backend slower than the Python backend on {path} "
+            "(not fatal; set REPRO_SMOKE_STRICT_PERF=1 to enforce)"
+        )
+    return 0
+
+
+def smoke_sort(rows: int) -> int:
     config = SyntheticConfig(
         rows=rows, uncertainty=0.05, attribute_range=max(4, rows // 2), domain=10 * rows, seed=0
     )
@@ -65,21 +91,43 @@ def main(rows: int = 200) -> int:
 
     python_ms = best_of(lambda: au_sort(audb, order_by, method="native"))
     columnar_ms = best_of(lambda: au_sort(columnar, order_by, method="native", backend="columnar"))
-    speedup = python_ms / columnar_ms if columnar_ms else float("inf")
-    print(
-        f"rows={rows}: python={python_ms:.2f}ms columnar={columnar_ms:.2f}ms "
-        f"speedup={speedup:.2f}x"
-    )
-    if speedup < 1.0:
-        if os.environ.get("REPRO_SMOKE_STRICT_PERF") == "1":
-            print("FAIL: columnar backend slower than the Python backend at smoke size")
-            failures += 1
-        else:
-            print(
-                "WARN: columnar backend slower than the Python backend at smoke size "
-                "(not fatal; set REPRO_SMOKE_STRICT_PERF=1 to enforce)"
-            )
+    failures += _report_speedup("sort", rows, python_ms, columnar_ms)
+    return failures
 
+
+def smoke_window(rows: int) -> int:
+    config = SyntheticConfig(
+        rows=rows, uncertainty=0.05, attribute_range=max(4, rows // 2), domain=10 * rows, seed=0
+    )
+    audb = audb_from_workload(generate_window_table(config, partitions=1))
+    columnar = ColumnarAURelation.from_relation(audb)
+    preceding = WindowSpec(
+        function="sum", attribute="v", output="w_sum", order_by=("o",), frame=(-2, 0)
+    )
+    following = WindowSpec(
+        function="sum", attribute="v", output="w_sum", order_by=("o",), frame=(0, 2)
+    )
+
+    failures = 0
+    for label, spec in (("preceding", preceding), ("following", following)):
+        python_result = window_native(audb, spec)
+        columnar_result = window_native(columnar, spec, backend="columnar")
+        rewrite_result = window_rewrite(audb, spec)
+        if not (
+            python_result.schema == columnar_result.schema == rewrite_result.schema
+            and python_result._rows == columnar_result._rows == rewrite_result._rows
+        ):
+            print(f"FAIL: {label}-frame window backends/methods diverge")
+            failures += 1
+
+    python_ms = best_of(lambda: window_native(audb, preceding))
+    columnar_ms = best_of(lambda: window_native(columnar, preceding, backend="columnar"))
+    failures += _report_speedup("window", rows, python_ms, columnar_ms)
+    return failures
+
+
+def main(rows: int = 200) -> int:
+    failures = smoke_sort(rows) + smoke_window(rows)
     if not failures:
         print("OK: backends agree bit-for-bit")
     return failures

@@ -10,8 +10,9 @@ The package provides:
 * ``repro.ranking`` — uncertain sorting and top-k (rewrite + native sweep),
 * ``repro.window`` — uncertain windowed aggregation (rewrite + native sweep),
 * ``repro.columnar`` — NumPy-backed columnar AU-relations and vectorized
-  ranking kernels (select with ``backend="columnar"`` on the sort/top-k
-  entry points; imported lazily so NumPy stays an optional dependency),
+  ranking / window kernels (select with ``backend="columnar"`` on the
+  sort/top-k/window entry points; imported lazily so NumPy stays an
+  optional dependency),
 * ``repro.algorithms`` — the connected heap data structure,
 * ``repro.baselines`` — Det, MCDB, Symb, PT-k, U-Top, U-Rank, … competitors,
 * ``repro.workloads`` — synthetic and simulated real-world workloads,

@@ -8,13 +8,20 @@ native operators with vectorized kernels:
 
 * interval-lexicographic "certainly / possibly precedes" comparisons,
 * sort-position bounds (Equations 1-3 of the paper),
-* selected-guess positions under the total order ``<ᵗᵒᵗᵃˡ_O``, and
+* selected-guess positions under the total order ``<ᵗᵒᵗᵃˡ_O``,
 * the batched emission schedule that replaces per-tuple heap feeding in
-  the one-pass sort / top-k sweep.
+  the one-pass sort / top-k sweep, and
+* the window sweep: frame-membership interval masks (certain / possible
+  window members from position bounds, Fig. 6), vectorized min-k / max-k
+  aggregate bounds, and rolling selected-guess aggregates (prefix sums /
+  sliding extrema), with the same mirrored-order reduction for
+  ``CURRENT ROW AND N FOLLOWING`` frames as the native sweep.
 
 The public entry points (:func:`repro.ranking.topk.sort`,
 :func:`repro.ranking.native.sort_native`,
-:func:`repro.relational.sort.sort_operator`) expose the backend behind a
+:func:`repro.relational.sort.sort_operator`,
+:func:`repro.window.native.window_native`,
+:func:`repro.relational.window.window_aggregate`) expose the backend behind a
 ``backend="python" | "columnar"`` switch; results are bound-identical to the
 Python backend (enforced by the differential property suite under
 ``tests/property/``).
@@ -25,5 +32,6 @@ rest of the library stays importable without it.
 
 from repro.columnar.relation import ColumnarAURelation
 from repro.columnar.sort import sort_columnar
+from repro.columnar.window import window_columnar
 
-__all__ = ["ColumnarAURelation", "sort_columnar"]
+__all__ = ["ColumnarAURelation", "sort_columnar", "window_columnar"]

@@ -46,6 +46,11 @@ __all__ = [
     "emission_schedule",
     "certainly_precedes_matrix",
     "possibly_precedes_matrix",
+    "duplicate_offsets",
+    "certain_frame_members",
+    "possible_frame_members",
+    "sliding_window_sums",
+    "sliding_window_extrema",
 ]
 
 
@@ -269,6 +274,107 @@ def sort_position_bounds(
     sg = selected_guess_positions(relation, order_by, sg_matrix)
     sg = np.clip(sg, lower, upper)
     return lower, sg, upper
+
+
+# ---------------------------------------------------------------------------
+# Frame-membership kernels (windowed aggregation, Sections 6-7)
+# ---------------------------------------------------------------------------
+
+
+def duplicate_offsets(mult_ub: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Expand a multiplicity-upper-bound vector into per-duplicate indexes.
+
+    Returns ``(row, offset)`` arrays of length ``sum(mult_ub)``: duplicate
+    ``t`` belongs to input row ``row[t]`` and is that row's ``offset[t]``-th
+    copy.  The ``i``-th duplicate's sort position is the row's base position
+    shifted by ``i`` (the split of Fig. 4 / Algorithm 2).
+    """
+    total = int(mult_ub.sum()) if len(mult_ub) else 0
+    row = np.repeat(np.arange(len(mult_ub), dtype=np.int64), mult_ub)
+    starts = np.cumsum(mult_ub) - mult_ub
+    offset = np.arange(total, dtype=np.int64) - np.repeat(starts, mult_ub)
+    return row, offset
+
+
+def certain_frame_members(
+    defining_lb: np.ndarray,
+    defining_ub: np.ndarray,
+    pos_lb: np.ndarray,
+    pos_ub: np.ndarray,
+    certain: np.ndarray,
+    preceding: int,
+) -> np.ndarray:
+    """Mask ``M[d, e]``: duplicate ``e`` is certainly in ``d``'s frame.
+
+    A certain duplicate is certainly inside an ``N PRECEDING AND CURRENT
+    ROW`` window when its position interval is contained in the positions the
+    window certainly covers — it starts no earlier than the latest possible
+    window start and ends no later than the earliest possible window end
+    (the containment condition of Fig. 6).  ``defining_*`` index the block of
+    defining duplicates (rows of the mask); the self pair is *not* masked out
+    here (callers exclude the diagonal).
+    """
+    low = (defining_ub - preceding)[:, None]
+    return (
+        certain[None, :]
+        & (pos_lb[None, :] >= low)
+        & (pos_ub[None, :] <= defining_lb[:, None])
+    )
+
+
+def possible_frame_members(
+    defining_lb: np.ndarray,
+    defining_ub: np.ndarray,
+    pos_lb: np.ndarray,
+    pos_ub: np.ndarray,
+    preceding: int,
+) -> np.ndarray:
+    """Mask ``M[d, e]``: duplicate ``e`` possibly falls into ``d``'s frame.
+
+    The overlap condition of Fig. 6: the candidate's position interval
+    intersects the positions the window possibly covers.  Certain members
+    also satisfy it; callers subtract :func:`certain_frame_members` and the
+    diagonal.
+    """
+    return (pos_lb[None, :] <= defining_ub[:, None]) & (
+        pos_ub[None, :] >= (defining_lb[:, None] - preceding)
+    )
+
+
+def sliding_window_sums(values: np.ndarray, window: int) -> np.ndarray:
+    """Rolling sums of the trailing ``window`` values (prefix-sum shaped).
+
+    ``out[i] = sum(values[max(0, i - window + 1) : i + 1])`` — the
+    selected-guess aggregate of an ``N PRECEDING AND CURRENT ROW`` frame over
+    a dense, deterministic order.
+    """
+    n = len(values)
+    prefix = np.concatenate([[0], np.cumsum(values)])
+    starts = np.maximum(0, np.arange(n) + 1 - window)
+    return prefix[1:] - prefix[starts]
+
+
+def sliding_window_extrema(values: np.ndarray, window: int, *, maximum: bool) -> np.ndarray:
+    """Rolling min/max of the trailing ``window`` values (sliding-extrema shaped).
+
+    Pads the front with the identity element so that truncated leading
+    windows reduce over exactly the available values.  ``int64`` inputs stay
+    ``int64`` (identity from ``np.iinfo``), preserving exactness for
+    integers beyond float64's 2**53 range; other inputs reduce in float64.
+    """
+    if len(values) == 0:
+        return np.empty(0, dtype=values.dtype)
+    # A trailing window never holds more rows than exist; clamping keeps the
+    # padding (and the O(n * window) reduction) bounded for huge frames.
+    window = min(window, len(values))
+    if values.dtype == np.int64:
+        identity = np.iinfo(np.int64).min if maximum else np.iinfo(np.int64).max
+        padded = np.concatenate([np.full(window - 1, identity, dtype=np.int64), values])
+    else:
+        identity = -np.inf if maximum else np.inf
+        padded = np.concatenate([np.full(window - 1, identity), values.astype(np.float64)])
+    view = np.lib.stride_tricks.sliding_window_view(padded, window)
+    return view.max(axis=1) if maximum else view.min(axis=1)
 
 
 # ---------------------------------------------------------------------------

@@ -144,6 +144,29 @@ class ColumnarAURelation:
             )
         return out
 
+    def take(self, indices: Sequence[int] | np.ndarray) -> "ColumnarAURelation":
+        """A columnar relation holding the selected rows (kernel-friendly slicing).
+
+        Used by the per-partition window sweep: partitions become row subsets
+        without a round trip through the row-major layout.
+        """
+        idx = np.asarray(indices, dtype=np.int64)
+        columns = [
+            AttributeColumn(column.name, column.lb[idx], column.sg[idx], column.ub[idx])
+            for column in self.columns
+        ]
+        values = None
+        if self._values is not None:
+            values = [self._values[i] for i in idx.tolist()]
+        return ColumnarAURelation(
+            self.schema,
+            columns,
+            self.mult_lb[idx],
+            self.mult_sg[idx],
+            self.mult_ub[idx],
+            _values=values,
+        )
+
     # -- access --------------------------------------------------------------
 
     def __len__(self) -> int:

@@ -14,18 +14,12 @@ from typing import Sequence
 
 from repro.columnar.kernels import sort_position_bounds
 from repro.columnar.relation import ColumnarAURelation, as_columnar
-from repro.core.multiplicity import Multiplicity
+from repro.core.multiplicity import duplicate_annotation
 from repro.core.ranges import RangeValue
 from repro.core.relation import AURelation
 from repro.errors import OperatorError
 
 __all__ = ["sort_columnar"]
-
-# Shared duplicate annotations of Fig. 4 / Algorithm 2 (immutable, so safe to
-# reuse across output rows instead of constructing one triple per duplicate).
-_CERTAIN = Multiplicity(1, 1, 1)
-_SG_ONLY = Multiplicity(0, 1, 1)
-_POSSIBLE = Multiplicity(0, 0, 1)
 
 
 def sort_columnar(
@@ -76,7 +70,7 @@ def sort_columnar(
             if k is not None and base_lb + j >= k:
                 break
             key = values + (RangeValue(base_lb + j, base_sg + j, base_ub + j),)
-            duplicate_mult = _CERTAIN if j < m_lb else _SG_ONLY if j < m_sg else _POSSIBLE
+            duplicate_mult = duplicate_annotation(j, m_lb, m_sg)
             existing = rows_out.get(key)
             rows_out[key] = duplicate_mult if existing is None else existing.add(duplicate_mult)
     return out

@@ -1,0 +1,450 @@
+"""Vectorized uncertain windowed aggregation over the columnar backend.
+
+:func:`window_columnar` computes the same range-annotated aggregate attribute
+as :func:`repro.window.native.window_native` and
+:func:`repro.window.semantics.window_rewrite` — the three implementations are
+bound-identical (enforced by the differential property suite) — but replaces
+the native sweep's heaps with columnar kernels:
+
+* sort-position bound triples come from the prefix-sum kernels of
+  :mod:`repro.columnar.kernels` (Equations 1-3),
+* duplicates are expanded in bulk (:func:`~repro.columnar.kernels.duplicate_offsets`)
+  and frame membership is decided with the interval containment / overlap
+  masks of Fig. 6 (:func:`~repro.columnar.kernels.certain_frame_members` /
+  :func:`~repro.columnar.kernels.possible_frame_members`), evaluated in row
+  blocks so memory stays ``O(block * n)``,
+* aggregate bounds are computed with vectorized reductions — masked
+  matrix-vector products for the certain members, per-row partial sorts for
+  the min-k / max-k possible contributions of ``sum`` (at most
+  ``frame_size - 1`` candidates ever matter), and
+* the selected-guess aggregate is a deterministic rolling computation over
+  the selected-guess order (prefix sums for ``sum`` / ``count`` / ``avg``,
+  sliding extrema for ``min`` / ``max``).
+
+``CURRENT ROW AND N FOLLOWING`` frames use the same mirrored-order reduction
+as the native sweep; certain partition-by attributes sweep per partition via
+:meth:`~repro.columnar.relation.ColumnarAURelation.take`; everything outside
+the sweepable class (two-sided frames, frames excluding the current row,
+uncertain partition-by attributes) falls back to the definitional rewrite,
+exactly like the Python backend.  Results are bit-identical to the Python
+backend: aggregation columns the float64 kernels cannot reproduce exactly —
+integers too large for exact float64 comparisons or window sums
+(``magnitude * frame_size >= 2**53``, which also covers min/max), float
+columns under ``sum`` / ``avg`` (whose result depends on accumulation
+order), and NaN-carrying relations — delegate to the definitional rewrite;
+``count`` ignores values and is always vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.columnar.kernels import (
+    certain_frame_members,
+    duplicate_offsets,
+    possible_frame_members,
+    sliding_window_extrema,
+    sliding_window_sums,
+    sort_position_bounds,
+)
+from repro.columnar.relation import ColumnarAURelation, as_columnar
+from repro.core.multiplicity import duplicate_annotation
+from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation
+from repro.errors import OperatorError, WindowSpecError
+from repro.window.spec import WindowSpec
+
+__all__ = ["window_columnar"]
+
+#: Target number of mask cells per membership block (bounds peak memory).
+_BLOCK_CELLS = 4_000_000
+
+
+def window_columnar(
+    relation: AURelation | ColumnarAURelation, spec: WindowSpec
+) -> AURelation:
+    """Uncertain windowed aggregation over the columnar backend.
+
+    Accepts either relation layout (row-major inputs are converted).  The
+    result is bit-identical to ``window_native`` / ``window_rewrite``.
+    """
+    columnar = as_columnar(relation)
+    # Fallback paths delegate to the rewrite on a row-major relation; when
+    # the caller already handed one over, reuse it instead of round-tripping
+    # through the columnar layout.
+    source = relation if isinstance(relation, AURelation) else None
+    columnar.schema.require(list(spec.order_by))
+    columnar.schema.require(list(spec.partition_by))
+    if spec.attribute is not None and spec.attribute != "*":
+        columnar.schema.require([spec.attribute])
+    if spec.output in columnar.schema:
+        raise WindowSpecError(f"output attribute {spec.output!r} already exists in the schema")
+
+    if spec.following_only and spec.frame[1] > 0:
+        # CURRENT ROW AND N FOLLOWING == N PRECEDING AND CURRENT ROW over
+        # the mirrored sort order (the native sweep's reduction).
+        spec = spec.mirrored()
+    if not spec.preceding_only:
+        return _fallback_rewrite(columnar, spec, source)
+
+    if _contains_nan(columnar):
+        # NaN breaks the total order both backends sort by: the rank-encoded
+        # kernels and Python's comparison-based sorts (and min/max) resolve
+        # the incoherent comparisons differently, so NaN-carrying relations
+        # stay on the definitional path wholesale.
+        return _fallback_rewrite(columnar, spec, source)
+
+    if spec.function not in ("sum", "count", "min", "max", "avg"):
+        # Unreachable today (WindowSpec validates against the same set);
+        # guards future aggregate additions from silently taking the avg
+        # branch of the kernel sweep.
+        raise OperatorError(f"unsupported window aggregate {spec.function!r}")
+
+    if spec.function != "count" and spec.attribute not in (None, "*"):
+        column = columnar.column(spec.attribute)
+        if not column.is_numeric:
+            # Non-numeric aggregation columns (strings, None) stay on the
+            # exact definitional path.  (The Python sweep's connected heap
+            # negates value upper bounds, so the rewrite is the only backend
+            # covering them.)
+            return _fallback_rewrite(columnar, spec, source)
+        if spec.function in ("sum", "avg") and any(
+            arr.dtype == np.float64 for arr in (column.lb, column.sg, column.ub)
+        ):
+            # Sum bounds select min-k / max-k member subsets per window; the
+            # vectorized selection and the tuple-at-a-time implementations
+            # assemble them differently, so float columns (where rounding
+            # could expose that) delegate to the definitional rewrite.
+            return _fallback_rewrite(columnar, spec, source)
+        if not _float64_exact(column, spec.frame_size):
+            # The masked bound kernels compare and accumulate in float64;
+            # integers large enough that a value (or a window sum) exceeds
+            # 2**53 would be silently rounded (cf. the same guard in
+            # kernels.component_rank_codes).
+            return _fallback_rewrite(columnar, spec, source)
+
+    if spec.partition_by:
+        groups = _certain_partition_groups(columnar, spec.partition_by)
+        if groups is None:
+            return _fallback_rewrite(columnar, spec, source)
+        out = AURelation(columnar.schema.extend(spec.output))
+        for indices in groups:
+            partial = _sweep(columnar.take(indices), spec)
+            for tup, mult in partial:
+                out.add(tup, mult)
+        return out
+
+    return _sweep(columnar, spec)
+
+
+def _fallback_rewrite(
+    columnar: ColumnarAURelation, spec: WindowSpec, source: AURelation | None = None
+) -> AURelation:
+    from repro.window.semantics import window_rewrite  # local import: avoid cycle
+
+    return window_rewrite(source if source is not None else columnar.to_relation(), spec)
+
+
+def _contains_nan(columnar: ColumnarAURelation) -> bool:
+    """Whether any bound component anywhere in the relation is NaN.
+
+    Every column can enter the sort keys (order-by columns directly, the rest
+    as ``<ᵗᵒᵗᵃˡ_O`` tiebreakers) or the aggregate, so the check is global.
+    """
+    for column in columnar.columns:
+        for arr in (column.lb, column.sg, column.ub):
+            if arr.dtype == np.float64 and bool(np.isnan(arr).any()):
+                return True
+            if arr.dtype == object and any(
+                type(v) is float and v != v for v in arr.tolist()
+            ):
+                return True
+    return False
+
+
+#: Largest magnitude float64 represents exactly (integers up to 2**53).
+_FLOAT64_EXACT = 2**53
+
+
+def _float64_exact(column, frame_size: int) -> bool:
+    """Whether every window aggregate over the column is exact in float64.
+
+    A window sum combines at most ``frame_size`` member values, so integer
+    bound components stay exact when ``frame_size * max|value|`` fits the
+    float64 integer range.  Checked per component: mixed columns may pair
+    float lower bounds with huge integer upper bounds.
+    """
+    if len(column.lb) == 0:
+        return True
+    for component in (column.lb, column.sg, column.ub):
+        if component.dtype != np.int64:
+            continue
+        magnitude = max(abs(int(component.min())), abs(int(component.max())))
+        if magnitude * max(1, frame_size) >= _FLOAT64_EXACT:
+            return False
+    return True
+
+
+def _certain_partition_groups(
+    columnar: ColumnarAURelation, partition_by: tuple[str, ...]
+) -> list[list[int]] | None:
+    """Row-index groups per partition key, or ``None`` if any key is uncertain."""
+    columns = [columnar.column(name) for name in partition_by]
+    for column in columns:
+        if len(columnar) and not bool(np.all(column.lb == column.ub)):
+            return None
+    groups: dict[tuple, list[int]] = {}
+    for i, key in enumerate(zip(*[column.sg.tolist() for column in columns])):
+        groups.setdefault(key, []).append(i)
+    return list(groups.values())
+
+
+def _sweep(columnar: ColumnarAURelation, spec: WindowSpec) -> AURelation:
+    """The vectorized window sweep over one partition (preceding-only frames)."""
+    out = AURelation(columnar.schema.extend(spec.output))
+    n = len(columnar)
+    if n == 0:
+        return out
+    preceding = -spec.frame[0]
+    frame_size = spec.frame_size
+
+    lower, sg, upper = sort_position_bounds(
+        columnar, spec.order_by, descending=spec.descending
+    )
+
+    if spec.function == "count" or spec.attribute in (None, "*"):
+        val_lb = val_sg = val_ub = np.ones(n, dtype=np.int64)
+    else:
+        column = columnar.column(spec.attribute)
+        val_lb, val_sg, val_ub = column.lb, column.sg, column.ub
+
+    # Expand duplicates: the i-th copy of a row shifts its positions by i and
+    # is certain / selected-guess-only / merely possible by where i falls in
+    # the multiplicity triple.
+    row, offset = duplicate_offsets(columnar.mult_ub)
+    m = len(row)
+    if m == 0:
+        return out
+    pos_lb = lower[row] + offset
+    pos_sg = sg[row] + offset
+    pos_ub = upper[row] + offset
+    dup_cert = offset < columnar.mult_lb[row]
+    dup_sg = offset < columnar.mult_sg[row]
+    d_val_lb = val_lb[row]
+    d_val_ub = val_ub[row]
+
+    sg_agg = _selected_guess_aggregates(
+        spec.function, val_sg[row], pos_sg, dup_sg, frame_size
+    )
+
+    w_lb = np.empty(m, dtype=np.float64)
+    w_ub = np.empty(m, dtype=np.float64)
+    block_size = max(1, _BLOCK_CELLS // m)
+    for start in range(0, m, block_size):
+        stop = min(m, start + block_size)
+        block = slice(start, stop)
+        cert_in = certain_frame_members(
+            pos_lb[block], pos_ub[block], pos_lb, pos_ub, dup_cert, preceding
+        )
+        poss_in = possible_frame_members(pos_lb[block], pos_ub[block], pos_lb, pos_ub, preceding)
+        # Exclude the defining duplicate itself from both member sets, and
+        # certain members from the possible set.
+        rows_in_block = np.arange(stop - start)
+        cert_in[rows_in_block, np.arange(start, stop)] = False
+        poss_in[rows_in_block, np.arange(start, stop)] = False
+        poss_in &= ~cert_in
+
+        if spec.function == "sum":
+            b_lb, b_ub = _sum_bounds_block(
+                cert_in, poss_in, d_val_lb, d_val_ub,
+                self_lb=d_val_lb[block], self_ub=d_val_ub[block],
+                frame_size=frame_size,
+                certain_window_size=1 + np.minimum(preceding, pos_lb[block]),
+            )
+        elif spec.function == "count":
+            b_lb, b_ub = _count_bounds_block(
+                cert_in, poss_in,
+                frame_size=frame_size,
+                certain_window_size=1 + np.minimum(preceding, pos_lb[block]),
+            )
+        elif spec.function in ("min", "max"):
+            b_lb, b_ub = _extrema_bounds_block(
+                cert_in, poss_in, d_val_lb, d_val_ub,
+                self_lb=d_val_lb[block], self_ub=d_val_ub[block],
+                maximum=spec.function == "max",
+            )
+        else:  # avg: envelope of the member values (Algorithm 4's delegation)
+            members = cert_in | poss_in
+            b_lb = np.minimum(
+                d_val_lb[block], np.where(members, d_val_lb[None, :], np.inf).min(axis=1)
+            )
+            b_ub = np.maximum(
+                d_val_ub[block], np.where(members, d_val_ub[None, :], -np.inf).max(axis=1)
+            )
+        w_lb[block] = b_lb
+        w_ub[block] = b_ub
+
+    # Integer aggregation columns produce integer bounds on the Python
+    # backend (sum/min/max/count of ints, and avg's member-value extrema);
+    # the masked kernels compute in float64, so cast the exactly-integral
+    # results back for round-trip fidelity.  avg's selected guess (sum/len)
+    # stays float like its Python counterpart.
+    if all(arr.dtype == np.int64 for arr in (val_lb, val_sg, val_ub)):
+        w_lb = w_lb.astype(np.int64)
+        w_ub = w_ub.astype(np.int64)
+        if spec.function != "avg":
+            sg_agg = sg_agg.astype(np.int64)
+
+    # Materialise into the output rows, merging duplicates that computed equal
+    # hypercubes (exactly what AURelation.add would do).  The selected guess
+    # clamps per element with Python's max/min so the winning scalar keeps
+    # its original type, exactly like bounds._clamped_sg.
+    rows_out = out._rows
+    lb_list, ub_list = w_lb.tolist(), w_ub.tolist()
+    sg_agg_list, sg_present_list = sg_agg.tolist(), dup_sg.tolist()
+    row_list, offset_list = row.tolist(), offset.tolist()
+    mult_lb, mult_sg = columnar.mult_lb.tolist(), columnar.mult_sg.tolist()
+    for t in range(m):
+        i = row_list[t]
+        lb = lb_list[t]
+        ub = ub_list[t]
+        sg = max(lb, min(sg_agg_list[t], ub)) if sg_present_list[t] else lb
+        key = columnar.row_values(i) + (RangeValue(lb, sg, ub),)
+        mult = duplicate_annotation(offset_list[t], mult_lb[i], mult_sg[i])
+        existing = rows_out.get(key)
+        rows_out[key] = mult if existing is None else existing.add(mult)
+    return out
+
+
+def _selected_guess_aggregates(
+    function: str,
+    values_sg: np.ndarray,
+    pos_sg: np.ndarray,
+    dup_sg: np.ndarray,
+    frame_size: int,
+) -> np.ndarray:
+    """Deterministic rolling aggregate in the selected-guess world, per duplicate.
+
+    Selected-guess-present duplicates occupy dense, distinct positions in the
+    selected-guess order, so ordering by ``pos_sg`` recovers that world's sort
+    order and the frame is a plain trailing window over it.  Entries of
+    sg-absent duplicates are meaningless (callers fall back to the lower
+    bound there).
+    """
+    m = len(pos_sg)
+    agg = np.zeros(m, dtype=np.float64)
+    present = np.flatnonzero(dup_sg)
+    if len(present) == 0:
+        return agg
+    ordered = present[np.argsort(pos_sg[present], kind="stable")]
+    vals = values_sg[ordered]
+    if function == "sum":
+        window_agg = sliding_window_sums(vals, frame_size)
+    elif function == "count":
+        window_agg = np.minimum(np.arange(len(vals)) + 1, frame_size)
+    elif function == "avg":
+        counts = np.minimum(np.arange(len(vals)) + 1, frame_size)
+        window_agg = sliding_window_sums(vals, frame_size) / counts
+    elif function == "min":
+        window_agg = sliding_window_extrema(vals, frame_size, maximum=False)
+    else:  # max
+        window_agg = sliding_window_extrema(vals, frame_size, maximum=True)
+    agg[ordered] = window_agg
+    return agg
+
+
+def _sum_bounds_block(
+    cert_in: np.ndarray,
+    poss_in: np.ndarray,
+    val_lb: np.ndarray,
+    val_ub: np.ndarray,
+    *,
+    self_lb: np.ndarray,
+    self_ub: np.ndarray,
+    frame_size: int,
+    certain_window_size: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized min-k / max-k sum bounds (Algorithm 5's refinement).
+
+    The lower bound adds the certain members' lower bounds plus the smallest
+    possible contributions: ``required`` members are forced into the window
+    because it certainly holds more rows than self + certain account for;
+    beyond that only negative contributions can pull the sum down, limited to
+    the free frame slots.  The upper bound is symmetric.  At most
+    ``frame_size - 1`` possible members can ever contribute, so per-row
+    partial sorts of that width replace the Python backend's heap probing.
+    """
+    used = 1 + cert_in.sum(axis=1)
+    slots = np.maximum(0, frame_size - used)
+    required = np.clip(np.minimum(certain_window_size, frame_size) - used, 0, slots)
+
+    lb = self_lb + cert_in @ val_lb
+    ub = self_ub + cert_in @ val_ub
+
+    k = frame_size - 1
+    if k > 0:
+        neg_total = (poss_in & (val_lb < 0)[None, :]).sum(axis=1)
+        taken = np.minimum(slots, np.maximum(required, neg_total))
+        lb = lb + _smallest_prefix_sums(
+            np.where(poss_in, val_lb[None, :], np.inf), k, taken
+        )
+
+        pos_total = (poss_in & (val_ub > 0)[None, :]).sum(axis=1)
+        taken = np.minimum(slots, np.maximum(required, pos_total))
+        ub = ub - _smallest_prefix_sums(
+            np.where(poss_in, -val_ub[None, :], np.inf), k, taken
+        )
+    return lb, ub
+
+
+def _smallest_prefix_sums(candidates: np.ndarray, k: int, taken: np.ndarray) -> np.ndarray:
+    """Per row: the sum of the ``taken`` smallest of the first ``k`` order statistics.
+
+    ``candidates`` uses ``+inf`` for non-members; ``taken`` never exceeds the
+    number of finite entries in a row, so the padding is never accumulated.
+    """
+    if candidates.shape[1] > k:
+        head = np.partition(candidates, k - 1, axis=1)[:, :k]
+    else:
+        head = candidates
+    head = np.sort(head, axis=1)
+    prefix = np.concatenate(
+        [np.zeros((head.shape[0], 1)), np.cumsum(head, axis=1)], axis=1
+    )
+    return prefix[np.arange(head.shape[0]), taken]
+
+
+def _count_bounds_block(
+    cert_in: np.ndarray,
+    poss_in: np.ndarray,
+    *,
+    frame_size: int,
+    certain_window_size: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    used = 1 + cert_in.sum(axis=1)
+    lb = np.maximum(used, np.minimum(certain_window_size, frame_size))
+    lb = np.minimum(lb, frame_size)
+    ub = np.minimum(frame_size, used + poss_in.sum(axis=1))
+    ub = np.maximum(ub, lb)
+    return lb, ub
+
+
+def _extrema_bounds_block(
+    cert_in: np.ndarray,
+    poss_in: np.ndarray,
+    val_lb: np.ndarray,
+    val_ub: np.ndarray,
+    *,
+    self_lb: np.ndarray,
+    self_ub: np.ndarray,
+    maximum: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """min / max bounds: all members bound the loose side, certain members the tight one."""
+    members = cert_in | poss_in
+    if maximum:
+        ub = np.maximum(self_ub, np.where(members, val_ub[None, :], -np.inf).max(axis=1))
+        lb = np.maximum(self_lb, np.where(cert_in, val_lb[None, :], -np.inf).max(axis=1))
+    else:
+        lb = np.minimum(self_lb, np.where(members, val_lb[None, :], np.inf).min(axis=1))
+        ub = np.minimum(self_ub, np.where(cert_in, val_ub[None, :], np.inf).min(axis=1))
+    return lb, ub

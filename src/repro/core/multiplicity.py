@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from repro.core.booleans import RangeBool
 from repro.errors import InvalidMultiplicityError
 
-__all__ = ["Multiplicity", "ZERO", "ONE"]
+__all__ = ["Multiplicity", "ZERO", "ONE", "duplicate_annotation"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -125,3 +125,24 @@ class Multiplicity:
 
 ZERO = Multiplicity(0, 0, 0)
 ONE = Multiplicity(1, 1, 1)
+
+#: Shared duplicate annotations of Fig. 4 / Algorithm 2 (immutable, reused).
+_DUPLICATE_CERTAIN = ONE
+_DUPLICATE_SG_ONLY = Multiplicity(0, 1, 1)
+_DUPLICATE_POSSIBLE = Multiplicity(0, 0, 1)
+
+
+def duplicate_annotation(index: int, lb: int, sg: int) -> Multiplicity:
+    """Annotation of the ``index``-th duplicate under the Fig. 4 split.
+
+    A tuple with multiplicity triple ``(lb, sg, ub)`` splits into ``ub``
+    duplicates of multiplicity at most one: the ``index``-th duplicate is
+    certain for ``index < lb``, selected-guess-only for ``lb <= index < sg``,
+    and merely possible otherwise.  Every implementation of the split (sort,
+    window, python and columnar backends) shares this classification.
+    """
+    if index < lb:
+        return _DUPLICATE_CERTAIN
+    if index < sg:
+        return _DUPLICATE_SG_ONLY
+    return _DUPLICATE_POSSIBLE

@@ -80,10 +80,15 @@ def audb_window_bounds(
     *,
     key_attribute: str,
     method: str = "native",
+    backend: str = "python",
 ) -> dict[Scalar, tuple[float, float]]:
-    """Per-tuple window-aggregate bounds produced by the AU-DB window operator."""
+    """Per-tuple window-aggregate bounds produced by the AU-DB window operator.
+
+    ``backend="columnar"`` evaluates the native method with the vectorized
+    kernels of :mod:`repro.columnar`; the bounds are identical.
+    """
     if method == "native":
-        result = window_native(audb, spec)
+        result = window_native(audb, spec, backend=backend)
     else:
         result = window_rewrite(audb, spec)
     return extract_bounds(result, key_attribute, spec.output)

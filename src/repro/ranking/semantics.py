@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.core.multiplicity import Multiplicity
+from repro.core.multiplicity import Multiplicity, duplicate_annotation
 from repro.core.ranges import RangeValue
 from repro.core.relation import AURelation
 from repro.errors import OperatorError
@@ -34,13 +34,7 @@ def split_duplicates(
     out: list[tuple[RangeValue, Multiplicity]] = []
     for i in range(mult.ub):
         position = RangeValue(base_position.lb + i, base_position.sg + i, base_position.ub + i)
-        if i < mult.lb:
-            duplicate_mult = Multiplicity(1, 1, 1)
-        elif i < mult.sg:
-            duplicate_mult = Multiplicity(0, 1, 1)
-        else:
-            duplicate_mult = Multiplicity(0, 0, 1)
-        out.append((position, duplicate_mult))
+        out.append((position, duplicate_annotation(i, mult.lb, mult.sg)))
     return out
 
 

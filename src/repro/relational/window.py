@@ -6,6 +6,12 @@ row's *window*: the rows of its partition whose sort position (under
 of the row's own position.  Each duplicate of a row is treated as a separate
 row ("exploded"), exactly as in the paper's ``ROW`` construction, so different
 duplicates may receive different aggregate values.
+
+``backend="columnar"`` evaluates the same windows with rank-encoded NumPy
+columns: partitions and sort order come from ``np.lexsort`` over dense order
+codes, and the per-row aggregates are rolling computations (prefix sums for
+``sum`` / ``count`` / ``avg``, padded sliding-extrema views for ``min`` /
+``max``); both backends produce identical relations.
 """
 
 from __future__ import annotations
@@ -13,10 +19,10 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.ranges import Scalar
-from repro.errors import WindowSpecError
+from repro.errors import OperatorError, WindowSpecError
 from repro.relational.aggregates import aggregate
 from repro.relational.relation import Relation, Row
-from repro.relational.sort import _checked_sort, make_total_order_key
+from repro.relational.sort import _checked_sort, _total_order_indexes, make_total_order_key
 
 __all__ = ["window_aggregate"]
 
@@ -36,13 +42,15 @@ def window_aggregate(
     partition_by: Sequence[str] = (),
     frame: tuple[int, int] = (0, 0),
     descending: bool = False,
+    backend: str = "python",
 ) -> Relation:
     """Row-based windowed aggregation.
 
     Parameters mirror SQL's ``<agg>(<attribute>) OVER (PARTITION BY ...
     ORDER BY ... ROWS BETWEEN lower AND upper)`` with ``frame = (lower,
     upper)`` given as signed offsets relative to the current row (e.g.
-    ``(-2, 0)`` for ``2 PRECEDING AND CURRENT ROW``).
+    ``(-2, 0)`` for ``2 PRECEDING AND CURRENT ROW``).  ``backend="columnar"``
+    evaluates the windows with vectorized rolling kernels.
     """
     lower, upper = frame
     _validate_frame(lower, upper)
@@ -56,6 +64,23 @@ def window_aggregate(
         relation.schema.require([attribute])
 
     out_schema = relation.schema.extend(output)
+
+    if backend == "columnar":
+        return _window_aggregate_columnar(
+            relation,
+            out_schema,
+            function=function,
+            attribute=attribute,
+            order_by=order_by,
+            partition_by=partition_by,
+            frame=frame,
+            descending=descending,
+        )
+    if backend != "python":
+        raise OperatorError(
+            f"unknown window backend {backend!r}; expected 'python' or 'columnar'"
+        )
+
     out = Relation(out_schema)
 
     partition_idx = relation.schema.indexes_of(partition_by)
@@ -85,4 +110,178 @@ def window_aggregate(
             else:
                 values = [member[attr_idx] for member in members]
             out.add(row + (aggregate(function, values),), 1)
+    return out
+
+
+def _window_aggregate_columnar(
+    relation: Relation,
+    out_schema,
+    *,
+    function: str,
+    attribute: str | None,
+    order_by: Sequence[str],
+    partition_by: Sequence[str],
+    frame: tuple[int, int],
+    descending: bool,
+) -> Relation:
+    """Vectorized window evaluation: lexsort partitions, rolling aggregates."""
+    try:
+        import numpy as np
+    except ImportError as exc:  # pragma: no cover - environment dependent
+        raise OperatorError("the columnar backend requires NumPy") from exc
+    from repro.columnar.kernels import dense_rank_codes
+
+    def delegate() -> Relation:
+        """Re-run on the exact Python path (inputs the kernels cannot cover)."""
+        return window_aggregate(
+            relation,
+            function=function,
+            attribute=attribute,
+            output=out_schema.attributes[-1],
+            order_by=order_by,
+            partition_by=partition_by,
+            frame=frame,
+            descending=descending,
+        )
+
+    out = Relation(out_schema)
+    rows = relation.expanded_rows()
+    n = len(rows)
+    if n == 0:
+        return out
+    lower, upper = frame
+
+    # Group ids: first-seen codes over the composite partition-key tuple.
+    # Grouping needs equality only, so unorderable (mixed-type) keys group
+    # exactly like the Python backend's dict — and one dict over the whole
+    # tuple cannot overflow the way a mixed-radix per-column encoding could.
+    group = np.zeros(n, dtype=np.int64)
+    if partition_by:
+        part_idx = relation.schema.indexes_of(partition_by)
+        seen: dict = {}
+        group = np.fromiter(
+            (
+                seen.setdefault(tuple(row[i] for i in part_idx), len(seen))
+                for row in rows
+            ),
+            dtype=np.int64,
+            count=n,
+        )
+
+    # One lexsort orders every partition internally under <total_O: group id
+    # first (most significant), then the total-order key columns.  Rank
+    # encoding needs a *global* order per column; the Python backend compares
+    # key tuples lazily within one partition and may succeed where no global
+    # order exists (e.g. mixed-type tiebreaker columns), so such inputs
+    # delegate rather than raise.
+    all_idx = _total_order_indexes(relation.schema, order_by)
+    keys: list[np.ndarray] = []
+    try:
+        for i in reversed(all_idx):
+            column_values = [row[i] for row in rows]
+            if any(type(v) is float and v != v for v in column_values):
+                # NaN breaks the total order: rank encoding and the Python
+                # comparator resolve the incoherent comparisons differently.
+                return delegate()
+            codes = dense_rank_codes(column_values, relation.schema.attributes[i])
+            keys.append(-codes if descending else codes)
+    except OperatorError:
+        return delegate()
+    keys.append(group)
+    order = np.lexsort(tuple(keys))
+    sorted_group = group[order]
+
+    # Per-row window extent: positions clipped to the partition's row range.
+    boundaries = np.flatnonzero(np.diff(sorted_group)) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [n]])  # exclusive
+    which = np.searchsorted(ends, np.arange(n), side="right")
+    group_start, group_end = starts[which], ends[which]
+
+    position = np.arange(n, dtype=np.int64)
+    start = np.maximum(group_start, position + lower)
+    stop = np.minimum(group_end - 1, position + upper)  # inclusive
+    count = np.maximum(0, stop - start + 1)
+    empty_rows = np.flatnonzero(count == 0).tolist()
+
+    if function == "count" or attribute is None or attribute == "*":
+        # count reads only the window sizes; never materialise the column.
+        values = np.ones(n, dtype=np.int64)
+    else:
+        attr_i = relation.schema.index_of(attribute)
+        column = [rows[i][attr_i] for i in order.tolist()]
+        kinds = {type(v) for v in column}
+        exact = kinds <= {int, float, bool}
+        if exact and function in ("sum", "avg"):
+            if not kinds <= {int, bool}:
+                # Float prefix-sum differences accumulate in a different
+                # order than the Python backend's per-window sums; keep the
+                # backends bit-identical by delegating float sums.
+                exact = False
+            elif max(abs(min(column)), abs(max(column))) * (n + 1) >= (
+                2**53 if function == "avg" else 2**62
+            ):
+                # Huge integers could overflow the int64 prefix sums (the
+                # Python path sums in arbitrary precision); avg additionally
+                # needs the sums float64-exact, since np.true_divide rounds
+                # int64 sums to float64 *before* dividing while Python
+                # divides exact big ints with a single rounding.
+                exact = False
+        elif exact and function in ("min", "max") and kinds not in ({int}, {float}):
+            # min/max return the winning value itself: mixed int/float and
+            # bool columns would come back float64/0-1 instead of the
+            # original scalars (and ints beyond 2**53 would round), so only
+            # homogeneous int or float columns reduce vectorized.
+            exact = False
+        values = None
+        if exact:
+            try:
+                values = np.asarray(
+                    column, dtype=np.int64 if kinds <= {int, bool} else np.float64
+                )
+            except OverflowError:  # ints beyond int64
+                pass
+        # (NaN values delegated above: every column is a total-order key.)
+        if values is None:
+            # Non-numeric (or non-exactly-summable) aggregation columns stay
+            # on the exact Python path.
+            return delegate()
+
+    if function == "count":
+        agg_list: list[Scalar] = count.tolist()
+    elif function in ("sum", "avg"):
+        prefix = np.concatenate([[0], np.cumsum(values)])
+        sums = prefix[np.maximum(stop + 1, 0)] - prefix[np.clip(start, 0, n)]
+        if function == "sum":
+            agg_list = sums.tolist()
+            for i in empty_rows:
+                agg_list[i] = 0
+        else:
+            agg_list = (sums / np.maximum(count, 1)).tolist()
+            for i in empty_rows:
+                agg_list[i] = None
+    else:  # min / max: rolling extrema over the value stream
+        from repro.columnar.kernels import sliding_window_extrema
+
+        # A window never holds more than n rows; clamping keeps frames far
+        # wider than the relation on the vectorized path (count == width)
+        # instead of sending every row through the exact per-row loop.
+        width = min(upper - lower + 1, n)
+        # extrema[j] reduces the trailing window ending at j; a row's
+        # full-width window ends at `stop`.  Truncated windows (partition
+        # edges) reduce exactly below; skip the rolling pass entirely when
+        # every window is truncated (e.g. partitions smaller than the frame).
+        if bool(np.any(count == width)):
+            extrema = sliding_window_extrema(values, width, maximum=function == "max")
+            agg_list = extrema[np.clip(stop, 0, n - 1)].tolist()
+        else:
+            agg_list = [None] * n
+        reducer = np.maximum if function == "max" else np.minimum
+        for i in np.flatnonzero((count > 0) & (count < width)).tolist():
+            agg_list[i] = reducer.reduce(values[start[i] : stop[i] + 1]).item()
+        for i in empty_rows:
+            agg_list[i] = None
+
+    for rank, i in enumerate(order.tolist()):
+        out.add(rows[i] + (agg_list[rank],), 1)
     return out

@@ -16,6 +16,7 @@ bounds — the core of the windowed-aggregation semantics of Section 6.1:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -23,6 +24,19 @@ from repro.core.ranges import RangeValue
 from repro.errors import OperatorError
 
 __all__ = ["WindowMember", "aggregate_bounds"]
+
+
+def _exact_sum(parts: list) -> float:
+    """Order-independent sum: exact for ints, correctly rounded for floats.
+
+    The native sweep, the rewrite, and the columnar backend collect a
+    window's members in different orders; ``math.fsum`` makes the sum bounds
+    independent of that order, keeping the implementations bit-identical on
+    float aggregation columns.  Integer-only sums stay integers.
+    """
+    if any(isinstance(p, float) for p in parts):
+        return math.fsum(parts)
+    return sum(parts)
 
 
 @dataclass(frozen=True)
@@ -99,12 +113,10 @@ def _sum_bounds(
     sg_value: float | None,
     certain_window_size: int,
 ) -> RangeValue:
-    lb = (self_member.value_lb * self_member.count if self_member else 0.0) + sum(
-        m.value_lb * m.count for m in certain
-    )
-    ub = (self_member.value_ub * self_member.count if self_member else 0.0) + sum(
-        m.value_ub * m.count for m in certain
-    )
+    lb_parts = [self_member.value_lb * self_member.count] if self_member else []
+    lb_parts.extend(m.value_lb * m.count for m in certain)
+    ub_parts = [self_member.value_ub * self_member.count] if self_member else []
+    ub_parts.extend(m.value_ub * m.count for m in certain)
     slots = _slots(self_member, certain, frame_size)
     # Number of possible members that are present in *every* world because the
     # window certainly holds more rows than self + certain account for.
@@ -122,7 +134,7 @@ def _sum_bounds(
             break
         if forced > 0:
             take = min(member.count, remaining, forced)
-            lb += member.value_lb * take
+            lb_parts.append(member.value_lb * take)
             remaining -= take
             forced -= take
             leftover = member.count - take
@@ -130,7 +142,7 @@ def _sum_bounds(
             leftover = member.count
         if leftover > 0 and member.value_lb < 0 and remaining > 0:
             take = min(leftover, remaining)
-            lb += member.value_lb * take
+            lb_parts.append(member.value_lb * take)
             remaining -= take
 
     # Upper bound: symmetric — the `required` largest possible contributions
@@ -143,7 +155,7 @@ def _sum_bounds(
             break
         if forced > 0:
             take = min(member.count, remaining, forced)
-            ub += member.value_ub * take
+            ub_parts.append(member.value_ub * take)
             remaining -= take
             forced -= take
             leftover = member.count - take
@@ -151,9 +163,11 @@ def _sum_bounds(
             leftover = member.count
         if leftover > 0 and member.value_ub > 0 and remaining > 0:
             take = min(leftover, remaining)
-            ub += member.value_ub * take
+            ub_parts.append(member.value_ub * take)
             remaining -= take
 
+    lb = _exact_sum(lb_parts)
+    ub = _exact_sum(ub_parts)
     return RangeValue(lb, _clamped_sg(lb, sg_value, ub), ub)
 
 

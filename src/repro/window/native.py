@@ -19,8 +19,8 @@ by the lower bound of their position:
 Frames are ``N PRECEDING AND CURRENT ROW``; ``CURRENT ROW AND N FOLLOWING``
 frames are handled through the mirrored-order reduction described in the
 paper, and window specifications outside this class (two-sided frames,
-uncertain partition-by attributes) transparently fall back to the
-definitional implementation.
+frames excluding the current row, uncertain partition-by attributes)
+transparently fall back to the definitional implementation.
 """
 
 from __future__ import annotations
@@ -31,6 +31,7 @@ from typing import Callable, Sequence
 
 from repro.algorithms.connected_heap import ConnectedHeap
 from repro.core.multiplicity import Multiplicity
+from repro.errors import OperatorError
 from repro.core.ranges import RangeValue
 from repro.core.relation import AURelation
 from repro.core.tuples import AUTuple
@@ -65,21 +66,43 @@ def window_native(
     spec: WindowSpec,
     *,
     heap_factory: Callable[[Sequence[Callable[[_Item], object]]], object] = ConnectedHeap,
+    backend: str = "python",
 ) -> AURelation:
     """One-pass uncertain windowed aggregation (the ``Imp`` method).
 
     ``heap_factory`` exists so benchmarks can swap the connected heap for the
     naive unconnected-heaps baseline of the paper's preliminary experiment.
+
+    ``backend="columnar"`` evaluates the same bounds with the NumPy-backed
+    vectorized kernels of :mod:`repro.columnar.window` (bit-identical results;
+    the heap sweep is replaced by frame-membership interval kernels).
     """
+    if backend == "columnar":
+        if heap_factory is not ConnectedHeap:
+            raise OperatorError(
+                "heap_factory applies only to the python backend's sweep; "
+                "the columnar backend replaces the heaps with vectorized kernels"
+            )
+        try:
+            from repro.columnar.window import window_columnar  # local: NumPy optional
+        except ImportError as exc:
+            raise OperatorError("the columnar backend requires NumPy") from exc
+
+        return window_columnar(relation, spec)
+    if backend != "python":
+        raise OperatorError(
+            f"unknown window backend {backend!r}; expected 'python' or 'columnar'"
+        )
     relation.schema.require(list(spec.order_by))
     relation.schema.require(list(spec.partition_by))
 
-    lower_off, upper_off = spec.frame
-    if upper_off > 0:
-        if lower_off == 0:
+    if not spec.preceding_only:
+        if spec.following_only:
             # CURRENT ROW AND N FOLLOWING == N PRECEDING AND CURRENT ROW over
             # the mirrored sort order.
             return window_native(relation, spec.mirrored(), heap_factory=heap_factory)
+        # Two-sided frames and frames excluding the current row fall back to
+        # the definitional implementation.
         return window_rewrite(relation, spec)
 
     if spec.partition_by:
@@ -245,11 +268,17 @@ def _compute_bounds(
     certain_seqs: set[int] = {item.seq}
 
     # Members certainly inside the window: their position range is contained
-    # in the positions the window certainly covers.
+    # in the positions the window certainly covers.  Scan whichever is
+    # smaller — the window's position range or the occupied buckets — so
+    # frames far wider than the relation stay O(n).
     low = item.pos_ub - preceding
     high = item.pos_lb
-    for position in range(low, high + 1):
-        for member in cert.get(position, ()):
+    if len(cert) <= high - low + 1:
+        buckets = [members for position, members in cert.items() if low <= position <= high]
+    else:
+        buckets = [cert[position] for position in range(low, high + 1) if position in cert]
+    for members in buckets:
+        for member in members:
             if member.seq == item.seq:
                 continue
             if member.pos_ub <= item.pos_lb and member.pos_lb >= low:

@@ -2,85 +2,66 @@
 
 ``window_rewrite`` follows the paper's construction literally:
 
-1. **expand** — split every tuple into duplicates with multiplicity at most
-   one (different duplicates of a tuple may receive different aggregate
-   values, exactly as in the deterministic semantics).
-2. for every (defining) duplicate ``t``:
-   a. compute which tuples certainly / possibly / selected-guess-wise belong
-      to ``t``'s *partition* (uncertain equality on the partition-by
-      attributes),
-   b. compute every tuple's sort-position bounds *within that partition*,
-   c. classify tuples as certainly or possibly inside ``t``'s window using
-      the interval containment / overlap conditions of Fig. 6, and
-   d. bound the aggregation result by combining the certain members with the
-      best/worst admissible subset of possible members
-      (:func:`repro.window.bounds.aggregate_bounds`).
+1. for every input tuple, compute which tuples certainly / possibly /
+   selected-guess-wise belong to its *partition* (uncertain equality on the
+   partition-by attributes),
+2. compute every tuple's sort-position bounds *within that partition*
+   (Equations 1-3 restricted to the partition members),
+3. split every tuple into duplicates with multiplicity at most one; the
+   ``i``-th duplicate occupies the tuple's position bounds shifted by ``i``
+   (the split of Fig. 4 / Algorithm 2, exactly as the sort operator and the
+   native sweep apply it — different duplicates of a tuple may receive
+   different aggregate values, as in the deterministic semantics), and
+4. classify duplicates as certainly or possibly inside the defining
+   duplicate's window using the interval containment / overlap conditions of
+   Fig. 6, and bound the aggregation result by combining the certain members
+   with the best/worst admissible subset of possible members
+   (:func:`repro.window.bounds.aggregate_bounds`).
+
+``CURRENT ROW AND N FOLLOWING`` frames are evaluated through the same
+mirrored-order reduction the native sweep uses: the window equals ``N
+PRECEDING AND CURRENT ROW`` over the reversed sort order, and classifying
+members through the sort-position intervals of the *mirrored* order yields
+the sweep's (tighter) bounds, keeping the two implementations bit-identical.
 
 The construction mirrors the SQL rewrite (``Rewr``) and is quadratic in the
 number of tuples per defining tuple's partition; the native sweep operator in
-:mod:`repro.window.native` computes the same kind of bounds in one pass.
+:mod:`repro.window.native` computes the same bounds in one pass.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from dataclasses import dataclass
-from typing import Sequence
+from typing import Iterator, Sequence
 
 from repro.core.booleans import CERTAIN_TRUE, RangeBool
-from repro.core.multiplicity import Multiplicity
+from repro.core.multiplicity import Multiplicity, duplicate_annotation
 from repro.core.ranges import RangeValue
 from repro.core.relation import AURelation
-from repro.core.tuples import AUTuple
 from repro.errors import WindowSpecError
-from repro.ranking.positions import relation_items, sort_key_value
+from repro.ranking.positions import RankedItem, relation_items, sort_key_value
 from repro.relational.aggregates import aggregate
 from repro.window.bounds import WindowMember, aggregate_bounds
 from repro.window.spec import WindowSpec
 
-__all__ = ["window_rewrite", "expand_duplicates"]
+__all__ = ["window_rewrite", "duplicate_multiplicities"]
 
 
-@dataclass
-class _Item:
-    """One expanded duplicate with cached sort keys and filtered annotations."""
+def duplicate_multiplicities(mult: Multiplicity) -> Iterator[tuple[int, Multiplicity]]:
+    """The per-duplicate annotations of the Fig. 4 / Algorithm 2 split.
 
-    tup: AUTuple
-    mult: Multiplicity
-    seq: int
-    key_lower: tuple
-    key_sg: tuple
-    key_upper: tuple
-
-
-def expand_duplicates(
-    relation: AURelation, order_by: Sequence[str], *, descending: bool = False
-) -> list[_Item]:
-    """Split every tuple into duplicates of multiplicity at most one."""
-    items: list[_Item] = []
-    seq = 0
-    for ranked in relation_items(relation, order_by, descending=descending):
-        for i in range(ranked.mult.ub):
-            mult = Multiplicity(
-                1 if i < ranked.mult.lb else 0,
-                1 if i < ranked.mult.sg else 0,
-                1,
-            )
-            items.append(
-                _Item(
-                    tup=ranked.tup,
-                    mult=mult,
-                    seq=seq,
-                    key_lower=ranked.key_lower,
-                    key_sg=ranked.key_sg,
-                    key_upper=ranked.key_upper,
-                )
-            )
-            seq += 1
-    return items
+    The ``i``-th duplicate of a tuple is certain for ``i < lb``,
+    selected-guess-only for ``lb <= i < sg``, and merely possible for
+    ``sg <= i < ub``; its sort position is the tuple's base position shifted
+    by ``i``.
+    """
+    for i in range(mult.ub):
+        yield i, duplicate_annotation(i, mult.lb, mult.sg)
 
 
-def _partition_membership(defining: _Item, item: _Item, partition_by: Sequence[str]) -> RangeBool:
+def _partition_membership(
+    defining: RankedItem, item: RankedItem, partition_by: Sequence[str]
+) -> RangeBool:
     """Bounding triple for "``item`` is in the partition of ``defining``"."""
     condition = CERTAIN_TRUE
     for name in partition_by:
@@ -89,11 +70,11 @@ def _partition_membership(defining: _Item, item: _Item, partition_by: Sequence[s
 
 
 def _position_triples(
-    items: Sequence[_Item],
+    items: Sequence[RankedItem],
     weights: dict[int, tuple[int, int, int]],
     rest_sg_key: dict[int, tuple],
 ) -> dict[int, tuple[int, int, int]]:
-    """Sort-position bounds of every item, restricted to the weighted members.
+    """Sort-position bounds of every tuple's first duplicate, per Equations 1-3.
 
     ``weights`` maps item sequence numbers to (certain, selected-guess,
     possible) multiplicities already filtered by partition membership; items
@@ -135,7 +116,7 @@ def _position_triples(
     return positions
 
 
-def _rest_sg_keys(items: Sequence[_Item], order_by: Sequence[str]) -> dict[int, tuple]:
+def _rest_sg_keys(items: Sequence[RankedItem], order_by: Sequence[str]) -> dict[int, tuple]:
     if not items:
         return {}
     schema = items[0].tup.schema
@@ -154,7 +135,13 @@ def window_rewrite(relation: AURelation, spec: WindowSpec) -> AURelation:
     if spec.output in relation.schema:
         raise WindowSpecError(f"output attribute {spec.output!r} already exists in the schema")
 
-    items = expand_duplicates(relation, spec.order_by, descending=spec.descending)
+    if spec.following_only and spec.frame[1] > 0:
+        # CURRENT ROW AND N FOLLOWING == N PRECEDING AND CURRENT ROW over the
+        # mirrored sort order; classifying members through the mirrored
+        # order's sort-position intervals matches the native sweep's bounds.
+        return window_rewrite(relation, spec.mirrored())
+
+    items = relation_items(relation, spec.order_by, descending=spec.descending)
     rest_sg = _rest_sg_keys(items, spec.order_by)
     out_schema = relation.schema.extend(spec.output)
     out = AURelation(out_schema)
@@ -162,14 +149,16 @@ def window_rewrite(relation: AURelation, spec: WindowSpec) -> AURelation:
     # Fast path: without PARTITION BY every item shares one partition, so the
     # position triples can be computed once.
     shared_positions: dict[int, tuple[int, int, int]] | None = None
+    all_certain: dict[int, RangeBool] = {}
     if not spec.partition_by:
         weights = {item.seq: (item.mult.lb, item.mult.sg, item.mult.ub) for item in items}
         shared_positions = _position_triples(items, weights, rest_sg)
+        all_certain = {item.seq: CERTAIN_TRUE for item in items}
 
     for defining in items:
         if shared_positions is not None:
             positions = shared_positions
-            membership = {item.seq: CERTAIN_TRUE for item in items}
+            membership = all_certain
         else:
             membership = {
                 item.seq: _partition_membership(defining, item, spec.partition_by)
@@ -186,20 +175,23 @@ def window_rewrite(relation: AURelation, spec: WindowSpec) -> AURelation:
             }
             positions = _position_triples(items, weights, rest_sg)
 
-        value = _window_value(defining, items, positions, membership, spec)
-        out.add(defining.tup.extend(spec.output, value), defining.mult)
+        for dup_index, dup_mult in duplicate_multiplicities(defining.mult):
+            value = _window_value(defining, dup_index, items, positions, membership, spec)
+            out.add(defining.tup.extend(spec.output, value), dup_mult)
     return out
 
 
 def _window_value(
-    defining: _Item,
-    items: Sequence[_Item],
+    defining: RankedItem,
+    dup_index: int,
+    items: Sequence[RankedItem],
     positions: dict[int, tuple[int, int, int]],
     membership: dict[int, RangeBool],
     spec: WindowSpec,
 ) -> RangeValue:
     lower_off, upper_off = spec.frame
-    pos_lb, pos_sg, pos_ub = positions[defining.seq]
+    base_lb, base_sg, base_ub = positions[defining.seq]
+    pos_lb, pos_sg, pos_ub = base_lb + dup_index, base_sg + dup_index, base_ub + dup_index
 
     # Sort positions certainly covered by the window start at the latest
     # possible window start and end at the earliest possible window end.
@@ -209,7 +201,7 @@ def _window_value(
 
     certain_members: list[WindowMember] = []
     possible_members: list[WindowMember] = []
-    sg_values: list[float] = []
+    sg_values: list[tuple[int, float]] = []  # (selected-guess position, value)
     certain_rows_after = 0
 
     for item in items:
@@ -218,45 +210,50 @@ def _window_value(
             continue
         item_lb, item_sg, item_ub = positions[item.seq]
         value = _member_value(item, spec)
-        is_self = item.seq == defining.seq
+        if spec.function == "count" or spec.attribute in (None, "*"):
+            sg_scalar: float = 1
+        else:
+            sg_scalar = item.tup.value(spec.attribute).sg
 
-        if not is_self:
-            if cond.lb and item.mult.lb > 0 and item_lb > pos_ub:
-                certain_rows_after += 1
-            certainly_in = (
-                cond.lb
-                and item.mult.lb > 0
-                and cert_window[0] <= item_lb
-                and item_ub <= cert_window[1]
-            )
-            possibly_in = item_lb <= poss_window[1] and item_ub >= poss_window[0]
-            if certainly_in:
-                certain_members.append(value)
-            elif possibly_in:
-                possible_members.append(value)
+        for j, j_mult in duplicate_multiplicities(item.mult):
+            is_self = item.seq == defining.seq and j == dup_index
+            dup_lb, dup_ub = item_lb + j, item_ub + j
 
-        # Selected-guess window membership (dense, deterministic positions).
-        if cond.sg and item.mult.sg > 0 and sg_window[0] <= item_sg <= sg_window[1]:
-            if spec.function == "count" or spec.attribute in (None, "*"):
-                sg_values.append(1)
-            else:
-                sg_values.append(item.tup.value(spec.attribute).sg)
+            if not is_self:
+                if cond.lb and j_mult.lb > 0 and dup_lb > pos_ub:
+                    certain_rows_after += 1
+                certainly_in = (
+                    cond.lb
+                    and j_mult.lb > 0
+                    and cert_window[0] <= dup_lb
+                    and dup_ub <= cert_window[1]
+                )
+                possibly_in = dup_lb <= poss_window[1] and dup_ub >= poss_window[0]
+                if certainly_in:
+                    certain_members.append(value)
+                elif possibly_in:
+                    possible_members.append(value)
+
+            # Selected-guess window membership (dense, deterministic positions).
+            if cond.sg and j_mult.sg > 0 and sg_window[0] <= item_sg + j <= sg_window[1]:
+                sg_values.append((item_sg + j, sg_scalar))
 
     self_member = None
     if spec.includes_current_row:
         self_member = _member_value(defining, spec)
 
     sg_value = None
-    if defining.mult.sg > 0:
+    if dup_index < defining.mult.sg:
         if spec.function == "count":
             sg_value = len(sg_values)
         elif sg_values:
-            sg_value = aggregate(spec.function, sg_values)
+            sg_values.sort()
+            sg_value = aggregate(spec.function, [v for _pos, v in sg_values])
 
     # The window certainly contains at least: the rows certainly preceding the
-    # defining tuple (up to the preceding extent of the frame), the defining
-    # tuple itself, and the rows certainly following it (up to the following
-    # extent).  This feeds the min-k / max-k refinement of the bound
+    # defining duplicate (up to the preceding extent of the frame), the
+    # duplicate itself, and the rows certainly following it (up to the
+    # following extent).  This feeds the min-k / max-k refinement of the bound
     # computation (Section 6.1).
     certain_window_size = 0
     if spec.includes_current_row:
@@ -275,7 +272,7 @@ def _window_value(
     )
 
 
-def _member_value(item: _Item, spec: WindowSpec) -> WindowMember:
+def _member_value(item: RankedItem, spec: WindowSpec) -> WindowMember:
     if spec.function == "count" or spec.attribute is None or spec.attribute == "*":
         return WindowMember(1, 1, 1)
     value = item.tup.value(spec.attribute)

@@ -17,6 +17,7 @@ __all__ = [
     "multiplicities",
     "au_relations",
     "lifted_au_relations",
+    "window_frames",
 ]
 
 small_ints = st.integers(min_value=-6, max_value=6)
@@ -70,6 +71,34 @@ def uncertain_relations(
 
 
 @st.composite
+def window_frames(draw, *, max_extent: int = 3) -> tuple[int, int]:
+    """A row-based window frame as signed offsets ``(lower, upper)``.
+
+    Weighted toward the paper's frame classes — ``N PRECEDING AND CURRENT
+    ROW`` (the native sweep) and ``CURRENT ROW AND N FOLLOWING`` (the
+    mirrored-order reduction) — but also produces two-sided frames and frames
+    excluding the current row, which exercise the rewrite fallback.
+    """
+    kind = draw(
+        st.sampled_from(["preceding", "preceding", "following", "following", "other"])
+    )
+    if kind == "preceding":
+        return (-draw(st.integers(min_value=0, max_value=max_extent)), 0)
+    if kind == "following":
+        return (0, draw(st.integers(min_value=0, max_value=max_extent)))
+    bounds = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=-max_extent, max_value=max_extent),
+                min_size=2,
+                max_size=2,
+            )
+        )
+    )
+    return (bounds[0], bounds[1])
+
+
+@st.composite
 def multiplicities(draw, *, max_count: int = 2) -> Multiplicity:
     """A well-formed ``N³`` multiplicity triple (possibly zero)."""
     bounds = sorted(
@@ -117,9 +146,9 @@ def lifted_au_relations(
 
     :func:`repro.incomplete.lift.lift_xtuples` always produces multiplicity
     triples with ``ub == 1`` (each x-tuple occurs at most once); this is the
-    workload class the paper's window operators are evaluated on, and the
-    class over which the native window sweep is bit-identical to the
-    definitional rewrite.
+    workload class the paper's window operators are evaluated on.  For true
+    bag inputs (``ub > 1``, per-duplicate aggregate values) use
+    :func:`au_relations`.
     """
     relation = AURelation(Schema(attributes))
     count = draw(st.integers(min_value=0, max_value=max_tuples))

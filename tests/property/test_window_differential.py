@@ -1,42 +1,51 @@
-"""Differential properties: native windowed aggregation vs the definitional rewrite.
+"""Differential properties: native / columnar windowed aggregation vs the rewrite.
 
-The native sweep (:func:`repro.window.native.window_native`) must agree with
-the definitional rewrite bit for bit on the paper's workload class — AU-DBs
-lifted from x-tuple relations, whose multiplicity triples always have
-``ub == 1`` (:func:`repro.incomplete.lift.lift_xtuples`) — across every
-dispatch path:
+The definitional rewrite (:func:`repro.window.semantics.window_rewrite`) is
+the specification; the native sweep (:func:`repro.window.native.window_native`)
+and the columnar kernels (:mod:`repro.columnar.window`) must agree with it
+*bit for bit* — same hypercubes, same aggregate-bound triples, same
+multiplicity annotations — on arbitrary AU-relations (including bag inputs
+with multiplicity ``ub > 1``, which receive per-duplicate aggregate values)
+across every dispatch path:
 
 * the real one-pass sweep (``N PRECEDING AND CURRENT ROW`` frames, no
   partition-by),
+* the mirrored-order reduction (``CURRENT ROW AND N FOLLOWING`` frames),
 * the per-partition sweep (certain partition-by attributes),
-* the fallback paths (two-sided frames, uncertain partition-by attributes),
-  which route to the rewrite and must do so transparently.
+* the fallback paths (two-sided frames, frames excluding the current row,
+  uncertain partition-by attributes), which route to the rewrite and must do
+  so transparently.
 
-Known divergence, pinned below: the mirrored-order reduction for
-``CURRENT ROW AND N FOLLOWING`` frames compares order-by *keys* directly,
-while the rewrite classifies window membership through sort-position
-intervals; the two produce different (each individually sound) bounds.  See
-the ROADMAP open item before relying on following-only frames.
+The two historical divergences — following-only frames (order-by-key vs
+sort-position-interval membership) and ``ub > 1`` duplicate splitting
+(shared hulls vs per-duplicate values) — are resolved; the properties below
+pin the converged semantics.
 """
 
 from __future__ import annotations
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core.multiplicity import Multiplicity
 from repro.core.ranges import RangeValue
 from repro.core.relation import AURelation
 from repro.window.native import window_native
 from repro.window.semantics import window_rewrite
 from repro.window.spec import WindowSpec
 
-from tests.property.strategies import lifted_au_relations
+from tests.property.strategies import au_relations, lifted_au_relations, window_frames
 
 FUNCTIONS = ["sum", "count", "min", "max"]
 
 
-def _spec(function: str, frame: tuple[int, int], partition_by: tuple[str, ...]) -> WindowSpec:
+def _spec(
+    function: str,
+    frame: tuple[int, int],
+    partition_by: tuple[str, ...] = (),
+    *,
+    descending: bool = False,
+) -> WindowSpec:
     return WindowSpec(
         function=function,
         attribute=None if function == "count" else "v",
@@ -44,6 +53,7 @@ def _spec(function: str, frame: tuple[int, int], partition_by: tuple[str, ...]) 
         order_by=("o",),
         partition_by=partition_by,
         frame=frame,
+        descending=descending,
     )
 
 
@@ -54,33 +64,130 @@ def assert_same_relation(left: AURelation, right: AURelation) -> None:
 
 @settings(max_examples=100, deadline=None)
 @given(
-    relation=lifted_au_relations(attributes=("o", "v")),
+    relation=au_relations(attributes=("o", "v")),
     function=st.sampled_from(FUNCTIONS),
     preceding=st.integers(min_value=0, max_value=3),
+    descending=st.booleans(),
 )
-def test_sweep_matches_rewrite_preceding_frames(relation, function, preceding):
-    spec = _spec(function, (-preceding, 0), ())
+def test_sweep_matches_rewrite_preceding_frames(relation, function, preceding, descending):
+    spec = _spec(function, (-preceding, 0), descending=descending)
     assert_same_relation(window_native(relation, spec), window_rewrite(relation, spec))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    relation=au_relations(attributes=("o", "v")),
+    function=st.sampled_from(FUNCTIONS),
+    following=st.integers(min_value=0, max_value=3),
+)
+def test_following_frames_match_bit_for_bit(relation, function, following):
+    """``CURRENT ROW AND N FOLLOWING``: the mirrored-order reduction converges.
+
+    Historically pinned as a divergence (the sweep decided membership from
+    order-by keys in mirrored coordinates, the rewrite from forward
+    sort-position intervals); both now classify members through the mirrored
+    order's position intervals.
+    """
+    spec = _spec(function, (0, following))
+    assert_same_relation(window_native(relation, spec), window_rewrite(relation, spec))
+
+
+@settings(max_examples=120, deadline=None)
+@given(
+    relation=au_relations(attributes=("o", "v")),
+    function=st.sampled_from(FUNCTIONS + ["avg"]),
+    frame=window_frames(),
+)
+def test_native_matches_rewrite_arbitrary_frames(relation, function, frame):
+    """Every dispatch path (sweep, mirror, fallback) agrees with the rewrite."""
+    spec = _spec(function, frame)
+    assert_same_relation(window_native(relation, spec), window_rewrite(relation, spec))
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    relation=au_relations(attributes=("o", "v")),
+    function=st.sampled_from(FUNCTIONS + ["avg"]),
+    frame=window_frames(),
+    descending=st.booleans(),
+)
+def test_window_backends_agree(relation, function, frame, descending):
+    """Three-way property: native == rewrite == columnar, bit for bit."""
+    pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+    spec = _spec(function, frame, descending=descending)
+    rewrite = window_rewrite(relation, spec)
+    native = window_native(relation, spec)
+    columnar = window_native(relation, spec, backend="columnar")
+    assert_same_relation(native, rewrite)
+    assert_same_relation(columnar, rewrite)
+
+
+@st.composite
+def float_valued_relations(draw) -> AURelation:
+    """AU-relations whose aggregation column carries floats (order-sensitive sums)."""
+    from repro.core.schema import Schema
+
+    relation = AURelation(Schema(("o", "v")))
+    floats = st.floats(min_value=-4, max_value=4, allow_nan=False, width=16)
+    for _ in range(draw(st.integers(min_value=0, max_value=5))):
+        o = sorted(draw(st.lists(st.integers(-4, 4), min_size=3, max_size=3)))
+        v = sorted(draw(st.lists(floats, min_size=3, max_size=3)))
+        lb = draw(st.integers(0, 1))
+        sg = draw(st.integers(lb, 2))
+        ub = draw(st.integers(max(1, sg), 2))
+        relation.add_values([RangeValue(*o), RangeValue(*v)], (lb, sg, ub))
+    return relation
 
 
 @settings(max_examples=80, deadline=None)
 @given(
-    relation=lifted_au_relations(attributes=("o", "v", "g"), min_value=0, max_value=4),
+    relation=float_valued_relations(),
+    function=st.sampled_from(FUNCTIONS + ["avg"]),
+    frame=window_frames(max_extent=2),
+)
+def test_float_columns_agree_bit_for_bit(relation, function, frame):
+    """Float aggregation columns: sum bounds use exactly-rounded summation,
+    so the member-collection order of the three implementations cannot leak
+    into the results."""
+    pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+    spec = _spec(function, frame)
+    rewrite = window_rewrite(relation, spec)
+    assert_same_relation(window_native(relation, spec), rewrite)
+    assert_same_relation(window_native(relation, spec, backend="columnar"), rewrite)
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    relation=au_relations(attributes=("o", "v", "g"), min_value=0, max_value=4),
+    function=st.sampled_from(FUNCTIONS),
+    frame=window_frames(max_extent=2),
+)
+def test_partitioned_sweep_matches_rewrite(relation, function, frame):
+    """Partition-by attributes: certain values sweep per partition, uncertain fall back."""
+    spec = _spec(function, frame, ("g",))
+    assert_same_relation(window_native(relation, spec), window_rewrite(relation, spec))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    relation=au_relations(attributes=("o", "v", "g"), min_value=0, max_value=4),
     function=st.sampled_from(FUNCTIONS),
 )
-def test_partitioned_sweep_matches_rewrite(relation, function):
-    """Partition-by attributes: certain values sweep per partition, uncertain fall back."""
+def test_partitioned_backends_agree(relation, function):
+    pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
     spec = _spec(function, (-2, 0), ("g",))
-    assert_same_relation(window_native(relation, spec), window_rewrite(relation, spec))
+    assert_same_relation(
+        window_native(relation, spec, backend="columnar"), window_rewrite(relation, spec)
+    )
 
 
 @settings(max_examples=80, deadline=None)
 @given(
-    relation=lifted_au_relations(attributes=("o", "v")),
+    relation=au_relations(attributes=("o", "v")),
     function=st.sampled_from(FUNCTIONS),
 )
 def test_two_sided_frame_falls_back_to_rewrite(relation, function):
-    spec = _spec(function, (-1, 1), ())
+    spec = _spec(function, (-1, 1))
     assert_same_relation(window_native(relation, spec), window_rewrite(relation, spec))
 
 
@@ -98,47 +205,67 @@ def test_certain_partitions_take_the_sweep_path():
     assert_same_relation(window_native(relation, spec), window_rewrite(relation, spec))
 
 
-def test_following_frame_mirror_reduction_divergence_is_pinned():
-    """Known divergence of the ``CURRENT ROW AND N FOLLOWING`` mirror reduction.
+def test_bag_duplicates_get_per_duplicate_aggregates():
+    """Pinned bag semantics for ``ub > 1``: each duplicate aggregates separately.
 
-    The mirrored sweep decides window membership from order-by keys, the
-    rewrite from sort-position intervals; on this example the sweep's bounds
-    are strictly tighter.  If this assertion ever fails the implementations
-    have converged — delete this test, tighten the property suite to cover
-    following-only frames, and close the ROADMAP open item.
+    The i-th duplicate of a tuple occupies the tuple's position bounds
+    shifted by ``i`` (Fig. 4 / Algorithm 2), so later duplicates certainly
+    have predecessors and their windows tighten accordingly — the rewrite no
+    longer reports one shared hull per tuple.
     """
-    relation = AURelation.from_rows(
-        ["o", "v"],
-        [
-            ((RangeValue(45, 48, 51), RangeValue(-1, 1, 4)), (1, 1, 1)),
-            ((RangeValue(26, 26, 28), RangeValue(-3, -3, 1)), (0, 1, 1)),
-            ((RangeValue(0, 2, 5), RangeValue(3, 3, 4)), (1, 1, 1)),
-            ((RangeValue(16, 16, 19), RangeValue(-1, 1, 1)), (0, 1, 1)),
-        ],
-    )
-    spec = _spec("sum", (0, 2), ())
-    native = window_native(relation, spec)
-    rewrite = window_rewrite(relation, spec)
-    assert native._rows != rewrite._rows
+    relation = AURelation.from_rows(["o", "v"], [((1, 5), (2, 2, 2)), ((2, 3), (1, 1, 1))])
+    spec = _spec("sum", (-1, 0))
+    for result in (window_rewrite(relation, spec), window_native(relation, spec)):
+        values = sorted(
+            (tup.value("w") for tup, _m in result if tup.value("o").sg == 1),
+            key=lambda value: value.sg,
+        )
+        # First duplicate's window holds only itself; the second certainly
+        # also contains the first.
+        assert values == [RangeValue(5, 5, 5), RangeValue(10, 10, 10)]
 
-    # Both are sound for the selected-guess world: every selected-guess
-    # aggregate reported by either implementation lies within the other's
-    # bounds for the same input tuple.
-    def sg_bounds(result):
-        out = {}
-        for tup, mult in result:
-            if mult.sg == 0:
-                continue
-            out.setdefault(tup.project(["o", "v"]).values, []).append(tup.value("w"))
-        return out
 
-    native_bounds = sg_bounds(native)
-    rewrite_bounds = sg_bounds(rewrite)
-    assert native_bounds.keys() == rewrite_bounds.keys()
-    for key, native_values in native_bounds.items():
-        for nat_value, rew_value in zip(native_values, rewrite_bounds[key]):
-            assert rew_value.lb <= nat_value.sg <= rew_value.ub
-            assert nat_value.lb <= rew_value.sg <= nat_value.ub
+def _assert_bounds_contain_sg_world(relation, spec, result) -> None:
+    """Independent oracle: the bounds must contain the SG world's aggregates.
+
+    Hulls the reported bounds per selected-guess row and checks that every
+    deterministic window value of that row lies inside — a soundness check
+    that does not depend on any of the three uncertain implementations.
+    """
+    from repro.baselines.det import det_window
+    from repro.relational.relation import Relation
+    from repro.relational.sort import sort_key_value  # domain order: None first
+
+    sg_world = Relation(["o", "v"])
+    for tup, mult in relation:
+        if mult.sg:
+            sg_world.add(tup.sg_row(), mult.sg)
+    expected = det_window(sg_world, spec)
+
+    hulls: dict[tuple, tuple[float, float]] = {}
+    for tup, mult in result:
+        if mult.sg == 0:
+            continue
+        row = tup.project(["o", "v"]).sg_row()
+        value = tup.value("w")
+        low, high = hulls.get(row, (value.lb, value.ub))
+        hulls[row] = (
+            min(low, value.lb, key=sort_key_value),
+            max(high, value.ub, key=sort_key_value),
+        )
+    for row, _det_mult in expected:
+        base, w_value = row[:2], row[2]
+        if base not in hulls:
+            continue  # duplicate splitting may hull several duplicates together
+        if w_value is None:
+            # Frames excluding the current row can be empty in the SG world;
+            # min/max/avg are then SQL-NULL, which the RangeValue encoding
+            # cannot express alongside numeric bounds (see the ROADMAP open
+            # item).  The paper's frame class always includes the current
+            # row, so its windows are never empty.
+            continue
+        low, high = hulls[base]
+        assert sort_key_value(low) <= sort_key_value(w_value) <= sort_key_value(high)
 
 
 @settings(max_examples=60, deadline=None)
@@ -147,37 +274,65 @@ def test_following_frame_mirror_reduction_divergence_is_pinned():
     function=st.sampled_from(FUNCTIONS),
 )
 def test_following_frame_bounds_contain_selected_guess_world(relation, function):
-    """Soundness of the mirror reduction: bounds contain the SG-world result.
+    """Soundness of the mirror reduction: bounds contain the SG-world result."""
+    spec = _spec(function, (0, 2))
+    _assert_bounds_contain_sg_world(relation, spec, window_native(relation, spec))
 
-    Following-only frames are excluded from the bit-for-bit property (see the
-    pinned divergence above), but the native bounds must still bound the
-    deterministic aggregate of the selected-guess world.
+
+@settings(max_examples=80, deadline=None)
+@given(
+    relation=au_relations(attributes=("o", "v")),
+    function=st.sampled_from(FUNCTIONS),
+    frame=window_frames(),
+)
+def test_rewrite_bounds_contain_selected_guess_world(relation, function, frame):
+    """Soundness of the rewrite on every frame class, against the det oracle.
+
+    On two-sided and current-row-excluding frames the native operator (and
+    the columnar backend) delegate to the rewrite, so the bit-for-bit
+    properties compare it with itself there; this check pins the rewrite's
+    per-duplicate membership logic against an independent deterministic
+    oracle instead.
     """
-    from repro.baselines.det import det_window
+    spec = _spec(function, frame)
+    _assert_bounds_contain_sg_world(relation, spec, window_rewrite(relation, spec))
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    rows=st.lists(
+        st.tuples(
+            st.tuples(
+                st.integers(min_value=-5, max_value=5),
+                st.integers(min_value=0, max_value=2),
+                st.one_of(st.none(), st.integers(min_value=-3, max_value=3)),
+            ),
+            st.integers(min_value=1, max_value=3),
+        ),
+        max_size=10,
+    ),
+    function=st.sampled_from(FUNCTIONS + ["avg"]),
+    frame=window_frames(),
+    descending=st.booleans(),
+    partition_by=st.sampled_from([(), ("g",)]),
+)
+def test_deterministic_window_backends_agree(rows, function, frame, descending, partition_by):
+    """The deterministic window operator's columnar backend matches the Python one."""
+    pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
     from repro.relational.relation import Relation
+    from repro.relational.window import window_aggregate
 
-    spec = _spec(function, (0, 2), ())
-    native = window_native(relation, spec)
-
-    sg_world = Relation(["o", "v"])
-    for tup, mult in relation:
-        if mult.sg:
-            sg_world.add(tup.sg_row(), mult.sg)
-    expected = det_window(sg_world, spec)
-
-    # Hull the native bounds per selected-guess row and compare against the
-    # multiset of deterministic window values of that row.
-    hulls: dict[tuple, tuple[float, float]] = {}
-    for tup, mult in native:
-        if mult.sg == 0:
-            continue
-        row = tup.project(["o", "v"]).sg_row()
-        value = tup.value("w")
-        low, high = hulls.get(row, (value.lb, value.ub))
-        hulls[row] = (min(low, value.lb), max(high, value.ub))
-    for row, det_mult in expected:
-        base, w_value = row[:2], row[2]
-        if base not in hulls:
-            continue  # duplicate splitting may hull several duplicates together
-        low, high = hulls[base]
-        assert low <= w_value <= high
+    relation = Relation(["a", "g", "b"], rows)
+    kwargs = dict(
+        function=function,
+        attribute=None if function == "count" else "a",
+        output="w",
+        order_by=["a", "b"],
+        partition_by=partition_by,
+        frame=frame,
+        descending=descending,
+    )
+    python = window_aggregate(relation, **kwargs)
+    columnar = window_aggregate(relation, backend="columnar", **kwargs)
+    assert python.schema == columnar.schema
+    assert python._rows == columnar._rows

@@ -194,12 +194,320 @@ class TestSortColumnar:
         assert by_value[RangeValue.certain(3)] == RangeValue.certain(1)
 
 
+class TestTake:
+    def test_take_selects_rows_losslessly(self):
+        relation = mixed_relation()
+        columnar = ColumnarAURelation.from_relation(relation)
+        subset = columnar.take([2, 0])
+        assert len(subset) == 2
+        rows = list(subset)
+        full = list(columnar)
+        assert rows[0] == full[2]
+        assert rows[1] == full[0]
+
+    def test_take_without_value_cache(self):
+        columnar = ColumnarAURelation.from_relation(mixed_relation())
+        columnar._values = None
+        subset = columnar.take(np.array([1]))
+        assert subset.to_relation()._rows == columnar.take([1]).to_relation()._rows
+
+
+class TestWindowColumnar:
+    def spec(self, **overrides):
+        from repro.window.spec import WindowSpec
+
+        kwargs = dict(
+            function="sum", attribute="v", output="w", order_by=("o",), frame=(-1, 0)
+        )
+        kwargs.update(overrides)
+        return WindowSpec(**kwargs)
+
+    def test_empty_relation(self):
+        from repro.columnar.window import window_columnar
+        from repro.core.schema import Schema
+
+        result = window_columnar(AURelation(Schema(("o", "v"))), self.spec())
+        assert result.is_empty()
+        assert list(result.schema) == ["o", "v", "w"]
+
+    def test_output_attribute_clash_rejected(self):
+        from repro.columnar.window import window_columnar
+        from repro.errors import WindowSpecError
+
+        relation = AURelation.from_rows(["o", "v"], [((1, 2), 1)])
+        with pytest.raises(WindowSpecError):
+            window_columnar(relation, self.spec(output="v"))
+
+    def test_non_numeric_aggregate_column_falls_back(self):
+        from repro.columnar.window import window_columnar
+        from repro.window.semantics import window_rewrite
+
+        relation = AURelation.from_rows(
+            ["o", "v"], [((1, "x"), 1), ((RangeValue(1, 2, 3), "y"), 1)]
+        )
+        spec = self.spec(function="min")
+        assert window_columnar(relation, spec)._rows == window_rewrite(relation, spec)._rows
+
+    def test_uncertain_partitions_fall_back_to_rewrite(self):
+        from repro.columnar.window import window_columnar
+        from repro.window.semantics import window_rewrite
+
+        relation = AURelation.from_rows(
+            ["o", "v", "g"], [((1, 2, RangeValue(0, 0, 1)), 1), ((2, 3, 0), 1)]
+        )
+        spec = self.spec(partition_by=("g",))
+        assert window_columnar(relation, spec)._rows == window_rewrite(relation, spec)._rows
+
+    def test_huge_integer_sums_stay_exact(self):
+        """Integers beyond float64's exact range delegate to the rewrite."""
+        from repro.columnar.window import window_columnar
+        from repro.window.native import window_native
+
+        relation = AURelation.from_rows(
+            ["o", "v"],
+            [((RangeValue(1, 1, 2), 2**60), 1), ((2, 2**60 + 1), 1), ((3, 5), 1)],
+        )
+        spec = self.spec()
+        assert window_columnar(relation, spec)._rows == window_native(relation, spec)._rows
+
+    def test_float_selected_guess_with_integer_bounds_not_truncated(self):
+        """A float sg between int lb/ub must survive the integer round-trip cast."""
+        from repro.columnar.window import window_columnar
+        from repro.window.native import window_native
+
+        relation = AURelation.from_rows(
+            ["o", "v"], [((1, RangeValue(-6, -3.71, 5)), 1), ((2, 4), 1)]
+        )
+        spec = self.spec(function="min", frame=(-2, 0))
+        assert window_columnar(relation, spec)._rows == window_native(relation, spec)._rows
+
+    def test_count_over_string_column_stays_vectorized(self):
+        """count(attr) never reads the values, so string columns must not delegate."""
+        from repro.relational.relation import Relation
+        from repro.relational.window import window_aggregate
+
+        relation = Relation(["a", "v"], [((1, "x"), 1), ((2, "y"), 2)])
+        kwargs = dict(function="count", attribute="v", output="w", order_by=["a"], frame=(-1, 0))
+        python = window_aggregate(relation, **kwargs)
+        columnar = window_aggregate(relation, backend="columnar", **kwargs)
+        assert python._rows == columnar._rows
+
+    def test_mixed_float_bounds_with_huge_integer_ubs_stay_exact(self):
+        """A float lower bound paired with a huge int upper bound also delegates."""
+        from repro.columnar.window import window_columnar
+        from repro.window.native import window_native
+
+        relation = AURelation.from_rows(
+            ["o", "v"],
+            [((1, RangeValue(0.5, 1.0, 2**60 + 1)), 1), ((2, RangeValue(2.5, 3.0, 7)), 1)],
+        )
+        spec = self.spec()
+        assert window_columnar(relation, spec)._rows == window_native(relation, spec)._rows
+
+    def test_mixed_int_float_extrema_match_python_backend(self):
+        """Deterministic min/max on mixed columns with ints beyond 2**53 delegate."""
+        from repro.relational.relation import Relation
+        from repro.relational.window import window_aggregate
+
+        relation = Relation(["a", "v"], [((1, 2**60 + 1), 1), ((2, 0.5), 1)])
+        for function in ("min", "max"):
+            kwargs = dict(
+                function=function, attribute="v", output="w", order_by=["a"], frame=(-1, 0)
+            )
+            python = window_aggregate(relation, **kwargs)
+            columnar = window_aggregate(relation, backend="columnar", **kwargs)
+            assert python._rows == columnar._rows
+
+    def test_float_sum_columns_delegate_to_rewrite(self):
+        """Float sums are order-sensitive: the columnar path must match the rewrite."""
+        from repro.columnar.window import window_columnar
+        from repro.window.semantics import window_rewrite
+
+        relation = AURelation.from_rows(
+            ["o", "v"],
+            [
+                ((1, 0.1), 1),
+                ((RangeValue(1, 2, 3), 0.2), (0, 1, 1)),
+                ((3, 0.3), 1),
+                ((4, 0.4), 1),
+            ],
+        )
+        spec = self.spec(frame=(-2, 0))
+        assert window_columnar(relation, spec)._rows == window_rewrite(relation, spec)._rows
+
+    def test_nan_values_delegate_to_rewrite(self):
+        """NaN aggregation values route min/max to the definitional path."""
+        from repro.columnar.window import window_columnar
+        from repro.window.semantics import window_rewrite
+
+        relation = AURelation.from_rows(
+            ["o", "v"], [((1, 1.0), 1), ((2, float("nan")), 1), ((3, 5.0), 1)]
+        )
+        spec = self.spec(function="min", frame=(-2, 0))
+        left = window_columnar(relation, spec)
+        right = window_rewrite(relation, spec)
+        assert {repr(t.values) for t, _m in left} == {repr(t.values) for t, _m in right}
+
+    def test_composite_partition_keys_group_correctly(self):
+        """Multi-column partition keys group by tuple equality (no radix encoding)."""
+        from repro.relational.relation import Relation
+        from repro.relational.window import window_aggregate
+
+        relation = Relation(
+            ["a", "g1", "g2", "v"],
+            [((1, 0, 1, 5), 1), ((2, 1, 0, 7), 1), ((3, 0, 1, 11), 1)],
+        )
+        kwargs = dict(
+            function="sum",
+            attribute="v",
+            output="w",
+            order_by=["a"],
+            partition_by=["g1", "g2"],
+            frame=(-1, 0),
+        )
+        python = window_aggregate(relation, **kwargs)
+        columnar = window_aggregate(relation, backend="columnar", **kwargs)
+        assert python._rows == columnar._rows
+
+    def test_nan_order_keys_match_python_backend(self):
+        """NaN in an order/tiebreaker column delegates (rank codes vs timsort)."""
+        from repro.relational.relation import Relation
+        from repro.relational.window import window_aggregate
+
+        relation = Relation(
+            ["a", "v"], [((0, True), 1), ((0, -1.47), 1), ((0, float("nan")), 1)]
+        )
+        kwargs = dict(function="count", attribute=None, output="w", order_by=["a"], frame=(-2, 0))
+        python = window_aggregate(relation, **kwargs)
+        columnar = window_aggregate(relation, backend="columnar", **kwargs)
+        assert {repr(r) for r in python._rows} == {repr(r) for r in columnar._rows}
+
+    def test_heap_factory_rejected_on_columnar_backend(self):
+        from repro.window.native import window_native
+        from repro.window.spec import WindowSpec
+
+        relation = AURelation.from_rows(["o", "v"], [((1, 2), 1)])
+        spec = WindowSpec("sum", "v", "w", order_by=("o",), frame=(-1, 0))
+        with pytest.raises(OperatorError):
+            window_native(relation, spec, heap_factory=object, backend="columnar")
+
+    def test_nan_extrema_match_python_backend(self):
+        """NaN values delegate min/max to the Python path (np.min propagates NaN)."""
+        from repro.relational.relation import Relation
+        from repro.relational.window import window_aggregate
+
+        relation = Relation(["a", "v"], [((1, 1.0), 1), ((2, float("nan")), 1)])
+        kwargs = dict(function="min", attribute="v", output="w", order_by=["a"], frame=(-1, 0))
+        python = window_aggregate(relation, **kwargs)
+        columnar = window_aggregate(relation, backend="columnar", **kwargs)
+        assert python._rows == columnar._rows
+
+    def test_mixed_type_partition_keys_group_like_python_backend(self):
+        """Partition keys only need equality; unorderable mixes must still group."""
+        from repro.relational.relation import Relation
+        from repro.relational.window import window_aggregate
+
+        relation = Relation(["a", "g", "v"], [((1, "x", 1), 1), ((2, 3, 2), 1)])
+        kwargs = dict(
+            function="sum",
+            attribute="v",
+            output="w",
+            order_by=["a"],
+            partition_by=["g"],
+            frame=(-1, 0),
+        )
+        python = window_aggregate(relation, **kwargs)
+        columnar = window_aggregate(relation, backend="columnar", **kwargs)
+        assert python._rows == columnar._rows
+
+    def test_big_integer_avgs_avoid_double_rounding(self):
+        """avg sums beyond 2**53 delegate: np rounds the sum before dividing."""
+        from repro.relational.relation import Relation
+        from repro.relational.window import window_aggregate
+
+        v = 3002399751580331  # three of these sum to 2**53 + 1
+        relation = Relation(["a", "v"], [((i, v), 1) for i in range(3)])
+        kwargs = dict(function="avg", attribute="v", output="w", order_by=["a"], frame=(-2, 0))
+        python = window_aggregate(relation, **kwargs)
+        columnar = window_aggregate(relation, backend="columnar", **kwargs)
+        assert python._rows == columnar._rows
+
+    def test_huge_pure_integer_extrema_stay_exact_and_vectorized(self):
+        """Pure-int min/max reduce in int64, exact beyond 2**53."""
+        from repro.relational.relation import Relation
+        from repro.relational.window import window_aggregate
+
+        relation = Relation(["a", "v"], [((1, 2**60 + 1), 1), ((2, 2**60), 1)])
+        for function in ("min", "max"):
+            kwargs = dict(
+                function=function, attribute="v", output="w", order_by=["a"], frame=(-1, 0)
+            )
+            python = window_aggregate(relation, **kwargs)
+            columnar = window_aggregate(relation, backend="columnar", **kwargs)
+            assert python._rows == columnar._rows
+
+    def test_float_sums_match_python_backend_deterministically(self):
+        """Float aggregation columns delegate sums to the exact Python path."""
+        from repro.relational.relation import Relation
+        from repro.relational.window import window_aggregate
+
+        relation = Relation(["a", "v"], [((1, 0.1), 1), ((2, 0.2), 1), ((3, 0.3), 1)])
+        for function in ("sum", "avg"):
+            kwargs = dict(
+                function=function, attribute="v", output="w", order_by=["a"], frame=(-1, 0)
+            )
+            python = window_aggregate(relation, **kwargs)
+            columnar = window_aggregate(relation, backend="columnar", **kwargs)
+            assert python._rows == columnar._rows
+
+    def test_duplicate_offsets_empty_input(self):
+        from repro.columnar.kernels import duplicate_offsets
+
+        row, offset = duplicate_offsets(np.array([], dtype=np.int64))
+        assert len(row) == 0 and len(offset) == 0
+
+    def test_huge_preceding_extent_stays_bounded(self):
+        """Frames far larger than the relation must not allocate frame-sized pads."""
+        from repro.columnar.window import window_columnar
+        from repro.relational.relation import Relation
+        from repro.relational.window import window_aggregate
+        from repro.window.native import window_native
+
+        relation = AURelation.from_rows(
+            ["o", "v"], [((1, 5), 1), ((RangeValue(1, 2, 3), 7), (0, 1, 1)), ((4, 2), 1)]
+        )
+        spec = self.spec(function="min", frame=(-(10**9), 0))
+        assert window_columnar(relation, spec)._rows == window_native(relation, spec)._rows
+
+        det = Relation(["a", "v"], [((1, 5), 1), ((2, 7), 1)])
+        kwargs = dict(
+            function="min", attribute="v", output="w", order_by=["a"], frame=(-(10**9), 0)
+        )
+        python = window_aggregate(det, **kwargs)
+        columnar = window_aggregate(det, backend="columnar", **kwargs)
+        assert python._rows == columnar._rows
+
+    def test_string_order_column_sweeps(self):
+        from repro.columnar.window import window_columnar
+        from repro.window.native import window_native
+
+        relation = AURelation.from_rows(
+            ["o", "v"],
+            [(("a", 1), 1), ((RangeValue("a", "b", "c"), 2), (0, 1, 1)), (("c", 3), 1)],
+        )
+        spec = self.spec(frame=(-2, 0))
+        assert window_columnar(relation, spec)._rows == window_native(relation, spec)._rows
+
+
 class TestBackendDispatch:
     def test_unknown_backend_rejected_everywhere(self):
         from repro.ranking.native import sort_native
         from repro.ranking.topk import sort as au_sort
         from repro.relational.relation import Relation
         from repro.relational.sort import sort_operator
+        from repro.relational.window import window_aggregate
+        from repro.window.native import window_native
+        from repro.window.spec import WindowSpec
 
         with pytest.raises(OperatorError):
             sort_native(sales_audb(), ["sales"], backend="fortran")
@@ -207,6 +515,21 @@ class TestBackendDispatch:
             au_sort(sales_audb(), ["sales"], backend="fortran")
         with pytest.raises(OperatorError):
             sort_operator(Relation(["a"], [((1,), 1)]), ["a"], backend="fortran")
+        with pytest.raises(OperatorError):
+            window_native(
+                sales_audb(),
+                WindowSpec("sum", "sales", "w", order_by=("term",), frame=(-1, 0)),
+                backend="fortran",
+            )
+        with pytest.raises(OperatorError):
+            window_aggregate(
+                Relation(["a"], [((1,), 1)]),
+                function="sum",
+                attribute="a",
+                output="w",
+                order_by=["a"],
+                backend="fortran",
+            )
 
     def test_columnar_backend_with_rewrite_method(self):
         from repro.ranking.topk import sort as au_sort
