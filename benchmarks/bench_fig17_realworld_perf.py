@@ -3,7 +3,9 @@
 Paper shape: across the Iceberg / Crimes / Healthcare queries the native
 operator (Imp) beats MCDB20 and is within a small factor of Det; the rewrite
 method is competitive on the small pre-aggregated rank inputs but much slower
-on window queries over larger tables.
+on window queries over larger tables.  ``test_rank_imp_columnar`` /
+``test_window_imp_columnar`` run the same queries on the columnar backend
+over pre-converted relations (bit-identical bounds).
 """
 
 import pytest
@@ -44,6 +46,25 @@ def test_rank_imp(benchmark, name):
 
 
 @pytest.mark.parametrize("name", NAMES)
+def test_rank_imp_columnar(benchmark, name):
+    pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+    from repro.columnar.relation import ColumnarAURelation
+
+    bundle = DATASETS[name]
+    query = bundle.rank_query
+    columnar = ColumnarAURelation.from_relation(audb_from_workload(bundle.rank_table))
+    benchmark(
+        au_topk,
+        columnar,
+        list(query.order_by),
+        query.k,
+        method="native",
+        descending=query.descending,
+        backend="columnar",
+    )
+
+
+@pytest.mark.parametrize("name", NAMES)
 def test_rank_mcdb20(benchmark, name):
     bundle = DATASETS[name]
     query = bundle.rank_query
@@ -69,6 +90,16 @@ def test_window_imp(benchmark, name):
     bundle = DATASETS[name]
     audb = audb_from_workload(bundle.window_table)
     benchmark(window_native, audb, bundle.window_query)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_window_imp_columnar(benchmark, name):
+    pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+    from repro.columnar.relation import ColumnarAURelation
+
+    bundle = DATASETS[name]
+    columnar = ColumnarAURelation.from_relation(audb_from_workload(bundle.window_table))
+    benchmark(window_native, columnar, bundle.window_query, backend="columnar")
 
 
 @pytest.mark.parametrize("name", NAMES)

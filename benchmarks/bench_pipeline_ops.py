@@ -1,0 +1,59 @@
+"""Multi-operator pipeline microbenchmark (both execution backends).
+
+Times the whole ``select -> join -> project -> window`` plan of
+:mod:`repro.workloads.pipeline` per backend:
+
+* ``test_imp_pipeline`` — tuple-at-a-time operators, a row-major
+  :class:`~repro.core.relation.AURelation` materialised between every stage;
+* ``test_imp_columnar_pipeline`` — the identical plan as a
+  :class:`~repro.columnar.plan.ColumnarPlan` chain over pre-converted
+  columnar inputs, staying columnar until the terminal window stage.
+
+Results are bit-identical (``test_backends_agree_bit_for_bit`` pins it here
+at the benchmark sizes; ``smoke_backends.py`` does so in CI); the columnar
+chain should win by several times at the larger sizes.  Harness id:
+``pipeline``.
+"""
+
+import pytest
+
+from repro.workloads.pipeline import (
+    pipeline_inputs,
+    run_pipeline_columnar,
+    run_pipeline_python,
+)
+
+SIZES = [64, 128, 256, 512]
+
+
+def _inputs(size):
+    return pipeline_inputs(size, seed=0)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_imp_pipeline(benchmark, size):
+    fact, dim, threshold = _inputs(size)
+    benchmark(run_pipeline_python, fact, dim, threshold)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_imp_columnar_pipeline(benchmark, size):
+    numpy = pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+    del numpy
+    from repro.columnar.relation import ColumnarAURelation
+
+    fact, dim, threshold = _inputs(size)
+    columnar_fact = ColumnarAURelation.from_relation(fact)
+    columnar_dim = ColumnarAURelation.from_relation(dim)
+    benchmark(run_pipeline_columnar, columnar_fact, columnar_dim, threshold)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_backends_agree_bit_for_bit(size):
+    """Not a timing: the two backends must produce identical relations."""
+    pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+    fact, dim, threshold = _inputs(size)
+    python_result = run_pipeline_python(fact, dim, threshold)
+    columnar_result = run_pipeline_columnar(fact, dim, threshold)
+    assert python_result.schema == columnar_result.schema
+    assert python_result._rows == columnar_result._rows

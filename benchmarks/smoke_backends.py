@@ -5,7 +5,9 @@ Used by CI to catch two regressions fast, without the full benchmark suite:
 * **backend divergence** — the columnar backend must produce bit-identical
   results to the Python backend (and both must match the definitional
   rewrite) on the sort, top-k, and window paths — including following-only
-  frames, which exercise the mirrored-order reduction,
+  frames, which exercise the mirrored-order reduction — and on the full
+  multi-operator ``select -> join -> project -> window`` pipeline, where the
+  columnar plan stays in columnar layout between stages,
 * **performance regressions** — the columnar backend should stay faster
   than the Python backend at the smoke size (the full
   ``bench_fig14_sort_scaling.py`` / ``bench_fig15_window_scaling.py`` runs
@@ -126,8 +128,35 @@ def smoke_window(rows: int) -> int:
     return failures
 
 
+def smoke_pipeline(rows: int) -> int:
+    from repro.workloads.pipeline import (
+        pipeline_inputs,
+        run_pipeline_columnar,
+        run_pipeline_python,
+    )
+
+    fact, dim, threshold = pipeline_inputs(rows)
+    columnar_fact = ColumnarAURelation.from_relation(fact)
+    columnar_dim = ColumnarAURelation.from_relation(dim)
+
+    failures = 0
+    python_result = run_pipeline_python(fact, dim, threshold)
+    columnar_result = run_pipeline_columnar(columnar_fact, columnar_dim, threshold)
+    if not (
+        python_result.schema == columnar_result.schema
+        and python_result._rows == columnar_result._rows
+    ):
+        print("FAIL: select->join->project->window pipeline backends diverge")
+        failures += 1
+
+    python_ms = best_of(lambda: run_pipeline_python(fact, dim, threshold))
+    columnar_ms = best_of(lambda: run_pipeline_columnar(columnar_fact, columnar_dim, threshold))
+    failures += _report_speedup("pipeline", rows, python_ms, columnar_ms)
+    return failures
+
+
 def main(rows: int = 200) -> int:
-    failures = smoke_sort(rows) + smoke_window(rows)
+    failures = smoke_sort(rows) + smoke_window(rows) + smoke_pipeline(rows)
     if not failures:
         print("OK: backends agree bit-for-bit")
     return failures

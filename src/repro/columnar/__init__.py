@@ -10,28 +10,55 @@ native operators with vectorized kernels:
 * sort-position bounds (Equations 1-3 of the paper),
 * selected-guess positions under the total order ``<ᵗᵒᵗᵃˡ_O``,
 * the batched emission schedule that replaces per-tuple heap feeding in
-  the one-pass sort / top-k sweep, and
-* the window sweep: frame-membership interval masks (certain / possible
-  window members from position bounds, Fig. 6), vectorized min-k / max-k
-  aggregate bounds, and rolling selected-guess aggregates (prefix sums /
-  sliding extrema), with the same mirrored-order reduction for
-  ``CURRENT ROW AND N FOLLOWING`` frames as the native sweep.
+  the one-pass sort / top-k sweep,
+* the window sweep: frame membership as a position-sorted searchsorted
+  pair sweep (:class:`~repro.columnar.kernels.FrameMemberIndex`, the Fig. 6
+  containment / overlap conditions as range queries per interval-width
+  bucket), grouped min-k / max-k aggregate bounds, and rolling
+  selected-guess aggregates (prefix sums / sliding extrema), with the same
+  mirrored-order reduction for ``CURRENT ROW AND N FOLLOWING`` frames as
+  the native sweep, and
+* the ``RA⁺`` operators of Fig. 2 (:mod:`repro.columnar.operators`):
+  bound-preserving select / project / extend / rename / union / distinct /
+  cross / join, with predicates and scalar expressions evaluated as
+  vectorized interval arithmetic over the aligned bound-component arrays
+  (:mod:`repro.columnar.expressions`; object-dtype columns fall back to the
+  scalar ``eval_range`` row by row).
 
 The public entry points (:func:`repro.ranking.topk.sort`,
 :func:`repro.ranking.native.sort_native`,
 :func:`repro.relational.sort.sort_operator`,
 :func:`repro.window.native.window_native`,
-:func:`repro.relational.window.window_aggregate`) expose the backend behind a
-``backend="python" | "columnar"`` switch; results are bound-identical to the
+:func:`repro.relational.window.window_aggregate`, and every operator in
+:mod:`repro.core.operators`) expose the backend behind a
+``backend="python" | "columnar"`` switch; results are bit-identical to the
 Python backend (enforced by the differential property suite under
 ``tests/property/``).
+
+**Plan composition.**  The per-call ``backend="columnar"`` switch converts
+back to the row-major layout after every operator.  To keep a whole plan
+columnar, chain the stages through :class:`~repro.columnar.plan.ColumnarPlan`
+instead — each stage hands the columnar intermediate straight to the next,
+and only the plan boundary (the terminal ``sort`` / ``topk`` / ``window``
+stage, or an explicit ``.relation()``) materialises rows::
+
+    from repro.columnar import ColumnarPlan
+
+    result = (
+        ColumnarPlan(orders)                    # AURelation or columnar
+        .select(attr("v").ge(const(10)))        # stays columnar
+        .join(ColumnarPlan(parts), on=["g"])    # stays columnar
+        .project(["o", "v"])                    # stays columnar
+        .window(spec)                           # boundary: row-major result
+    )
 
 NumPy is required only when the columnar backend is actually selected; the
 rest of the library stays importable without it.
 """
 
+from repro.columnar.plan import ColumnarPlan
 from repro.columnar.relation import ColumnarAURelation
 from repro.columnar.sort import sort_columnar
 from repro.columnar.window import window_columnar
 
-__all__ = ["ColumnarAURelation", "sort_columnar", "window_columnar"]
+__all__ = ["ColumnarAURelation", "ColumnarPlan", "sort_columnar", "window_columnar"]

@@ -49,6 +49,8 @@ __all__ = [
     "duplicate_offsets",
     "certain_frame_members",
     "possible_frame_members",
+    "expand_ranges",
+    "FrameMemberIndex",
     "sliding_window_sums",
     "sliding_window_extrema",
 ]
@@ -313,6 +315,10 @@ def certain_frame_members(
     (the containment condition of Fig. 6).  ``defining_*`` index the block of
     defining duplicates (rows of the mask); the self pair is *not* masked out
     here (callers exclude the diagonal).
+
+    Quadratic reference implementation: the production sweep resolves
+    membership through :class:`FrameMemberIndex` instead; the differential
+    tests cross-check the two.
     """
     low = (defining_ub - preceding)[:, None]
     return (
@@ -335,10 +341,103 @@ def possible_frame_members(
     intersects the positions the window possibly covers.  Certain members
     also satisfy it; callers subtract :func:`certain_frame_members` and the
     diagonal.
+
+    Quadratic reference implementation: the production sweep resolves
+    membership through :class:`FrameMemberIndex` instead; the differential
+    tests cross-check the two.
     """
     return (pos_lb[None, :] <= defining_ub[:, None]) & (
         pos_ub[None, :] >= (defining_lb[:, None] - preceding)
     )
+
+
+def expand_ranges(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(start, stop)`` for every aligned (start, stop) pair.
+
+    The vectorized replacement for ``[i for s, t in zip(starts, stops) for i
+    in range(s, t)]`` — turns per-query searchsorted bounds into the flat
+    member-index list of the pair sweep.
+    """
+    counts = stops - starts
+    total = int(counts.sum()) if len(counts) else 0
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    offsets = np.cumsum(counts) - counts
+    return np.repeat(starts - offsets, counts) + np.arange(total, dtype=np.int64)
+
+
+class FrameMemberIndex:
+    """Width-bucketed, position-sorted index over expanded duplicates.
+
+    Answers the frame-membership queries of the columnar window sweep with
+    ``np.searchsorted`` range queries instead of ``O(queries x n)`` boolean
+    masks.  For an ``N PRECEDING AND CURRENT ROW`` frame, candidate ``e``
+    *possibly* falls into the frame of defining duplicate ``d`` iff its
+    position interval overlaps ``[pos_lb[d] - N, pos_ub[d]]`` (the overlap
+    condition of Fig. 6):
+
+        ``pos_lb[e] <= pos_ub[d]  and  pos_ub[e] >= pos_lb[d] - N``.
+
+    Bucketing candidates by interval width ``w = pos_ub - pos_lb`` rewrites
+    the two-sided condition as a single contiguous range over the bucket's
+    sorted ``pos_lb`` — ``pos_lb[e] in [pos_lb[d] - N - w, pos_ub[d]]`` — so
+    each (query, bucket) pair costs two binary searches, and materialising
+    the members costs ``O(pairs)``.  Total work is ``O((n + q·W) log n +
+    pairs)`` with ``W`` distinct widths: linear-ish in the *actual* number of
+    possible members instead of quadratic in the relation size.
+    """
+
+    __slots__ = ("preceding", "_buckets")
+
+    def __init__(self, pos_lb: np.ndarray, pos_ub: np.ndarray, preceding: int):
+        self.preceding = preceding
+        width = pos_ub - pos_lb
+        self._buckets: list[tuple[int, np.ndarray, np.ndarray]] = []
+        for w in np.unique(width) if len(width) else ():
+            members = np.flatnonzero(width == w)
+            members = members[np.argsort(pos_lb[members], kind="stable")]
+            self._buckets.append((int(w), members, pos_lb[members]))
+
+    def _bucket_bounds(
+        self, w: int, sorted_lb: np.ndarray, q_lb: np.ndarray, q_ub: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        low = np.searchsorted(sorted_lb, q_lb - self.preceding - w, side="left")
+        high = np.searchsorted(sorted_lb, q_ub, side="right")
+        return low, np.maximum(low, high)
+
+    def pair_counts(self, q_lb: np.ndarray, q_ub: np.ndarray) -> np.ndarray:
+        """Per query: how many duplicates possibly fall into its frame.
+
+        Used to budget the sweep's memory (queries are chunked so the
+        materialised pair list stays bounded).
+        """
+        totals = np.zeros(len(q_lb), dtype=np.int64)
+        for w, _members, sorted_lb in self._buckets:
+            low, high = self._bucket_bounds(w, sorted_lb, q_lb, q_ub)
+            totals += high - low
+        return totals
+
+    def member_pairs(
+        self, q_lb: np.ndarray, q_ub: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """``(query, member)`` index pairs for all possible frame members.
+
+        ``query`` indexes the ``q_lb`` / ``q_ub`` arrays (a chunk of defining
+        duplicates), ``member`` the duplicates this index was built over.
+        Certain members are a subset (containment implies overlap); callers
+        classify them per pair and drop the self pair.
+        """
+        queries: list[np.ndarray] = []
+        members_out: list[np.ndarray] = []
+        for w, members, sorted_lb in self._buckets:
+            low, high = self._bucket_bounds(w, sorted_lb, q_lb, q_ub)
+            counts = high - low
+            queries.append(np.repeat(np.arange(len(q_lb), dtype=np.int64), counts))
+            members_out.append(members[expand_ranges(low, high)])
+        if not queries:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(queries), np.concatenate(members_out)
 
 
 def sliding_window_sums(values: np.ndarray, window: int) -> np.ndarray:

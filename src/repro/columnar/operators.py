@@ -1,0 +1,336 @@
+"""Vectorized bound-preserving ``RA⁺`` operators over columnar AU-relations.
+
+These kernels mirror :mod:`repro.core.operators` (the AU-DB selection /
+projection / join semantics of Fig. 2 lifted through the ``N³`` semiring) but
+take and return :class:`~repro.columnar.relation.ColumnarAURelation`, so a
+whole operator pipeline composes without materialising a row-major
+:class:`~repro.core.relation.AURelation` between stages:
+
+* :func:`select` — predicate bounding triples evaluated as boolean masks
+  (:mod:`repro.columnar.expressions`), multiplicities filtered per component,
+* :func:`project` / :func:`distinct` / :func:`union` — bag semantics with
+  hash-grouped duplicate merging (lexicographic dense codes + ``np.unique``),
+* :func:`extend` / :func:`rename` — computed / relabelled columns,
+* :func:`cross` / :func:`join` — bulk ``np.repeat`` × ``np.tile`` product
+  expansion with vectorized equality / predicate masks filtering the
+  pointwise multiplicity products.
+
+Every kernel is bit-identical to the Python backend: converting the result
+with :meth:`~repro.columnar.relation.ColumnarAURelation.to_relation` yields
+exactly the relation the tuple-at-a-time operator produces — same hypercubes,
+annotations, and first-occurrence merge order (the differential property
+suite under ``tests/property/`` pins this on randomized inputs).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.columnar.expressions import predicate_masks, range_columns
+from repro.columnar.relation import (
+    FLOAT64_EXACT_MAX,
+    AttributeColumn,
+    ColumnarAURelation,
+    profile_components,
+)
+from repro.core.booleans import RangeBool
+from repro.core.expressions import Expression
+from repro.core.ranges import RangeValue
+from repro.core.tuples import AUTuple
+from repro.errors import OperatorError, SchemaError
+
+__all__ = [
+    "select",
+    "project",
+    "extend",
+    "rename",
+    "union",
+    "distinct",
+    "cross",
+    "join",
+]
+
+
+# ---------------------------------------------------------------------------
+# Selection
+# ---------------------------------------------------------------------------
+
+
+def select(
+    relation: ColumnarAURelation,
+    predicate: Expression | Callable[[AUTuple], RangeBool],
+) -> ColumnarAURelation:
+    """Keep rows according to the bounding triple of ``predicate``.
+
+    The certain multiplicity survives only where the predicate is certainly
+    true, the possible multiplicity where it is possibly true, and the
+    selected-guess multiplicity where it holds in the selected-guess world —
+    the same per-component filtering as :meth:`Multiplicity.filter`.
+    """
+    certain, sg, possible = predicate_masks(relation, predicate)
+    mult_lb = np.where(certain, relation.mult_lb, 0)
+    mult_sg = np.where(sg, relation.mult_sg, 0)
+    mult_ub = np.where(possible, relation.mult_ub, 0)
+    return relation.with_multiplicities(mult_lb, mult_sg, mult_ub).mask(mult_ub > 0)
+
+
+# ---------------------------------------------------------------------------
+# Projection / extension / renaming
+# ---------------------------------------------------------------------------
+
+
+def project(relation: ColumnarAURelation, attributes: Sequence[str]) -> ColumnarAURelation:
+    """Bag projection: rows with equal projected hypercubes merge (annotations add)."""
+    return _merge_equal_rows(relation.restrict(attributes))
+
+
+def extend(
+    relation: ColumnarAURelation,
+    name: str,
+    expression: Expression | Callable[[AUTuple], RangeValue],
+) -> ColumnarAURelation:
+    """Append a computed range-annotated attribute to every row."""
+    relation.schema.extend(name)  # validates the name early (clear SchemaError)
+    lb, sg, ub = range_columns(relation, expression)
+    return relation.with_column(AttributeColumn(name, lb, sg, ub))
+
+
+def rename(relation: ColumnarAURelation, mapping: Mapping[str, str]) -> ColumnarAURelation:
+    """Rename attributes (values and annotations unchanged)."""
+    return relation.rename(dict(mapping))
+
+
+# ---------------------------------------------------------------------------
+# Union / distinct
+# ---------------------------------------------------------------------------
+
+
+def union(left: ColumnarAURelation, right: ColumnarAURelation) -> ColumnarAURelation:
+    """Bag union: rows with identical hypercubes merge, annotations add."""
+    if left.schema != right.schema:
+        raise SchemaError("union requires identical schemas")
+    return _merge_equal_rows(left.concat(right))
+
+
+def distinct(relation: ColumnarAURelation) -> ColumnarAURelation:
+    """Cap every multiplicity triple at one copy (bound-preserving set projection)."""
+    return relation.with_multiplicities(
+        np.minimum(relation.mult_lb, 1),
+        np.minimum(relation.mult_sg, 1),
+        np.minimum(relation.mult_ub, 1),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Cross product / join
+# ---------------------------------------------------------------------------
+
+
+def cross(left: ColumnarAURelation, right: ColumnarAURelation) -> ColumnarAURelation:
+    """Cross product; clashing attribute names on the right get ``_r`` suffixes.
+
+    Pairs expand in bulk — left rows ``np.repeat``-ed, right rows
+    ``np.tile``-d — in the same left-outer / right-inner order as the Python
+    backend, with multiplicities multiplying pointwise.
+    """
+    schema = left.schema.concat(right.schema, disambiguate=True)
+    n_left, n_right = len(left), len(right)
+    expanded_left = left.repeat(n_right)
+    expanded_right = right.tile(n_left)
+    columns = list(expanded_left.columns)
+    for name, column in zip(schema.attributes[len(columns) :], expanded_right.columns):
+        columns.append(AttributeColumn(name, column.lb, column.sg, column.ub))
+    return ColumnarAURelation(
+        schema,
+        columns,
+        expanded_left.mult_lb * expanded_right.mult_lb,
+        expanded_left.mult_sg * expanded_right.mult_sg,
+        expanded_left.mult_ub * expanded_right.mult_ub,
+    )
+
+
+def join(
+    left: ColumnarAURelation,
+    right: ColumnarAURelation,
+    predicate: Expression | Callable[[AUTuple], RangeBool] | None = None,
+    *,
+    on: Sequence[str] | None = None,
+) -> ColumnarAURelation:
+    """Theta or equi-join over columnar AU-relations.
+
+    With ``on``, pairs join when their ranges on the named attributes
+    *possibly* intersect (the vectorized equality triple filters the
+    certain / selected-guess / possible multiplicities); a ``predicate`` is
+    evaluated over the disambiguated product relation.  Same semantics as
+    :func:`repro.core.operators.join`.
+    """
+    if on is None and predicate is None:
+        raise OperatorError("join requires either a predicate or an `on` attribute list")
+    left.schema.require(list(on or ()))
+    right.schema.require(list(on or ()))
+
+    product = cross(left, right)
+    n = len(product)
+    certain = np.ones(n, dtype=bool)
+    sg = np.ones(n, dtype=bool)
+    possible = np.ones(n, dtype=bool)
+    if on is not None:
+        for name in on:
+            # The product already holds the repeated / tiled key columns —
+            # read the pair grid off it instead of expanding it again.
+            left_expanded = product.columns[left.schema.index_of(name)]
+            right_expanded = product.columns[len(left.schema) + right.schema.index_of(name)]
+            eq_cert, eq_sg, eq_poss = _pairwise_equality(
+                left_expanded, right_expanded, left.column(name), right.column(name)
+            )
+            certain &= eq_cert
+            sg &= eq_sg
+            possible &= eq_poss
+    if predicate is not None:
+        p_cert, p_sg, p_poss = predicate_masks(product, predicate)
+        certain &= p_cert
+        sg &= p_sg
+        possible &= p_poss
+
+    mult_lb = np.where(certain, product.mult_lb, 0)
+    mult_sg = np.where(sg, product.mult_sg, 0)
+    mult_ub = np.where(possible, product.mult_ub, 0)
+    return product.with_multiplicities(mult_lb, mult_sg, mult_ub).mask(mult_ub > 0)
+
+
+def _pairwise_equality(
+    left_expanded: AttributeColumn,
+    right_expanded: AttributeColumn,
+    left: AttributeColumn,
+    right: AttributeColumn,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Vectorized ``RangeValue.eq`` triple over the expanded pair grid.
+
+    ``*_expanded`` are the already repeated / tiled product columns (one
+    entry per pair); ``left`` / ``right`` are the original key columns, used
+    for the cheap exactness scan and the scalar fallback.
+    """
+    if _equality_vectorizable(left, right):
+        l_lb, l_sg, l_ub = left_expanded.lb, left_expanded.sg, left_expanded.ub
+        r_lb, r_sg, r_ub = right_expanded.lb, right_expanded.sg, right_expanded.ub
+        certain_left = (l_lb == l_sg) & (l_sg == l_ub)
+        certain_right = (r_lb == r_sg) & (r_sg == r_ub)
+        certainly = certain_left & certain_right & (l_lb == r_lb)
+        overlaps = (l_lb <= r_ub) & (r_lb <= l_ub)
+        return certainly, l_sg == r_sg, overlaps
+    # Object-dtype columns (strings, None, mixed types), NaN carriers, and
+    # int/float mixes beyond float64's exact integer range: the scalar
+    # comparisons own those semantics — delegate per pair.
+    n_left, n_right = len(left.lb), len(right.lb)
+    certain = np.empty(n_left * n_right, dtype=bool)
+    sg = np.empty(n_left * n_right, dtype=bool)
+    possible = np.empty(n_left * n_right, dtype=bool)
+    left_values = [left.value(i) for i in range(n_left)]
+    right_values = [right.value(j) for j in range(n_right)]
+    pair = 0
+    for lvalue in left_values:
+        for rvalue in right_values:
+            condition = lvalue.eq(rvalue)
+            certain[pair] = condition.lb
+            sg[pair] = condition.sg
+            possible[pair] = condition.ub
+            pair += 1
+    return certain, sg, possible
+
+
+def _equality_vectorizable(left: AttributeColumn, right: AttributeColumn) -> bool:
+    """Whether the vectorized equality triple is exact for these columns.
+
+    Rejects ``object`` components, NaN-carrying floats (NumPy comparison NaN
+    propagation differs from the scalar ``_le`` order), and int/float mixes
+    whose integers would round when promoted to ``float64``.
+    """
+    profile = profile_components(
+        [getattr(column, name) for column in (left, right) for name in ("lb", "sg", "ub")]
+    )
+    return not (
+        profile.has_object
+        or profile.has_nan
+        or (profile.has_float and profile.int_magnitude >= FLOAT64_EXACT_MAX)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Duplicate merging (the K-relation view: equal hypercubes add annotations)
+# ---------------------------------------------------------------------------
+
+
+def _merge_equal_rows(relation: ColumnarAURelation) -> ColumnarAURelation:
+    """Merge rows with equal hypercubes, annotations adding pointwise.
+
+    Equality follows the scalar semantics (``RangeValue.__eq__`` per
+    attribute: ``1 == 1.0 == True``, NaN equal to nothing including itself);
+    merged rows keep the first occurrence's values and position, matching the
+    insertion-order merge of :meth:`AURelation.add`.
+    """
+    n = len(relation)
+    if n == 0:
+        return relation
+    if not relation.columns:
+        # Zero-attribute schema: every row is the empty tuple.
+        return ColumnarAURelation(
+            relation.schema,
+            (),
+            np.array([int(relation.mult_lb.sum())], dtype=np.int64),
+            np.array([int(relation.mult_sg.sum())], dtype=np.int64),
+            np.array([int(relation.mult_ub.sum())], dtype=np.int64),
+        )
+    codes = [
+        _equality_codes(component)
+        for column in relation.columns
+        for component in (column.lb, column.sg, column.ub)
+    ]
+    matrix = np.column_stack(codes)
+    _, first, inverse = np.unique(matrix, axis=0, return_index=True, return_inverse=True)
+    inverse = inverse.reshape(-1)
+    groups = len(first)
+    if groups == n:
+        return relation
+    mult_lb = np.zeros(groups, dtype=np.int64)
+    mult_sg = np.zeros(groups, dtype=np.int64)
+    mult_ub = np.zeros(groups, dtype=np.int64)
+    np.add.at(mult_lb, inverse, relation.mult_lb)
+    np.add.at(mult_sg, inverse, relation.mult_sg)
+    np.add.at(mult_ub, inverse, relation.mult_ub)
+    # Emit groups in first-occurrence order so downstream sequence-number
+    # tiebreakers (the <total_O sort order) see the same row order as the
+    # Python backend's insertion-ordered dict.
+    order = np.argsort(first, kind="stable")
+    return relation.take(first[order]).with_multiplicities(
+        mult_lb[order], mult_sg[order], mult_ub[order]
+    )
+
+
+def _equality_codes(component: np.ndarray) -> np.ndarray:
+    """Dense equality codes of one bound-component array.
+
+    Numeric arrays without NaN use ``np.unique``; everything else is coded
+    through Python equality (dict keys), which reproduces the scalar
+    semantics exactly — ``1 == 1.0 == True`` share a code, while each NaN
+    occurrence gets a fresh one (NaN never merges, not even with itself).
+    """
+    if component.dtype != object:
+        if component.dtype != np.float64 or not bool(np.isnan(component).any()):
+            _, inverse = np.unique(component, return_inverse=True)
+            return inverse.reshape(-1).astype(np.int64, copy=False)
+    codes: dict = {}
+    out = np.empty(len(component), dtype=np.int64)
+    next_code = 0
+    for i, value in enumerate(component.tolist()):
+        if value != value:  # NaN-like: unique code per occurrence
+            out[i] = next_code
+            next_code += 1
+            continue
+        code = codes.get(value)
+        if code is None:
+            codes[value] = code = next_code
+            next_code += 1
+        out[i] = code
+    return out

@@ -1,0 +1,162 @@
+"""Plan composition over the columnar backend.
+
+:class:`ColumnarPlan` chains the vectorized ``RA⁺`` kernels of
+:mod:`repro.columnar.operators` so a whole query stays in the columnar layout
+from ingest to result — no intermediate row-major
+:class:`~repro.core.relation.AURelation` is materialised between stages.
+Only the *plan boundary* converts: the terminal :meth:`~ColumnarPlan.sort` /
+:meth:`~ColumnarPlan.topk` / :meth:`~ColumnarPlan.window` operators (whose
+kernels emit row-major results) and the explicit :meth:`~ColumnarPlan.relation`
+accessor.
+
+>>> result = (
+...     ColumnarPlan(orders)
+...     .select(attr("v").gt(10))
+...     .join(ColumnarPlan(parts), on=["g"])
+...     .project(["o", "v"])
+...     .window(spec)          # terminal: row-major AURelation
+... )
+
+Every stage is bit-identical to running the corresponding Python-backend
+operator chain on row-major relations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+from repro.columnar import operators as ops
+from repro.columnar.relation import ColumnarAURelation, as_columnar
+from repro.core.booleans import RangeBool
+from repro.core.expressions import Expression
+from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation
+from repro.core.tuples import AUTuple
+from repro.window.spec import WindowSpec
+
+__all__ = ["ColumnarPlan"]
+
+
+class ColumnarPlan:
+    """A fluent, immutable chain of columnar operators.
+
+    Each method returns a new plan wrapping the resulting
+    :class:`ColumnarAURelation`; the wrapped relation is exposed through
+    :meth:`columnar` (no conversion) and :meth:`relation` (row-major
+    boundary conversion).
+    """
+
+    __slots__ = ("_relation",)
+
+    def __init__(self, relation: AURelation | ColumnarAURelation | "ColumnarPlan"):
+        if isinstance(relation, ColumnarPlan):
+            self._relation = relation._relation
+        else:
+            self._relation = as_columnar(relation)
+
+    # -- boundary accessors -------------------------------------------------
+
+    def columnar(self) -> ColumnarAURelation:
+        """The current intermediate result, still columnar (no conversion)."""
+        return self._relation
+
+    def relation(self) -> AURelation:
+        """Materialise the plan result as a row-major relation (plan boundary)."""
+        return self._relation.to_relation()
+
+    def __len__(self) -> int:
+        return len(self._relation)
+
+    # -- RA⁺ stages (columnar in, columnar out) -----------------------------
+
+    def select(
+        self, predicate: Expression | Callable[[AUTuple], RangeBool]
+    ) -> "ColumnarPlan":
+        return ColumnarPlan(ops.select(self._relation, predicate))
+
+    def project(self, attributes: Sequence[str]) -> "ColumnarPlan":
+        return ColumnarPlan(ops.project(self._relation, attributes))
+
+    def extend(
+        self, name: str, expression: Expression | Callable[[AUTuple], RangeValue]
+    ) -> "ColumnarPlan":
+        return ColumnarPlan(ops.extend(self._relation, name, expression))
+
+    def rename(self, mapping: Mapping[str, str]) -> "ColumnarPlan":
+        return ColumnarPlan(ops.rename(self._relation, mapping))
+
+    def distinct(self) -> "ColumnarPlan":
+        return ColumnarPlan(ops.distinct(self._relation))
+
+    def union(self, other: "ColumnarPlan | AURelation | ColumnarAURelation") -> "ColumnarPlan":
+        return ColumnarPlan(ops.union(self._relation, _unwrap(other)))
+
+    def cross(self, other: "ColumnarPlan | AURelation | ColumnarAURelation") -> "ColumnarPlan":
+        return ColumnarPlan(ops.cross(self._relation, _unwrap(other)))
+
+    def join(
+        self,
+        other: "ColumnarPlan | AURelation | ColumnarAURelation",
+        predicate: Expression | Callable[[AUTuple], RangeBool] | None = None,
+        *,
+        on: Sequence[str] | None = None,
+    ) -> "ColumnarPlan":
+        return ColumnarPlan(ops.join(self._relation, _unwrap(other), predicate, on=on))
+
+    # -- terminal ranking / window stages (row-major out: plan boundary) ----
+
+    def sort(
+        self,
+        order_by: Sequence[str],
+        *,
+        position_attribute: str = "pos",
+        descending: bool = False,
+    ) -> AURelation:
+        """Uncertain sort over the columnar kernels (terminal stage)."""
+        from repro.columnar.sort import sort_columnar
+
+        return sort_columnar(
+            self._relation,
+            order_by,
+            position_attribute=position_attribute,
+            descending=descending,
+        )
+
+    def topk(
+        self,
+        order_by: Sequence[str],
+        k: int,
+        *,
+        position_attribute: str = "pos",
+        descending: bool = False,
+    ) -> AURelation:
+        """Uncertain top-k over the columnar kernels (terminal stage)."""
+        from repro.columnar.sort import sort_columnar
+        from repro.core.expressions import attr
+        from repro.core.operators.select import select as row_select
+        from repro.errors import OperatorError
+
+        if k < 0:
+            raise OperatorError("k must be non-negative")
+        ranked = sort_columnar(
+            self._relation,
+            order_by,
+            k=k,
+            position_attribute=position_attribute,
+            descending=descending,
+        )
+        return row_select(ranked, attr(position_attribute).lt(k))
+
+    def window(self, spec: WindowSpec) -> AURelation:
+        """Uncertain windowed aggregation over the columnar kernels (terminal stage)."""
+        from repro.columnar.window import window_columnar
+
+        return window_columnar(self._relation, spec)
+
+
+def _unwrap(
+    other: "ColumnarPlan | AURelation | ColumnarAURelation",
+) -> ColumnarAURelation:
+    if isinstance(other, ColumnarPlan):
+        return other._relation
+    return as_columnar(other)

@@ -29,7 +29,59 @@ from repro.core.relation import AURelation
 from repro.core.schema import Schema
 from repro.core.tuples import AUTuple
 
-__all__ = ["ColumnarAURelation", "AttributeColumn", "column_array", "as_columnar"]
+__all__ = [
+    "ColumnarAURelation",
+    "AttributeColumn",
+    "ComponentProfile",
+    "FLOAT64_EXACT_MAX",
+    "column_array",
+    "as_columnar",
+    "profile_components",
+]
+
+
+#: Largest magnitude float64 represents exactly; integer components at or
+#: above it would round whenever a kernel promotes them to float64.
+FLOAT64_EXACT_MAX = 2**53
+
+
+class ComponentProfile:
+    """Dtype/value facts the vectorized kernels gate their exactness on.
+
+    ``has_nan`` covers ``float64`` arrays only (``object`` arrays force the
+    scalar path regardless); ``int_magnitude`` is the largest absolute value
+    across the integer arrays (0 when there are none).
+    """
+
+    __slots__ = ("has_object", "has_float", "has_nan", "int_magnitude")
+
+    def __init__(self, has_object: bool, has_float: bool, has_nan: bool, int_magnitude: int):
+        self.has_object = has_object
+        self.has_float = has_float
+        self.has_nan = has_nan
+        self.int_magnitude = int_magnitude
+
+
+def profile_components(arrays: Sequence[np.ndarray]) -> ComponentProfile:
+    """One shared scan deciding whether vectorized float64 math is exact.
+
+    Every kernel that promotes components to ``float64`` (expression
+    evaluation, pairwise join equality, the window aggregate bounds) gates on
+    the same facts; keeping the scan here prevents the exactness rules from
+    drifting apart between call sites.
+    """
+    has_object = has_float = has_nan = False
+    magnitude = 0
+    for arr in arrays:
+        if arr.dtype == object:
+            has_object = True
+        elif arr.dtype == np.float64:
+            has_float = True
+            if len(arr) and bool(np.isnan(arr).any()):
+                has_nan = True
+        elif len(arr):
+            magnitude = max(magnitude, abs(int(arr.min())), abs(int(arr.max())))
+    return ComponentProfile(has_object, has_float, has_nan, magnitude)
 
 
 def column_array(values: Sequence[Scalar]) -> np.ndarray:
@@ -167,6 +219,113 @@ class ColumnarAURelation:
             _values=values,
         )
 
+    # -- structural kernels (used by repro.columnar.operators) -----------------
+
+    def mask(self, keep: np.ndarray) -> "ColumnarAURelation":
+        """Rows where ``keep`` is true, in order (vectorized selection)."""
+        return self.take(np.flatnonzero(keep))
+
+    def repeat(self, repeats: int | np.ndarray) -> "ColumnarAURelation":
+        """Each row repeated ``repeats`` times (row-aligned or scalar count)."""
+        columns = [
+            AttributeColumn(
+                column.name,
+                np.repeat(column.lb, repeats),
+                np.repeat(column.sg, repeats),
+                np.repeat(column.ub, repeats),
+            )
+            for column in self.columns
+        ]
+        return ColumnarAURelation(
+            self.schema,
+            columns,
+            np.repeat(self.mult_lb, repeats),
+            np.repeat(self.mult_sg, repeats),
+            np.repeat(self.mult_ub, repeats),
+        )
+
+    def tile(self, reps: int) -> "ColumnarAURelation":
+        """The whole relation repeated ``reps`` times back to back."""
+        columns = [
+            AttributeColumn(
+                column.name,
+                np.tile(column.lb, reps),
+                np.tile(column.sg, reps),
+                np.tile(column.ub, reps),
+            )
+            for column in self.columns
+        ]
+        return ColumnarAURelation(
+            self.schema,
+            columns,
+            np.tile(self.mult_lb, reps),
+            np.tile(self.mult_sg, reps),
+            np.tile(self.mult_ub, reps),
+        )
+
+    def concat(self, other: "ColumnarAURelation") -> "ColumnarAURelation":
+        """Rows of ``self`` followed by rows of ``other`` (schemas must match)."""
+        from repro.errors import SchemaError
+
+        if self.schema != other.schema:
+            raise SchemaError("concat requires identical schemas")
+        columns = [
+            AttributeColumn(
+                left.name,
+                _concat_components(left.lb, right.lb),
+                _concat_components(left.sg, right.sg),
+                _concat_components(left.ub, right.ub),
+            )
+            for left, right in zip(self.columns, other.columns)
+        ]
+        return ColumnarAURelation(
+            self.schema,
+            columns,
+            np.concatenate([self.mult_lb, other.mult_lb]),
+            np.concatenate([self.mult_sg, other.mult_sg]),
+            np.concatenate([self.mult_ub, other.mult_ub]),
+        )
+
+    def rename(self, mapping: dict[str, str]) -> "ColumnarAURelation":
+        """Attributes renamed according to ``mapping`` (arrays shared, not copied)."""
+        schema = self.schema.rename(dict(mapping))
+        columns = [
+            AttributeColumn(name, column.lb, column.sg, column.ub)
+            for name, column in zip(schema, self.columns)
+        ]
+        return ColumnarAURelation(
+            schema, columns, self.mult_lb, self.mult_sg, self.mult_ub, _values=self._values
+        )
+
+    def restrict(self, attributes: Sequence[str]) -> "ColumnarAURelation":
+        """Columns restricted (and reordered) to ``attributes``, rows untouched.
+
+        Structural only — equal projected hypercubes are *not* merged; the
+        bag-projection operator (:func:`repro.columnar.operators.project`)
+        layers the merge on top.
+        """
+        schema = self.schema.project(attributes)
+        columns = [self.column(name) for name in attributes]
+        return ColumnarAURelation(schema, columns, self.mult_lb, self.mult_sg, self.mult_ub)
+
+    def with_column(self, column: AttributeColumn) -> "ColumnarAURelation":
+        """One computed attribute appended (row-aligned component arrays)."""
+        return ColumnarAURelation(
+            self.schema.extend(column.name),
+            self.columns + (column,),
+            self.mult_lb,
+            self.mult_sg,
+            self.mult_ub,
+        )
+
+    def with_multiplicities(
+        self, mult_lb: np.ndarray, mult_sg: np.ndarray, mult_ub: np.ndarray
+    ) -> "ColumnarAURelation":
+        """Same rows under replaced multiplicity triples (selection filtering)."""
+        return ColumnarAURelation(
+            self.schema, self.columns, mult_lb, mult_sg, mult_ub, _values=self._values
+        )
+
     # -- access --------------------------------------------------------------
 
     def __len__(self) -> int:
@@ -202,6 +361,19 @@ class ColumnarAURelation:
     @property
     def total_sg(self) -> int:
         return int(self.mult_sg.sum()) if len(self) else 0
+
+
+def _concat_components(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    """Concatenate two bound-component arrays without lossy dtype promotion.
+
+    Same non-object dtypes concatenate directly; any other pairing (e.g.
+    ``int64`` with ``float64``, whose promotion would round integers beyond
+    ``2**53``, or anything involving ``object``) re-packs the Python scalars
+    through :func:`column_array` so every value survives unchanged.
+    """
+    if left.dtype == right.dtype and left.dtype != object:
+        return np.concatenate([left, right])
+    return column_array(left.tolist() + right.tolist())
 
 
 def as_columnar(relation: AURelation | ColumnarAURelation) -> ColumnarAURelation:

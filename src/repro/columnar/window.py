@@ -9,12 +9,14 @@ the native sweep's heaps with columnar kernels:
 * sort-position bound triples come from the prefix-sum kernels of
   :mod:`repro.columnar.kernels` (Equations 1-3),
 * duplicates are expanded in bulk (:func:`~repro.columnar.kernels.duplicate_offsets`)
-  and frame membership is decided with the interval containment / overlap
-  masks of Fig. 6 (:func:`~repro.columnar.kernels.certain_frame_members` /
-  :func:`~repro.columnar.kernels.possible_frame_members`), evaluated in row
-  blocks so memory stays ``O(block * n)``,
-* aggregate bounds are computed with vectorized reductions — masked
-  matrix-vector products for the certain members, per-row partial sorts for
+  and frame membership is resolved with a position-sorted searchsorted sweep
+  (:class:`~repro.columnar.kernels.FrameMemberIndex`): candidates bucketed by
+  position-interval width turn the Fig. 6 containment / overlap conditions
+  into contiguous range queries, so only the *actual* (query, member) pairs
+  are ever materialised (chunked to bound peak memory) instead of the
+  quadratic query x candidate mask grid,
+* aggregate bounds are grouped reductions over those pairs — ``bincount``
+  sums for the certain members, one shared lexsort + grouped prefix sums for
   the min-k / max-k possible contributions of ``sum`` (at most
   ``frame_size - 1`` candidates ever matter), and
 * the selected-guess aggregate is a deterministic rolling computation over
@@ -40,9 +42,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.columnar.kernels import (
-    certain_frame_members,
+    FrameMemberIndex,
     duplicate_offsets,
-    possible_frame_members,
     sliding_window_extrema,
     sliding_window_sums,
     sort_position_bounds,
@@ -56,8 +57,9 @@ from repro.window.spec import WindowSpec
 
 __all__ = ["window_columnar"]
 
-#: Target number of mask cells per membership block (bounds peak memory).
-_BLOCK_CELLS = 4_000_000
+#: Target number of materialised (query, member) pairs per sweep chunk
+#: (bounds peak memory of the pair lists).
+_PAIR_BUDGET = 4_000_000
 
 
 def window_columnar(
@@ -162,27 +164,18 @@ def _contains_nan(columnar: ColumnarAURelation) -> bool:
     return False
 
 
-#: Largest magnitude float64 represents exactly (integers up to 2**53).
-_FLOAT64_EXACT = 2**53
-
-
 def _float64_exact(column, frame_size: int) -> bool:
     """Whether every window aggregate over the column is exact in float64.
 
     A window sum combines at most ``frame_size`` member values, so integer
     bound components stay exact when ``frame_size * max|value|`` fits the
-    float64 integer range.  Checked per component: mixed columns may pair
-    float lower bounds with huge integer upper bounds.
+    float64 integer range (the shared exactness scan of
+    :func:`repro.columnar.relation.profile_components`).
     """
-    if len(column.lb) == 0:
-        return True
-    for component in (column.lb, column.sg, column.ub):
-        if component.dtype != np.int64:
-            continue
-        magnitude = max(abs(int(component.min())), abs(int(component.max())))
-        if magnitude * max(1, frame_size) >= _FLOAT64_EXACT:
-            return False
-    return True
+    from repro.columnar.relation import FLOAT64_EXACT_MAX, profile_components
+
+    profile = profile_components((column.lb, column.sg, column.ub))
+    return profile.int_magnitude * max(1, frame_size) < FLOAT64_EXACT_MAX
 
 
 def _certain_partition_groups(
@@ -237,50 +230,59 @@ def _sweep(columnar: ColumnarAURelation, spec: WindowSpec) -> AURelation:
         spec.function, val_sg[row], pos_sg, dup_sg, frame_size
     )
 
+    # Frame membership as a position-sorted searchsorted sweep: the index
+    # answers "which duplicates possibly fall into d's frame" with range
+    # queries per interval-width bucket, so cost scales with the number of
+    # *actual* member pairs instead of the full query x candidate grid.
+    fval_lb = d_val_lb.astype(np.float64)
+    fval_ub = d_val_ub.astype(np.float64)
+    index = FrameMemberIndex(pos_lb, pos_ub, preceding)
+    pair_counts = index.pair_counts(pos_lb, pos_ub)
     w_lb = np.empty(m, dtype=np.float64)
     w_ub = np.empty(m, dtype=np.float64)
-    block_size = max(1, _BLOCK_CELLS // m)
-    for start in range(0, m, block_size):
-        stop = min(m, start + block_size)
+    for start, stop in _query_chunks(pair_counts, _PAIR_BUDGET):
         block = slice(start, stop)
-        cert_in = certain_frame_members(
-            pos_lb[block], pos_ub[block], pos_lb, pos_ub, dup_cert, preceding
+        nq = stop - start
+        query, member = index.member_pairs(pos_lb[block], pos_ub[block])
+        # Exclude the defining duplicate itself, then split members into the
+        # certain set (position interval contained in the positions the
+        # window certainly covers, Fig. 6) and the merely possible rest.
+        keep = member != query + start
+        query, member = query[keep], member[keep]
+        cert = (
+            dup_cert[member]
+            & (pos_lb[member] >= pos_ub[block][query] - preceding)
+            & (pos_ub[member] <= pos_lb[block][query])
         )
-        poss_in = possible_frame_members(pos_lb[block], pos_ub[block], pos_lb, pos_ub, preceding)
-        # Exclude the defining duplicate itself from both member sets, and
-        # certain members from the possible set.
-        rows_in_block = np.arange(stop - start)
-        cert_in[rows_in_block, np.arange(start, stop)] = False
-        poss_in[rows_in_block, np.arange(start, stop)] = False
-        poss_in &= ~cert_in
+        q_cert, e_cert = query[cert], member[cert]
+        q_poss, e_poss = query[~cert], member[~cert]
 
         if spec.function == "sum":
-            b_lb, b_ub = _sum_bounds_block(
-                cert_in, poss_in, d_val_lb, d_val_ub,
-                self_lb=d_val_lb[block], self_ub=d_val_ub[block],
+            b_lb, b_ub = _sum_bounds_chunk(
+                q_cert, e_cert, q_poss, e_poss, fval_lb, fval_ub,
+                self_lb=fval_lb[block], self_ub=fval_ub[block],
                 frame_size=frame_size,
                 certain_window_size=1 + np.minimum(preceding, pos_lb[block]),
+                nq=nq,
             )
         elif spec.function == "count":
-            b_lb, b_ub = _count_bounds_block(
-                cert_in, poss_in,
+            b_lb, b_ub = _count_bounds_chunk(
+                q_cert, q_poss,
                 frame_size=frame_size,
                 certain_window_size=1 + np.minimum(preceding, pos_lb[block]),
+                nq=nq,
             )
         elif spec.function in ("min", "max"):
-            b_lb, b_ub = _extrema_bounds_block(
-                cert_in, poss_in, d_val_lb, d_val_ub,
-                self_lb=d_val_lb[block], self_ub=d_val_ub[block],
+            b_lb, b_ub = _extrema_bounds_chunk(
+                q_cert, e_cert, query, member, fval_lb, fval_ub,
+                self_lb=fval_lb[block], self_ub=fval_ub[block],
                 maximum=spec.function == "max",
             )
         else:  # avg: envelope of the member values (Algorithm 4's delegation)
-            members = cert_in | poss_in
-            b_lb = np.minimum(
-                d_val_lb[block], np.where(members, d_val_lb[None, :], np.inf).min(axis=1)
-            )
-            b_ub = np.maximum(
-                d_val_ub[block], np.where(members, d_val_ub[None, :], -np.inf).max(axis=1)
-            )
+            b_lb = fval_lb[block].copy()
+            np.minimum.at(b_lb, query, fval_lb[member])
+            b_ub = fval_ub[block].copy()
+            np.maximum.at(b_ub, query, fval_ub[member])
         w_lb[block] = b_lb
         w_ub[block] = b_ub
 
@@ -353,9 +355,29 @@ def _selected_guess_aggregates(
     return agg
 
 
-def _sum_bounds_block(
-    cert_in: np.ndarray,
-    poss_in: np.ndarray,
+def _query_chunks(pair_counts: np.ndarray, budget: int):
+    """Split the query axis so each chunk materialises at most ``budget`` pairs.
+
+    A single query may exceed the budget on its own (its pairs must be
+    materialised together); chunks therefore always advance by at least one
+    query.
+    """
+    m = len(pair_counts)
+    cumulative = np.cumsum(pair_counts)
+    start = 0
+    while start < m:
+        base = int(cumulative[start - 1]) if start else 0
+        stop = int(np.searchsorted(cumulative, base + budget, side="right"))
+        stop = min(m, max(stop, start + 1))
+        yield start, stop
+        start = stop
+
+
+def _sum_bounds_chunk(
+    q_cert: np.ndarray,
+    e_cert: np.ndarray,
+    q_poss: np.ndarray,
+    e_poss: np.ndarray,
     val_lb: np.ndarray,
     val_ub: np.ndarray,
     *,
@@ -363,75 +385,88 @@ def _sum_bounds_block(
     self_ub: np.ndarray,
     frame_size: int,
     certain_window_size: np.ndarray,
+    nq: int,
 ) -> tuple[np.ndarray, np.ndarray]:
-    """Vectorized min-k / max-k sum bounds (Algorithm 5's refinement).
+    """Grouped min-k / max-k sum bounds over the member pairs (Algorithm 5).
 
     The lower bound adds the certain members' lower bounds plus the smallest
     possible contributions: ``required`` members are forced into the window
     because it certainly holds more rows than self + certain account for;
     beyond that only negative contributions can pull the sum down, limited to
-    the free frame slots.  The upper bound is symmetric.  At most
-    ``frame_size - 1`` possible members can ever contribute, so per-row
-    partial sorts of that width replace the Python backend's heap probing.
+    the free frame slots.  The upper bound is symmetric.  The per-query
+    selection of the ``taken`` smallest candidates is one shared
+    ``lexsort`` + grouped prefix sums over the pair list instead of per-row
+    partial sorts of the full candidate grid.
     """
-    used = 1 + cert_in.sum(axis=1)
+    used = 1 + np.bincount(q_cert, minlength=nq)
     slots = np.maximum(0, frame_size - used)
     required = np.clip(np.minimum(certain_window_size, frame_size) - used, 0, slots)
 
-    lb = self_lb + cert_in @ val_lb
-    ub = self_ub + cert_in @ val_ub
+    lb = self_lb + _grouped_sums(q_cert, val_lb[e_cert], nq)
+    ub = self_ub + _grouped_sums(q_cert, val_ub[e_cert], nq)
 
-    k = frame_size - 1
-    if k > 0:
-        neg_total = (poss_in & (val_lb < 0)[None, :]).sum(axis=1)
+    if frame_size > 1 and len(q_poss):
+        poss_lb = val_lb[e_poss]
+        neg_total = np.bincount(q_poss[poss_lb < 0], minlength=nq)
         taken = np.minimum(slots, np.maximum(required, neg_total))
-        lb = lb + _smallest_prefix_sums(
-            np.where(poss_in, val_lb[None, :], np.inf), k, taken
-        )
+        lb = lb + _grouped_smallest_prefix_sums(q_poss, poss_lb, taken, nq)
 
-        pos_total = (poss_in & (val_ub > 0)[None, :]).sum(axis=1)
+        poss_ub = val_ub[e_poss]
+        pos_total = np.bincount(q_poss[poss_ub > 0], minlength=nq)
         taken = np.minimum(slots, np.maximum(required, pos_total))
-        ub = ub - _smallest_prefix_sums(
-            np.where(poss_in, -val_ub[None, :], np.inf), k, taken
-        )
+        ub = ub - _grouped_smallest_prefix_sums(q_poss, -poss_ub, taken, nq)
     return lb, ub
 
 
-def _smallest_prefix_sums(candidates: np.ndarray, k: int, taken: np.ndarray) -> np.ndarray:
-    """Per row: the sum of the ``taken`` smallest of the first ``k`` order statistics.
+def _grouped_sums(groups: np.ndarray, values: np.ndarray, nq: int) -> np.ndarray:
+    if len(groups) == 0:
+        return np.zeros(nq, dtype=np.float64)
+    return np.bincount(groups, weights=values, minlength=nq)
 
-    ``candidates`` uses ``+inf`` for non-members; ``taken`` never exceeds the
-    number of finite entries in a row, so the padding is never accumulated.
+
+def _grouped_smallest_prefix_sums(
+    groups: np.ndarray, values: np.ndarray, taken: np.ndarray, nq: int
+) -> np.ndarray:
+    """Per group: the sum of its ``taken`` smallest values.
+
+    One ``lexsort`` by (group, value) turns every group into a sorted
+    contiguous run; grouped prefix sums plus a searchsorted per group index
+    then read the selection off in ``O(pairs log pairs)``.  ``taken`` never
+    exceeds the group size in valid sweeps (the window cannot be forced to
+    hold more members than possibly exist); the clamp keeps the kernel total
+    anyway.
     """
-    if candidates.shape[1] > k:
-        head = np.partition(candidates, k - 1, axis=1)[:, :k]
-    else:
-        head = candidates
-    head = np.sort(head, axis=1)
-    prefix = np.concatenate(
-        [np.zeros((head.shape[0], 1)), np.cumsum(head, axis=1)], axis=1
-    )
-    return prefix[np.arange(head.shape[0]), taken]
+    order = np.lexsort((values, groups))
+    sorted_groups = groups[order]
+    prefix = np.concatenate([[0.0], np.cumsum(values[order])])
+    group_ids = np.arange(nq, dtype=np.int64)
+    starts = np.searchsorted(sorted_groups, group_ids, side="left")
+    stops = np.searchsorted(sorted_groups, group_ids, side="right")
+    take = np.minimum(taken, stops - starts)
+    return prefix[starts + take] - prefix[starts]
 
 
-def _count_bounds_block(
-    cert_in: np.ndarray,
-    poss_in: np.ndarray,
+def _count_bounds_chunk(
+    q_cert: np.ndarray,
+    q_poss: np.ndarray,
     *,
     frame_size: int,
     certain_window_size: np.ndarray,
+    nq: int,
 ) -> tuple[np.ndarray, np.ndarray]:
-    used = 1 + cert_in.sum(axis=1)
+    used = 1 + np.bincount(q_cert, minlength=nq)
     lb = np.maximum(used, np.minimum(certain_window_size, frame_size))
     lb = np.minimum(lb, frame_size)
-    ub = np.minimum(frame_size, used + poss_in.sum(axis=1))
+    ub = np.minimum(frame_size, used + np.bincount(q_poss, minlength=nq))
     ub = np.maximum(ub, lb)
     return lb, ub
 
 
-def _extrema_bounds_block(
-    cert_in: np.ndarray,
-    poss_in: np.ndarray,
+def _extrema_bounds_chunk(
+    q_cert: np.ndarray,
+    e_cert: np.ndarray,
+    q_all: np.ndarray,
+    e_all: np.ndarray,
     val_lb: np.ndarray,
     val_ub: np.ndarray,
     *,
@@ -440,11 +475,14 @@ def _extrema_bounds_block(
     maximum: bool,
 ) -> tuple[np.ndarray, np.ndarray]:
     """min / max bounds: all members bound the loose side, certain members the tight one."""
-    members = cert_in | poss_in
     if maximum:
-        ub = np.maximum(self_ub, np.where(members, val_ub[None, :], -np.inf).max(axis=1))
-        lb = np.maximum(self_lb, np.where(cert_in, val_lb[None, :], -np.inf).max(axis=1))
+        ub = self_ub.copy()
+        np.maximum.at(ub, q_all, val_ub[e_all])
+        lb = self_lb.copy()
+        np.maximum.at(lb, q_cert, val_lb[e_cert])
     else:
-        lb = np.minimum(self_lb, np.where(members, val_lb[None, :], np.inf).min(axis=1))
-        ub = np.minimum(self_ub, np.where(cert_in, val_ub[None, :], np.inf).min(axis=1))
+        lb = self_lb.copy()
+        np.minimum.at(lb, q_all, val_lb[e_all])
+        ub = self_ub.copy()
+        np.minimum.at(ub, q_cert, val_ub[e_cert])
     return lb, ub

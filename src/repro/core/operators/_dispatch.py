@@ -1,0 +1,41 @@
+"""Backend dispatch shared by the ``RA⁺`` operator entry points.
+
+Mirrors the ``backend="python" | "columnar"`` switch of the sort / window
+entry points: the columnar backend accepts either relation layout, runs the
+vectorized kernel of :mod:`repro.columnar.operators`, and converts back to a
+row-major :class:`~repro.core.relation.AURelation` at the call boundary.
+Callers composing several columnar operators should use
+:class:`repro.columnar.plan.ColumnarPlan` instead, which skips the per-call
+round trip.
+"""
+
+from __future__ import annotations
+
+from repro.errors import OperatorError
+
+__all__ = ["columnar_operators", "require_known_backend"]
+
+
+def require_known_backend(backend: str) -> None:
+    if backend not in ("python", "columnar"):
+        raise OperatorError(
+            f"unknown operator backend {backend!r}; expected 'python' or 'columnar'"
+        )
+
+
+def columnar_operators():
+    """The columnar kernel module (clear error when NumPy is unavailable)."""
+    try:
+        from repro.columnar import operators
+    except ImportError as exc:  # pragma: no cover - environment dependent
+        raise OperatorError("the columnar backend requires NumPy") from exc
+    return operators
+
+
+def as_columnar_input(relation):
+    """Coerce either relation layout to columnar for the vectorized kernels."""
+    try:
+        from repro.columnar.relation import as_columnar
+    except ImportError as exc:  # pragma: no cover - environment dependent
+        raise OperatorError("the columnar backend requires NumPy") from exc
+    return as_columnar(relation)

@@ -3,18 +3,27 @@
 from __future__ import annotations
 
 from repro.core.multiplicity import Multiplicity
+from repro.core.operators._dispatch import (
+    as_columnar_input,
+    columnar_operators,
+    require_known_backend,
+)
 from repro.core.relation import AURelation
 
 __all__ = ["distinct"]
 
 
-def distinct(relation: AURelation) -> AURelation:
+def distinct(relation: AURelation, *, backend: str = "python") -> AURelation:
     """Cap every multiplicity triple at one copy.
 
     A tuple that certainly exists keeps a certain multiplicity of one; a tuple
     that only possibly exists keeps a possible multiplicity of one.  This is
     the standard bound-preserving duplicate-elimination semantics.
     """
+    require_known_backend(backend)
+    if backend == "columnar":
+        kernels = columnar_operators()
+        return kernels.distinct(as_columnar_input(relation)).to_relation()
     out = relation.empty_like()
     for tup, mult in relation:
         out.add(tup, Multiplicity(min(1, mult.lb), min(1, mult.sg), min(1, mult.ub)))

@@ -11,6 +11,11 @@ from typing import Callable, Sequence
 
 from repro.core.booleans import RangeBool, CERTAIN_TRUE
 from repro.core.expressions import Expression
+from repro.core.operators._dispatch import (
+    as_columnar_input,
+    columnar_operators,
+    require_known_backend,
+)
 from repro.core.relation import AURelation
 from repro.core.tuples import AUTuple
 from repro.errors import OperatorError
@@ -18,8 +23,14 @@ from repro.errors import OperatorError
 __all__ = ["cross", "join"]
 
 
-def cross(left: AURelation, right: AURelation) -> AURelation:
+def cross(left: AURelation, right: AURelation, *, backend: str = "python") -> AURelation:
     """Cross product; clashing attribute names on the right get ``_r`` suffixes."""
+    require_known_backend(backend)
+    if backend == "columnar":
+        kernels = columnar_operators()
+        return kernels.cross(
+            as_columnar_input(left), as_columnar_input(right)
+        ).to_relation()
     schema = left.schema.concat(right.schema, disambiguate=True)
     out = AURelation(schema)
     for ltup, lmult in left:
@@ -35,6 +46,7 @@ def join(
     predicate: Expression | Callable[[AUTuple], RangeBool] | None = None,
     *,
     on: Sequence[str] | None = None,
+    backend: str = "python",
 ) -> AURelation:
     """Theta or equi-join over AU-DBs.
 
@@ -42,9 +54,18 @@ def join(
     attributes *possibly* intersect; the certain/possible multiplicities are
     filtered by the bounding triple of the equality condition.  Otherwise the
     ``predicate`` is evaluated over the concatenated tuple.
+
+    ``backend="columnar"`` expands the pair grid in bulk and filters it with
+    vectorized equality / predicate masks (bit-identical results).
     """
     if on is None and predicate is None:
         raise OperatorError("join requires either a predicate or an `on` attribute list")
+    require_known_backend(backend)
+    if backend == "columnar":
+        kernels = columnar_operators()
+        return kernels.join(
+            as_columnar_input(left), as_columnar_input(right), predicate, on=on
+        ).to_relation()
 
     schema = left.schema.concat(right.schema, disambiguate=True)
     out = AURelation(schema)

@@ -5,6 +5,11 @@ from __future__ import annotations
 from typing import Callable, Mapping, Sequence
 
 from repro.core.expressions import Expression
+from repro.core.operators._dispatch import (
+    as_columnar_input,
+    columnar_operators,
+    require_known_backend,
+)
 from repro.core.ranges import RangeValue
 from repro.core.relation import AURelation
 from repro.core.schema import Schema
@@ -13,8 +18,14 @@ from repro.core.tuples import AUTuple
 __all__ = ["project", "extend", "rename"]
 
 
-def project(relation: AURelation, attributes: Sequence[str]) -> AURelation:
+def project(
+    relation: AURelation, attributes: Sequence[str], *, backend: str = "python"
+) -> AURelation:
     """Bag projection: tuples with equal projected hypercubes merge (annotations add)."""
+    require_known_backend(backend)
+    if backend == "columnar":
+        kernels = columnar_operators()
+        return kernels.project(as_columnar_input(relation), attributes).to_relation()
     schema = relation.schema.project(attributes)
     out = AURelation(schema)
     for tup, mult in relation:
@@ -26,8 +37,18 @@ def extend(
     relation: AURelation,
     name: str,
     expression: Expression | Callable[[AUTuple], RangeValue],
+    *,
+    backend: str = "python",
 ) -> AURelation:
-    """Append a computed range-annotated attribute to every tuple."""
+    """Append a computed range-annotated attribute to every tuple.
+
+    ``backend="columnar"`` evaluates the expression with vectorized interval
+    arithmetic over the bound-component arrays (bit-identical results).
+    """
+    require_known_backend(backend)
+    if backend == "columnar":
+        kernels = columnar_operators()
+        return kernels.extend(as_columnar_input(relation), name, expression).to_relation()
     schema = relation.schema.extend(name)
     out = AURelation(schema)
     for tup, mult in relation:

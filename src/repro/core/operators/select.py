@@ -13,6 +13,11 @@ from typing import Callable
 
 from repro.core.booleans import RangeBool
 from repro.core.expressions import Expression
+from repro.core.operators._dispatch import (
+    as_columnar_input,
+    columnar_operators,
+    require_known_backend,
+)
 from repro.core.relation import AURelation
 from repro.core.tuples import AUTuple
 
@@ -22,8 +27,19 @@ __all__ = ["select"]
 def select(
     relation: AURelation,
     predicate: Expression | Callable[[AUTuple], RangeBool],
+    *,
+    backend: str = "python",
 ) -> AURelation:
-    """Keep tuples according to the bounding triple of ``predicate``."""
+    """Keep tuples according to the bounding triple of ``predicate``.
+
+    ``backend="columnar"`` evaluates the predicate as vectorized boolean
+    masks over the aligned bound-component arrays (bit-identical results;
+    accepts either relation layout).
+    """
+    require_known_backend(backend)
+    if backend == "columnar":
+        kernels = columnar_operators()
+        return kernels.select(as_columnar_input(relation), predicate).to_relation()
     out = relation.empty_like()
     for tup, mult in relation:
         condition = (

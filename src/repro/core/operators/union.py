@@ -2,14 +2,25 @@
 
 from __future__ import annotations
 
+from repro.core.operators._dispatch import (
+    as_columnar_input,
+    columnar_operators,
+    require_known_backend,
+)
 from repro.core.relation import AURelation
 from repro.errors import SchemaError
 
 __all__ = ["union"]
 
 
-def union(left: AURelation, right: AURelation) -> AURelation:
+def union(left: AURelation, right: AURelation, *, backend: str = "python") -> AURelation:
     """Bag union: tuples with identical hypercubes merge, annotations add."""
+    require_known_backend(backend)
+    if backend == "columnar":
+        kernels = columnar_operators()
+        return kernels.union(
+            as_columnar_input(left), as_columnar_input(right)
+        ).to_relation()
     if left.schema != right.schema:
         raise SchemaError("union requires identical schemas")
     out = left.copy()

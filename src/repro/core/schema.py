@@ -90,18 +90,31 @@ class Schema:
         """Concatenate two schemas (for cross products / joins).
 
         With ``disambiguate`` set, clashing attribute names from ``other`` get
-        a ``_r`` suffix instead of raising.
+        a ``_r`` suffix instead of raising.  A suffixed candidate must not
+        collide with *any* existing attribute — including right-hand
+        attributes that have not been processed yet: without that check,
+        ``(a) x (a, a_r)`` would rename the right ``a`` to ``a_r``, silently
+        capturing the name of the original ``a_r`` column (which would then
+        be shunted to ``a_r_r``).  Suffixes therefore skip every original
+        name, so untouched right-hand attributes always keep theirs.
         """
         right = list(other.attributes)
         if disambiguate:
             taken = set(self.attributes)
+            originals = set(self.attributes) | set(other.attributes)
             for i, name in enumerate(right):
                 candidate = name
-                while candidate in taken:
+                while candidate in taken or (candidate != name and candidate in originals):
                     candidate = candidate + "_r"
                 right[i] = candidate
                 taken.add(candidate)
-        return Schema(self.attributes + tuple(right))
+        try:
+            return Schema(self.attributes + tuple(right))
+        except SchemaError as exc:
+            raise SchemaError(
+                f"cannot concatenate schemas {self} and {other}: {exc}"
+                + ("" if disambiguate else "; pass disambiguate=True to suffix clashes")
+            ) from exc
 
     def drop(self, names: Sequence[str]) -> "Schema":
         """Schema without the given attributes."""

@@ -47,6 +47,7 @@ __all__ = [
     "fig17_realworld_performance",
     "fig18_realworld_sort_quality",
     "fig19_realworld_window_quality",
+    "pipeline_scaling",
     "ALL_EXPERIMENTS",
 ]
 
@@ -464,6 +465,17 @@ def _rank_methods(dataset: DatasetBundle, *, seed: int = 0) -> dict[str, float]:
     _, timings["Imp"] = timed_ms(
         lambda: au_topk(audb, order_by, query.k, method="native", descending=query.descending)
     )
+    timings["Imp-Col"] = _timed_columnar_ms(
+        audb,
+        lambda columnar: au_topk(
+            columnar,
+            order_by,
+            query.k,
+            method="native",
+            descending=query.descending,
+            backend="columnar",
+        ),
+    )
     _, timings["Rewr"] = timed_ms(
         lambda: au_topk(audb, order_by, query.k, method="rewrite", descending=query.descending)
     )
@@ -486,6 +498,9 @@ def _window_methods(dataset: DatasetBundle, *, seed: int = 0) -> dict[str, float
     timings: dict[str, float] = {}
     _, timings["Det"] = timed_ms(lambda: det_window(dataset.window_table, spec))
     _, timings["Imp"] = timed_ms(lambda: window_native(audb, spec))
+    timings["Imp-Col"] = _timed_columnar_ms(
+        audb, lambda columnar: window_native(columnar, spec, backend="columnar")
+    )
     _, timings["Rewr"] = timed_ms(lambda: window_rewrite(audb, spec))
     _, timings["MCDB20"] = timed_ms(
         lambda: mcdb_window_bounds(
@@ -496,18 +511,37 @@ def _window_methods(dataset: DatasetBundle, *, seed: int = 0) -> dict[str, float
 
 
 def fig17_realworld_performance(*, scale: float = 0.25, seed: int = 0) -> ExperimentResult:
-    """Figure 17: runtimes of the real-world rank and window queries."""
+    """Figure 17: runtimes of the real-world rank and window queries.
+
+    ``Imp-Col`` reports the native operator on the columnar backend over a
+    pre-converted columnar relation (bit-identical bounds); without NumPy the
+    column degrades to ``-``.
+    """
     result = ExperimentResult(
         name="fig17",
         description="Real-world query runtimes (ms) on simulated Iceberg / Crimes / Healthcare data",
-        headers=["Dataset", "Query", "Det", "Imp", "Rewr", "MCDB20"],
+        headers=["Dataset", "Query", "Det", "Imp", "Imp-Col", "Rewr", "MCDB20"],
     )
     for dataset in REAL_WORLD_DATASETS(scale=scale, seed=seed):
         rank = _rank_methods(dataset, seed=seed)
-        result.add(dataset.name, "Rank", rank["Det"], rank["Imp"], rank["Rewr"], rank["MCDB20"])
+        result.add(
+            dataset.name,
+            "Rank",
+            rank["Det"],
+            rank["Imp"],
+            rank["Imp-Col"],
+            rank["Rewr"],
+            rank["MCDB20"],
+        )
         window = _window_methods(dataset, seed=seed)
         result.add(
-            dataset.name, "Window", window["Det"], window["Imp"], window["Rewr"], window["MCDB20"]
+            dataset.name,
+            "Window",
+            window["Det"],
+            window["Imp"],
+            window["Imp-Col"],
+            window["Rewr"],
+            window["MCDB20"],
         )
     return result
 
@@ -579,6 +613,59 @@ def fig19_realworld_window_quality(*, scale: float = 0.05, seed: int = 0) -> Exp
     return result
 
 
+# ---------------------------------------------------------------------------
+# Pipeline — multi-operator RA⁺ plans on both backends
+# ---------------------------------------------------------------------------
+
+
+def pipeline_scaling(*, sizes: Sequence[int] = (64, 128, 256, 512), seed: int = 0) -> ExperimentResult:
+    """Multi-operator pipeline (select -> join -> project -> window) per backend.
+
+    ``Imp`` materialises a row-major relation between every stage; ``Imp-Col``
+    runs the identical plan as a :class:`~repro.columnar.plan.ColumnarPlan`
+    chain that stays columnar until the terminal window stage.  Results are
+    bit-identical (``smoke_backends.py`` asserts it); without NumPy the
+    columnar column degrades to ``-``.
+    """
+    from repro.workloads.pipeline import (
+        pipeline_inputs,
+        run_pipeline_columnar,
+        run_pipeline_python,
+    )
+
+    result = ExperimentResult(
+        name="pipeline",
+        description="Multi-operator RA+ pipeline runtime (ms): select -> join -> project -> window",
+        headers=["Size", "Imp", "Imp-Col", "speedup"],
+    )
+    # Warm both runners once so one-time import / kernel setup costs do not
+    # land in the smallest size's timing.
+    warm_fact, warm_dim, warm_threshold = pipeline_inputs(min(sizes), seed=seed)
+    run_pipeline_python(warm_fact, warm_dim, warm_threshold)
+    try:
+        run_pipeline_columnar(warm_fact, warm_dim, warm_threshold)
+    except ImportError:  # pragma: no cover - environment dependent
+        pass
+    for size in sizes:
+        fact, dim, threshold = pipeline_inputs(size, seed=seed)
+        _, imp_ms = timed_ms(lambda: run_pipeline_python(fact, dim, threshold))
+        imp_col_ms: object = "-"
+        speedup: object = "-"
+        try:
+            from repro.columnar.relation import ColumnarAURelation
+        except ImportError:
+            pass
+        else:
+            columnar_fact = ColumnarAURelation.from_relation(fact)
+            columnar_dim = ColumnarAURelation.from_relation(dim)
+            _, imp_col_ms = timed_ms(
+                lambda: run_pipeline_columnar(columnar_fact, columnar_dim, threshold)
+            )
+            speedup = imp_ms / imp_col_ms if imp_col_ms else float("inf")
+        result.add(size, imp_ms, imp_col_ms, speedup)
+    return result
+
+
 #: Registry used by the CLI: experiment id -> driver.
 ALL_EXPERIMENTS = {
     "heap_table": heap_table,
@@ -591,4 +678,5 @@ ALL_EXPERIMENTS = {
     "fig17": fig17_realworld_performance,
     "fig18": fig18_realworld_sort_quality,
     "fig19": fig19_realworld_window_quality,
+    "pipeline": pipeline_scaling,
 }

@@ -1,0 +1,100 @@
+"""Multi-operator ``RA⁺`` + window pipeline workload (backend benchmark).
+
+The figure benchmarks time single operators; this workload times a whole
+query plan — the composition the AU-DB closure theorems are about:
+
+    ``select(v >= t, fact) ⋈_g dim  →  π(o, v)  →  sum(v) OVER (ORDER BY o
+    ROWS 2 PRECEDING)``
+
+Two runners execute the identical plan:
+
+* :func:`run_pipeline_python` — the tuple-at-a-time operators of
+  :mod:`repro.core.operators` plus the native window sweep, materialising a
+  row-major :class:`~repro.core.relation.AURelation` between every stage, and
+* :func:`run_pipeline_columnar` — a :class:`~repro.columnar.plan.ColumnarPlan`
+  chain that stays in the columnar layout from ingest to the terminal window
+  stage (no intermediate row-major materialisation).
+
+The results are bit-identical; ``benchmarks/smoke_backends.py`` asserts it
+and ``benchmarks/bench_pipeline_ops.py`` / the ``pipeline`` harness id
+measure the speedup.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.expressions import attr, const
+from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation
+from repro.window.spec import WindowSpec
+from repro.workloads.synthetic import SyntheticConfig, as_audb, generate_window_table
+
+__all__ = [
+    "PIPELINE_WINDOW",
+    "pipeline_inputs",
+    "run_pipeline_python",
+    "run_pipeline_columnar",
+]
+
+#: Terminal stage of the pipeline: a trailing sum over the order attribute.
+PIPELINE_WINDOW = WindowSpec(
+    function="sum", attribute="v", output="w_sum", order_by=("o",), frame=(-2, 0)
+)
+
+#: Number of dimension-table categories (fact rows spread across them).
+_CATEGORIES = 8
+
+
+def pipeline_inputs(
+    rows: int, *, seed: int = 0, uncertainty: float = 0.05
+) -> tuple[AURelation, AURelation, int]:
+    """``(fact, dim, threshold)`` inputs of the pipeline at a given size.
+
+    ``fact`` is the Fig. 15 window workload (schema ``(rid, o, g, v)``,
+    uncertain rows carry ranges on ``o``, ``g`` and ``v``); ``dim`` covers
+    five of the eight ``g`` categories — one with an uncertain key, so the
+    join exercises possible matches — and the selection threshold keeps
+    roughly half of the fact rows.
+    """
+    config = SyntheticConfig(
+        rows=rows,
+        uncertainty=uncertainty,
+        attribute_range=max(4, rows // 2),
+        domain=10 * rows,
+        seed=seed,
+    )
+    fact = as_audb(generate_window_table(config, partitions=_CATEGORIES))
+    rng = random.Random(seed + 7)
+    dim = AURelation.from_rows(["g", "w"], [])
+    for g in range(5):
+        key = RangeValue(g, g, g + 1) if g == 0 else g
+        dim.add_values([key, rng.randint(0, 100)], 1)
+    return fact, dim, config.domain // 2
+
+
+def run_pipeline_python(fact: AURelation, dim: AURelation, threshold: int) -> AURelation:
+    """The plan on the tuple-at-a-time backend (row-major between stages)."""
+    from repro.core.operators import join, project, select
+    from repro.window.native import window_native
+
+    filtered = select(fact, attr("v").ge(const(threshold)))
+    joined = join(filtered, dim, on=["g"])
+    projected = project(joined, ["o", "v"])
+    return window_native(projected, PIPELINE_WINDOW)
+
+
+def run_pipeline_columnar(fact, dim, threshold: int) -> AURelation:
+    """The identical plan as a columnar chain (row-major only at the boundary).
+
+    Accepts either relation layout for both inputs (benchmarks pre-convert).
+    """
+    from repro.columnar.plan import ColumnarPlan
+
+    return (
+        ColumnarPlan(fact)
+        .select(attr("v").ge(const(threshold)))
+        .join(ColumnarPlan(dim), on=["g"])
+        .project(["o", "v"])
+        .window(PIPELINE_WINDOW)
+    )

@@ -17,6 +17,7 @@ __all__ = [
     "multiplicities",
     "au_relations",
     "lifted_au_relations",
+    "object_au_relations",
     "window_frames",
 ]
 
@@ -129,6 +130,50 @@ def au_relations(
         values = [
             draw(range_values(min_value=min_value, max_value=max_value)) for _ in attributes
         ]
+        relation.add_values(values, draw(multiplicities(max_count=max_count)))
+    return relation
+
+
+#: Scalar pools for object-dtype columns; each pool is internally comparable
+#: under the domain order (``None`` before everything, ``bool`` as ``int``).
+_OBJECT_POOLS = (
+    ["p", "q", "r", "s"],
+    [None, 0, 1, 2],
+    [False, True, 1, 2],
+)
+
+
+@st.composite
+def object_au_relations(
+    draw,
+    *,
+    attributes: tuple[str, ...] = ("a", "b"),
+    max_tuples: int = 5,
+    max_count: int = 2,
+    pool: list | None = None,
+) -> AURelation:
+    """AU-relations whose last attribute is stored as an ``object`` column.
+
+    The first attributes carry integer ranges; the last draws from one pool
+    per relation — strings, ``None``/int mixes, or bool/int mixes — so the
+    columnar backend exercises its object-dtype fallbacks (scalar expression
+    evaluation, dict-coded equality grouping) against the Python backend.
+    Pass an explicit ``pool`` when two relations must stay mutually
+    comparable (e.g. join keys).
+    """
+    from repro.relational.sort import sort_key_value
+
+    if pool is None:
+        pool = draw(st.sampled_from(_OBJECT_POOLS))
+    relation = AURelation(Schema(attributes))
+    count = draw(st.integers(min_value=0, max_value=max_tuples))
+    for _ in range(count):
+        values = [draw(range_values()) for _ in attributes[:-1]]
+        bounds = sorted(
+            draw(st.lists(st.sampled_from(pool), min_size=3, max_size=3)),
+            key=sort_key_value,
+        )
+        values.append(RangeValue(bounds[0], bounds[1], bounds[2]))
         relation.add_values(values, draw(multiplicities(max_count=max_count)))
     return relation
 

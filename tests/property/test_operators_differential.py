@@ -1,0 +1,287 @@
+"""Differential properties: Python vs columnar ``RA⁺`` operators, plus a det oracle.
+
+Two independent checks over randomized AU-relations (including object-dtype
+columns, bag multiplicities with ``ub > 1``, and empty results):
+
+* **backend agreement** — every operator of :mod:`repro.core.operators` must
+  produce bit-identical relations on ``backend="python"`` and
+  ``backend="columnar"`` (same hypercubes, same ``N³`` annotations), which
+  pins the vectorized expression evaluator, the hash-grouped duplicate
+  merging, and the bulk product expansion of :mod:`repro.columnar.operators`
+  against the tuple-at-a-time reference; and
+* **det-world soundness** — the selected-guess world of the inputs is a
+  deterministic world bounded by them, so by bound preservation (Theorems of
+  [23, 24]) the AU output must bound the deterministic operator applied to
+  that world.  The bounding oracle is the exact tuple-matching check of
+  :mod:`repro.core.bounding` — independent of both uncertain backends.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounding import bounds_world
+from repro.core.expressions import IfThenElse, attr, const
+from repro.core.operators import cross, distinct, extend, join, project, select, union
+from repro.core.relation import AURelation
+from repro.relational import operators as det_ops
+from repro.relational.relation import Relation
+
+from tests.property.strategies import au_relations, object_au_relations
+
+pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+
+SETTINGS = settings(max_examples=80, deadline=None)
+
+
+def assert_same_relation(python_result: AURelation, columnar_result: AURelation) -> None:
+    assert python_result.schema == columnar_result.schema
+    assert python_result._rows == columnar_result._rows
+
+
+def sg_world(relation: AURelation) -> Relation:
+    """The selected-guess world as a deterministic bag relation."""
+    world = Relation(relation.schema)
+    for row, mult in relation.selected_guess_rows().items():
+        world.add(row, mult)
+    return world
+
+
+# -- predicate / expression strategies --------------------------------------
+
+
+@st.composite
+def numeric_predicates(draw):
+    """Small random predicates over the integer attributes ``a`` and ``b``."""
+    operands = [attr("a"), attr("b"), const(draw(st.integers(-4, 4)))]
+    ops = ["lt", "le", "gt", "ge", "eq", "ne"]
+
+    def comparison():
+        left = draw(st.sampled_from(operands))
+        right = draw(st.sampled_from(operands))
+        return getattr(left, draw(st.sampled_from(ops)))(right)
+
+    predicate = comparison()
+    if draw(st.booleans()):
+        connective = draw(st.sampled_from(["and_", "or_"]))
+        predicate = getattr(predicate, connective)(comparison())
+    if draw(st.booleans()):
+        predicate = predicate.not_()
+    return predicate
+
+
+@st.composite
+def numeric_expressions(draw):
+    """Small random scalar expressions over ``a`` and ``b``."""
+    base = [attr("a"), attr("b"), const(draw(st.integers(-3, 3)))]
+    left = draw(st.sampled_from(base))
+    right = draw(st.sampled_from(base))
+    op = draw(st.sampled_from(["+", "-", "*", "ite"]))
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    return IfThenElse(attr("a").lt(attr("b")), left, right)
+
+
+# -- backend agreement ------------------------------------------------------
+
+
+@SETTINGS
+@given(relation=au_relations(attributes=("a", "b")), predicate=numeric_predicates())
+def test_select_backends_agree(relation, predicate):
+    assert_same_relation(
+        select(relation, predicate), select(relation, predicate, backend="columnar")
+    )
+
+
+@SETTINGS
+@given(relation=object_au_relations(attributes=("a", "b")), constant=st.integers(-1, 3))
+def test_select_backends_agree_object_columns(relation, constant):
+    """Object-dtype columns route through the scalar fallback, bit for bit."""
+    predicate = attr("a").le(const(constant))
+    assert_same_relation(
+        select(relation, predicate), select(relation, predicate, backend="columnar")
+    )
+    equality = attr("b").eq(attr("b"))
+    assert_same_relation(
+        select(relation, equality), select(relation, equality, backend="columnar")
+    )
+
+
+@SETTINGS
+@given(
+    relation=au_relations(attributes=("a", "b", "c")),
+    attributes=st.sampled_from([("a",), ("b",), ("c", "a"), ("b", "c"), ("a", "b", "c"), ()]),
+)
+def test_project_backends_agree(relation, attributes):
+    assert_same_relation(
+        project(relation, list(attributes)),
+        project(relation, list(attributes), backend="columnar"),
+    )
+
+
+@SETTINGS
+@given(relation=object_au_relations(attributes=("a", "b")))
+def test_project_backends_agree_object_columns(relation):
+    """Dict-coded equality grouping must merge exactly like RangeValue.__eq__."""
+    assert_same_relation(
+        project(relation, ["b"]), project(relation, ["b"], backend="columnar")
+    )
+
+
+@SETTINGS
+@given(relation=au_relations(attributes=("a", "b")), expression=numeric_expressions())
+def test_extend_backends_agree(relation, expression):
+    assert_same_relation(
+        extend(relation, "x", expression),
+        extend(relation, "x", expression, backend="columnar"),
+    )
+
+
+@SETTINGS
+@given(
+    left=au_relations(attributes=("a", "b")),
+    right=au_relations(attributes=("a", "b")),
+)
+def test_union_backends_agree(left, right):
+    assert_same_relation(union(left, right), union(left, right, backend="columnar"))
+
+
+@SETTINGS
+@given(
+    left=object_au_relations(attributes=("a", "b")),
+    right=object_au_relations(attributes=("a", "b")),
+)
+def test_union_backends_agree_object_columns(left, right):
+    assert_same_relation(union(left, right), union(left, right, backend="columnar"))
+
+
+@SETTINGS
+@given(relation=au_relations(attributes=("a", "b"), max_count=3))
+def test_distinct_backends_agree(relation):
+    assert_same_relation(distinct(relation), distinct(relation, backend="columnar"))
+
+
+@SETTINGS
+@given(
+    left=au_relations(attributes=("a", "b"), max_tuples=4),
+    right=au_relations(attributes=("b", "c"), max_tuples=3),
+)
+def test_cross_backends_agree(left, right):
+    """Shared attribute names exercise the ``_r`` suffix disambiguation too."""
+    assert_same_relation(cross(left, right), cross(left, right, backend="columnar"))
+
+
+@SETTINGS
+@given(
+    left=au_relations(attributes=("k", "a"), max_tuples=4),
+    right=au_relations(attributes=("k", "b"), max_tuples=3),
+)
+def test_join_on_backends_agree(left, right):
+    assert_same_relation(
+        join(left, right, on=["k"]), join(left, right, on=["k"], backend="columnar")
+    )
+
+
+@SETTINGS
+@given(
+    left=object_au_relations(attributes=("a", "k"), max_tuples=4, pool=["p", "q", "r"]),
+    right=object_au_relations(attributes=("b", "k"), max_tuples=3, pool=["p", "q", "r"]),
+)
+def test_join_on_backends_agree_object_keys(left, right):
+    """Object-dtype join keys take the scalar per-pair equality path."""
+    assert_same_relation(
+        join(left, right, on=["k"]), join(left, right, on=["k"], backend="columnar")
+    )
+
+
+@SETTINGS
+@given(
+    left=au_relations(attributes=("a", "b"), max_tuples=4),
+    right=au_relations(attributes=("c",), max_tuples=3),
+)
+def test_join_predicate_backends_agree(left, right):
+    predicate = attr("a").lt(attr("c")).or_(attr("b").eq(attr("c")))
+    assert_same_relation(
+        join(left, right, predicate), join(left, right, predicate, backend="columnar")
+    )
+
+
+def test_empty_results_agree_on_both_backends():
+    relation = AURelation.from_rows(["a", "b"], [((1, 2), (1, 1, 1)), ((3, 4), (0, 1, 2))])
+    never = attr("a").gt(const(100))
+    for backend in ("python", "columnar"):
+        result = select(relation, never, backend=backend)
+        assert result.is_empty()
+        assert result.schema == relation.schema
+    other = AURelation.from_rows(["c"], [((200,), 1)])
+    for backend in ("python", "columnar"):
+        joined = join(relation, other, attr("a").gt(attr("c")), backend=backend)
+        assert joined.is_empty()
+    empty = AURelation.from_rows(["a", "b"], [])
+    for backend in ("python", "columnar"):
+        assert project(empty, ["a"], backend=backend).is_empty()
+        assert distinct(empty, backend=backend).is_empty()
+        assert cross(empty, relation, backend=backend).is_empty()
+
+
+# -- det-world soundness oracle ---------------------------------------------
+
+ORACLE_SETTINGS = settings(max_examples=40, deadline=None)
+
+
+@ORACLE_SETTINGS
+@given(relation=au_relations(attributes=("a", "b"), max_tuples=4), predicate=numeric_predicates())
+def test_select_bounds_selected_guess_world(relation, predicate):
+    result = select(relation, predicate, backend="columnar")
+    expected = det_ops.select(sg_world(relation), predicate)
+    assert bounds_world(result, expected)
+
+
+@ORACLE_SETTINGS
+@given(
+    relation=au_relations(attributes=("a", "b"), max_tuples=4),
+    attributes=st.sampled_from([("a",), ("b",), ("b", "a")]),
+)
+def test_project_bounds_selected_guess_world(relation, attributes):
+    result = project(relation, list(attributes), backend="columnar")
+    expected = det_ops.project(sg_world(relation), list(attributes))
+    assert bounds_world(result, expected)
+
+
+@ORACLE_SETTINGS
+@given(
+    left=au_relations(attributes=("k", "a"), max_tuples=3),
+    right=au_relations(attributes=("k", "b"), max_tuples=3),
+)
+def test_join_bounds_selected_guess_world(left, right):
+    result = join(left, right, on=["k"], backend="columnar")
+    expected = det_ops.join(sg_world(left), sg_world(right), on=["k"])
+    assert bounds_world(result, expected)
+
+
+@ORACLE_SETTINGS
+@given(
+    left=au_relations(attributes=("a", "b"), max_tuples=3),
+    right=au_relations(attributes=("a", "b"), max_tuples=3),
+)
+def test_union_bounds_selected_guess_world(left, right):
+    result = union(left, right, backend="columnar")
+    expected = det_ops.union(sg_world(left), sg_world(right))
+    assert bounds_world(result, expected)
+
+
+@ORACLE_SETTINGS
+@given(relation=au_relations(attributes=("a", "b"), max_tuples=4, max_count=3))
+def test_distinct_bounds_selected_guess_world(relation):
+    result = distinct(relation, backend="columnar")
+    world = sg_world(relation)
+    expected = Relation(world.schema)
+    for row, _mult in world:
+        expected.add(row, 1)
+    assert bounds_world(result, expected)

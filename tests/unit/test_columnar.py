@@ -127,6 +127,70 @@ class TestKernels:
         # 7 by everything.
         assert emission_schedule(earliest_rank, latest_rank).tolist() == [2, 2, 3]
 
+    def test_expand_ranges_concatenates_aranges(self):
+        import numpy as np
+
+        from repro.columnar.kernels import expand_ranges
+
+        starts = np.array([0, 3, 5], dtype=np.int64)
+        stops = np.array([2, 3, 8], dtype=np.int64)
+        assert expand_ranges(starts, stops).tolist() == [0, 1, 5, 6, 7]
+        assert expand_ranges(starts[:0], stops[:0]).tolist() == []
+
+    def test_frame_member_index_matches_mask_kernels(self):
+        """The searchsorted pair sweep agrees with the reference mask kernels.
+
+        ``certain_frame_members`` / ``possible_frame_members`` stay in the
+        kernel module as the quadratic reference implementation; the
+        position-sorted :class:`FrameMemberIndex` must reproduce their
+        member sets pair for pair on randomized position intervals.
+        """
+        import random
+
+        import numpy as np
+
+        from repro.columnar.kernels import (
+            FrameMemberIndex,
+            certain_frame_members,
+            possible_frame_members,
+        )
+
+        rng = random.Random(0)
+        for trial in range(25):
+            m = rng.randint(0, 12)
+            preceding = rng.randint(0, 3)
+            pos_lb = np.array([rng.randint(0, 10) for _ in range(m)], dtype=np.int64)
+            pos_ub = pos_lb + np.array(
+                [rng.randint(0, 4) for _ in range(m)], dtype=np.int64
+            )
+            certain = np.array([rng.random() < 0.5 for _ in range(m)], dtype=bool)
+
+            index = FrameMemberIndex(pos_lb, pos_ub, preceding)
+            assert index.pair_counts(pos_lb, pos_ub).tolist() == (
+                possible_frame_members(pos_lb, pos_ub, pos_lb, pos_ub, preceding)
+                .sum(axis=1)
+                .tolist()
+            )
+            query, member = index.member_pairs(pos_lb, pos_ub)
+            got_possible = set(zip(query.tolist(), member.tolist()))
+            expected_mask = possible_frame_members(pos_lb, pos_ub, pos_lb, pos_ub, preceding)
+            expected_possible = set(zip(*np.nonzero(expected_mask))) if m else set()
+            assert got_possible == {(int(a), int(b)) for a, b in expected_possible}
+
+            cert_flags = (
+                certain[member]
+                & (pos_lb[member] >= pos_ub[query] - preceding)
+                & (pos_ub[member] <= pos_lb[query])
+            )
+            got_certain = set(
+                zip(query[cert_flags].tolist(), member[cert_flags].tolist())
+            )
+            cert_mask = certain_frame_members(
+                pos_lb, pos_ub, pos_lb, pos_ub, certain, preceding
+            )
+            expected_certain = set(zip(*np.nonzero(cert_mask))) if m else set()
+            assert got_certain == {(int(a), int(b)) for a, b in expected_certain}
+
 
 class TestSortColumnar:
     def test_matches_rewrite_on_running_example(self):

@@ -1,0 +1,236 @@
+"""Unit tests for the columnar RA⁺ kernels and the plan-composition helper."""
+
+import pytest
+
+pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+
+from repro.columnar.operators import select as col_select
+from repro.columnar.plan import ColumnarPlan
+from repro.columnar.relation import ColumnarAURelation
+from repro.core.booleans import RangeBool
+from repro.core.expressions import attr, const
+from repro.core.operators import cross, distinct, extend, join, project, select, union
+from repro.core.ranges import RangeValue
+from repro.core.relation import AURelation
+from repro.errors import ExpressionError, OperatorError, SchemaError
+from repro.window.spec import WindowSpec
+
+
+def people():
+    return AURelation.from_rows(
+        ["name", "age"],
+        [
+            (("ann", 30), (1, 1, 1)),
+            (("bob", RangeValue(20, 25, 40)), (0, 1, 2)),
+            (("cyd", RangeValue(10, 15, 20)), (1, 2, 2)),
+        ],
+    )
+
+
+def assert_same(left: AURelation, right: AURelation) -> None:
+    assert left.schema == right.schema
+    assert left._rows == right._rows
+
+
+class TestBackendDispatch:
+    def test_unknown_backend_raises(self):
+        relation = people()
+        with pytest.raises(OperatorError, match="unknown operator backend"):
+            select(relation, attr("age").lt(30), backend="vectorised")
+        with pytest.raises(OperatorError, match="unknown operator backend"):
+            project(relation, ["age"], backend="")
+
+    def test_columnar_backend_accepts_either_layout(self):
+        relation = people()
+        columnar = ColumnarAURelation.from_relation(relation)
+        predicate = attr("age").ge(const(25))
+        assert_same(
+            select(relation, predicate, backend="columnar"),
+            select(columnar, predicate, backend="columnar"),
+        )
+
+    def test_callable_predicates_take_the_scalar_fallback(self):
+        relation = people()
+
+        def young(tup) -> RangeBool:
+            return tup.value("age").lt(RangeValue.certain(26))
+
+        assert_same(select(relation, young), select(relation, young, backend="columnar"))
+
+    def test_select_rejects_scalar_expression_shaped_like_python_backend(self):
+        relation = people()
+        # A bare attribute is not a predicate; both backends filter on
+        # component truthiness (Multiplicity.filter reads .lb/.sg/.ub).
+        assert_same(
+            select(relation, attr("age")), select(relation, attr("age"), backend="columnar")
+        )
+
+
+class TestColumnarKernels:
+    def test_select_filters_multiplicity_components(self):
+        columnar = ColumnarAURelation.from_relation(people())
+        result = col_select(columnar, attr("age").le(const(25)))
+        assert isinstance(result, ColumnarAURelation)
+        rows = result.to_relation()
+        bob = next(tup for tup, _m in rows if tup.value("name").sg == "bob")
+        # bob's age range [20/25/40] is possibly and sg-true but not certain.
+        assert rows.multiplicity(bob).lb == 0
+        assert rows.multiplicity(bob).sg == 1
+
+    def test_project_merges_equal_hypercubes(self):
+        relation = AURelation.from_rows(
+            ["a", "b"], [((1, 1), (1, 1, 1)), ((1, 2), (0, 1, 2)), ((2, 3), 1)]
+        )
+        assert_same(project(relation, ["a"]), project(relation, ["a"], backend="columnar"))
+        merged = project(relation, ["a"], backend="columnar")
+        assert len(merged) == 2
+
+    def test_project_to_empty_schema_merges_everything(self):
+        relation = people()
+        assert_same(project(relation, []), project(relation, [], backend="columnar"))
+
+    def test_extend_rejects_existing_attribute(self):
+        relation = people()
+        with pytest.raises(SchemaError):
+            extend(relation, "age", attr("age") + const(1), backend="columnar")
+
+    def test_extend_rejects_predicate_expressions(self):
+        with pytest.raises(ExpressionError):
+            extend(people(), "x", attr("age").lt(30), backend="columnar")
+
+    def test_union_requires_identical_schemas(self):
+        with pytest.raises(SchemaError):
+            union(people(), AURelation.from_rows(["x"], []), backend="columnar")
+
+    def test_distinct_caps_triples(self):
+        relation = AURelation.from_rows(["a"], [((1,), (2, 3, 4)), ((2,), (0, 0, 2))])
+        assert_same(distinct(relation), distinct(relation, backend="columnar"))
+
+    def test_join_requires_condition(self):
+        with pytest.raises(OperatorError):
+            join(people(), people(), backend="columnar")
+
+    def test_join_on_missing_attribute_raises(self):
+        with pytest.raises(SchemaError):
+            join(people(), people(), on=["salary"], backend="columnar")
+
+    def test_cross_disambiguates_without_capturing(self):
+        left = AURelation.from_rows(["a"], [((1,), 1)])
+        right = AURelation.from_rows(["a", "a_r"], [((2, 3), 1)])
+        result = cross(left, right, backend="columnar")
+        assert result.schema.attributes == ("a", "a_r_r", "a_r")
+        assert_same(cross(left, right), result)
+
+    def test_huge_integers_stay_exact_via_the_scalar_fallback(self):
+        """Components beyond float64's exact range must not round anywhere."""
+        big = 2**60
+        relation = AURelation.from_rows(
+            ["a", "b"],
+            [((big, 1.5), 1), ((RangeValue(-big, 0, big), 2.0), (0, 1, 1))],
+        )
+        expression = attr("a") * const(3)
+        assert_same(
+            extend(relation, "x", expression),
+            extend(relation, "x", expression, backend="columnar"),
+        )
+        predicate = attr("a").gt(attr("b"))
+        assert_same(
+            select(relation, predicate), select(relation, predicate, backend="columnar")
+        )
+        assert_same(
+            join(relation, relation, on=["a"]),
+            join(relation, relation, on=["a"], backend="columnar"),
+        )
+
+    def test_nan_rows_never_merge(self):
+        """NaN equals nothing (itself included), so NaN rows stay distinct.
+
+        Bit-for-bit dict comparison is impossible for NaN hypercubes (their
+        hashes are identity-based), so this checks the structural agreement:
+        both backends keep the same row count and annotation totals.
+        """
+        nan = float("nan")
+        relation = AURelation(people().schema.project(["age"]).rename({"age": "v"}))
+        relation.add_values([RangeValue(nan, nan, nan)], 1)
+        relation.add_values([1.0], 2)
+        python_result = project(relation, ["v"])
+        columnar_result = project(relation, ["v"], backend="columnar")
+        assert python_result.schema == columnar_result.schema
+        assert len(python_result) == len(columnar_result) == 2
+        assert python_result.total_possible == columnar_result.total_possible == 3
+
+
+class TestColumnarPlan:
+    def test_stages_stay_columnar_until_the_boundary(self):
+        plan = ColumnarPlan(people()).select(attr("age").ge(const(20))).project(["age"])
+        assert isinstance(plan.columnar(), ColumnarAURelation)
+        result = plan.relation()
+        assert isinstance(result, AURelation)
+        assert_same(project(select(people(), attr("age").ge(const(20))), ["age"]), result)
+
+    def test_full_chain_matches_python_operator_chain(self):
+        orders = AURelation.from_rows(
+            ["o", "g", "v"],
+            [
+                ((1, 0, 10), (1, 1, 1)),
+                ((RangeValue(2, 2, 3), RangeValue(0, 0, 1), 20), (0, 1, 1)),
+                ((3, 1, 30), (1, 1, 2)),
+                ((4, 2, 40), (1, 1, 1)),
+            ],
+        )
+        dims = AURelation.from_rows(["g", "w"], [((0, 5), 1), ((1, 7), 1)])
+        spec = WindowSpec(
+            function="sum", attribute="v", output="s", order_by=("o",), frame=(-1, 0)
+        )
+        predicate = attr("v").ge(const(15))
+
+        from repro.window.native import window_native
+
+        expected = window_native(
+            project(join(select(orders, predicate), dims, on=["g"]), ["o", "v"]), spec
+        )
+        result = (
+            ColumnarPlan(orders)
+            .select(predicate)
+            .join(ColumnarPlan(dims), on=["g"])
+            .project(["o", "v"])
+            .window(spec)
+        )
+        assert_same(expected, result)
+
+    def test_plan_sort_and_topk_are_terminal(self):
+        from repro.ranking.topk import sort as au_sort, topk as au_topk
+
+        relation = people()
+        plan = ColumnarPlan(relation)
+        assert_same(au_sort(relation, ["age"], method="native"), plan.sort(["age"]))
+        assert_same(au_topk(relation, ["age"], 2, method="native"), plan.topk(["age"], 2))
+
+    def test_plan_topk_rejects_negative_k(self):
+        with pytest.raises(OperatorError, match="non-negative"):
+            ColumnarPlan(people()).topk(["age"], -1)
+
+    def test_union_cross_accept_plans_and_relations(self):
+        relation = people()
+        by_plan = ColumnarPlan(relation).union(ColumnarPlan(relation)).relation()
+        by_relation = ColumnarPlan(relation).union(relation).relation()
+        assert_same(by_plan, by_relation)
+        assert_same(union(relation, relation), by_plan)
+        assert_same(
+            cross(relation, relation), ColumnarPlan(relation).cross(relation).relation()
+        )
+
+    def test_rename_and_extend_stages(self):
+        relation = people()
+        result = (
+            ColumnarPlan(relation)
+            .extend("age2", attr("age") * const(2))
+            .rename({"age2": "double_age"})
+            .relation()
+        )
+        from repro.core.operators import rename as row_rename
+
+        expected = row_rename(
+            extend(relation, "age2", attr("age") * const(2)), {"age2": "double_age"}
+        )
+        assert_same(expected, result)

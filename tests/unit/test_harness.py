@@ -85,6 +85,7 @@ class TestExperimentsRegistry:
             "fig17",
             "fig18",
             "fig19",
+            "pipeline",
         }
         assert expected == set(ALL_EXPERIMENTS)
 

@@ -61,6 +61,24 @@ class TestDerivation:
         with pytest.raises(SchemaError):
             Schema(["a"]).concat(Schema(["a"]))
 
+    def test_concat_suffix_never_captures_a_right_attribute(self):
+        """A suffixed clash must not steal the name of another right column.
+
+        ``(a) x (a, a_r)``: the right ``a`` clashes and ``a_r`` is taken by an
+        original right attribute, so the rename skips ahead to ``a_r_r`` and
+        the original ``a_r`` keeps its own name.
+        """
+        combined = Schema(["a"]).concat(Schema(["a", "a_r"]), disambiguate=True)
+        assert combined == Schema(["a", "a_r_r", "a_r"])
+
+    def test_concat_suffix_skips_left_suffix_collisions(self):
+        combined = Schema(["a", "a_r"]).concat(Schema(["a"]), disambiguate=True)
+        assert combined == Schema(["a", "a_r", "a_r_r"])
+
+    def test_concat_clash_error_names_both_schemas(self):
+        with pytest.raises(SchemaError, match=r"cannot concatenate schemas"):
+            Schema(["a"]).concat(Schema(["a"]))
+
     def test_drop(self):
         assert Schema(["a", "b", "c"]).drop(["b"]) == Schema(["a", "c"])
         with pytest.raises(SchemaError):
