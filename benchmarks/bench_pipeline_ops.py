@@ -1,33 +1,52 @@
-"""Multi-operator pipeline microbenchmark (both execution backends).
+"""Multi-operator pipeline microbenchmarks (both execution backends).
 
-Times the whole ``select -> join -> project -> window`` plan of
-:mod:`repro.workloads.pipeline` per backend:
+Times whole ``RA⁺`` plans of :mod:`repro.workloads.pipeline` per backend:
 
-* ``test_imp_pipeline`` — tuple-at-a-time operators, a row-major
-  :class:`~repro.core.relation.AURelation` materialised between every stage;
-* ``test_imp_columnar_pipeline`` — the identical plan as a
-  :class:`~repro.columnar.plan.ColumnarPlan` chain over pre-converted
-  columnar inputs, staying columnar until the terminal window stage.
+* ``test_imp_pipeline`` / ``test_imp_columnar_pipeline`` — the
+  ``select -> join -> project -> window`` plan (tuple-at-a-time operators vs
+  a :class:`~repro.columnar.plan.ColumnarPlan` chain over pre-converted
+  columnar inputs);
+* ``test_imp_groupby_pipeline`` / ``test_imp_columnar_groupby_pipeline`` —
+  the ``select -> join -> groupby -> window`` plan, whose grouped-aggregation
+  stage stays columnar between the join and the terminal window;
+* ``test_equijoin_*`` — a large-N equi-join point comparing the Python
+  backend, the columnar pair grid (``O(|L|·|R|)`` memory), and the
+  memory-safe sort/searchsorted path (only match candidates materialise, so
+  it reaches sizes the grid cannot).
 
-Results are bit-identical (``test_backends_agree_bit_for_bit`` pins it here
-at the benchmark sizes; ``smoke_backends.py`` does so in CI); the columnar
-chain should win by several times at the larger sizes.  Harness id:
-``pipeline``.
+Results are bit-identical across backends and join methods (the
+``*_agree_bit_for_bit`` tests pin it here at the benchmark sizes;
+``smoke_backends.py`` does so in CI).  Harness id: ``pipeline``.
 """
 
 import pytest
 
 from repro.workloads.pipeline import (
+    equijoin_inputs,
     pipeline_inputs,
+    run_equijoin_columnar,
+    run_equijoin_python,
+    run_groupby_pipeline_columnar,
+    run_groupby_pipeline_python,
     run_pipeline_columnar,
     run_pipeline_python,
 )
 
 SIZES = [64, 128, 256, 512]
+JOIN_SIZES = [256, 1024]
+JOIN_SIZES_SEARCHSORTED = [256, 1024, 4096]
 
 
 def _inputs(size):
     return pipeline_inputs(size, seed=0)
+
+
+def _columnar(relation):
+    numpy = pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+    del numpy
+    from repro.columnar.relation import ColumnarAURelation
+
+    return ColumnarAURelation.from_relation(relation)
 
 
 @pytest.mark.parametrize("size", SIZES)
@@ -38,14 +57,43 @@ def test_imp_pipeline(benchmark, size):
 
 @pytest.mark.parametrize("size", SIZES)
 def test_imp_columnar_pipeline(benchmark, size):
-    numpy = pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
-    del numpy
-    from repro.columnar.relation import ColumnarAURelation
-
     fact, dim, threshold = _inputs(size)
-    columnar_fact = ColumnarAURelation.from_relation(fact)
-    columnar_dim = ColumnarAURelation.from_relation(dim)
-    benchmark(run_pipeline_columnar, columnar_fact, columnar_dim, threshold)
+    benchmark(run_pipeline_columnar, _columnar(fact), _columnar(dim), threshold)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_imp_groupby_pipeline(benchmark, size):
+    fact, dim, threshold = _inputs(size)
+    benchmark(run_groupby_pipeline_python, fact, dim, threshold)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_imp_columnar_groupby_pipeline(benchmark, size):
+    fact, dim, threshold = _inputs(size)
+    benchmark(run_groupby_pipeline_columnar, _columnar(fact), _columnar(dim), threshold)
+
+
+@pytest.mark.parametrize("size", JOIN_SIZES)
+def test_equijoin_python(benchmark, size):
+    left, right = equijoin_inputs(size)
+    benchmark(run_equijoin_python, left, right)
+
+
+@pytest.mark.parametrize("size", JOIN_SIZES)
+def test_equijoin_columnar_grid(benchmark, size):
+    left, right = equijoin_inputs(size)
+    columnar_left, columnar_right = _columnar(left), _columnar(right)
+    benchmark(lambda: run_equijoin_columnar(columnar_left, columnar_right, method="grid"))
+
+
+@pytest.mark.parametrize("size", JOIN_SIZES_SEARCHSORTED)
+def test_equijoin_columnar_searchsorted(benchmark, size):
+    """Reaches N=4096 (16.8M grid pairs) — the grid kernel stays off this size."""
+    left, right = equijoin_inputs(size)
+    columnar_left, columnar_right = _columnar(left), _columnar(right)
+    benchmark(
+        lambda: run_equijoin_columnar(columnar_left, columnar_right, method="searchsorted")
+    )
 
 
 @pytest.mark.parametrize("size", SIZES)
@@ -57,3 +105,24 @@ def test_backends_agree_bit_for_bit(size):
     columnar_result = run_pipeline_columnar(fact, dim, threshold)
     assert python_result.schema == columnar_result.schema
     assert python_result._rows == columnar_result._rows
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_groupby_backends_agree_bit_for_bit(size):
+    pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+    fact, dim, threshold = _inputs(size)
+    python_result = run_groupby_pipeline_python(fact, dim, threshold)
+    columnar_result = run_groupby_pipeline_columnar(fact, dim, threshold)
+    assert python_result.schema == columnar_result.schema
+    assert python_result._rows == columnar_result._rows
+
+
+@pytest.mark.parametrize("size", JOIN_SIZES)
+def test_equijoin_methods_agree_bit_for_bit(size):
+    pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+    left, right = equijoin_inputs(size)
+    python_result = run_equijoin_python(left, right)
+    grid_result = run_equijoin_columnar(left, right, method="grid")
+    fast_result = run_equijoin_columnar(left, right, method="searchsorted")
+    assert python_result.schema == grid_result.schema == fast_result.schema
+    assert python_result._rows == grid_result._rows == fast_result._rows

@@ -155,8 +155,73 @@ def smoke_pipeline(rows: int) -> int:
     return failures
 
 
+def smoke_groupby(rows: int) -> int:
+    from repro.workloads.pipeline import (
+        pipeline_inputs,
+        run_groupby_pipeline_columnar,
+        run_groupby_pipeline_python,
+    )
+
+    fact, dim, threshold = pipeline_inputs(rows)
+    columnar_fact = ColumnarAURelation.from_relation(fact)
+    columnar_dim = ColumnarAURelation.from_relation(dim)
+
+    failures = 0
+    python_result = run_groupby_pipeline_python(fact, dim, threshold)
+    columnar_result = run_groupby_pipeline_columnar(columnar_fact, columnar_dim, threshold)
+    if not (
+        python_result.schema == columnar_result.schema
+        and python_result._rows == columnar_result._rows
+    ):
+        print("FAIL: select->join->groupby->window pipeline backends diverge")
+        failures += 1
+
+    python_ms = best_of(lambda: run_groupby_pipeline_python(fact, dim, threshold))
+    columnar_ms = best_of(
+        lambda: run_groupby_pipeline_columnar(columnar_fact, columnar_dim, threshold)
+    )
+    failures += _report_speedup("groupby-pipeline", rows, python_ms, columnar_ms)
+    return failures
+
+
+def smoke_equijoin(rows: int) -> int:
+    from repro.workloads.pipeline import (
+        equijoin_inputs,
+        run_equijoin_columnar,
+        run_equijoin_python,
+    )
+
+    left, right = equijoin_inputs(rows)
+    columnar_left = ColumnarAURelation.from_relation(left)
+    columnar_right = ColumnarAURelation.from_relation(right)
+
+    failures = 0
+    python_result = run_equijoin_python(left, right)
+    grid_result = run_equijoin_columnar(columnar_left, columnar_right, method="grid")
+    fast_result = run_equijoin_columnar(columnar_left, columnar_right, method="searchsorted")
+    if not (
+        python_result.schema == grid_result.schema == fast_result.schema
+        and python_result._rows == grid_result._rows == fast_result._rows
+    ):
+        print("FAIL: equi-join python / grid / searchsorted kernels diverge")
+        failures += 1
+
+    python_ms = best_of(lambda: run_equijoin_python(left, right))
+    columnar_ms = best_of(
+        lambda: run_equijoin_columnar(columnar_left, columnar_right, method="searchsorted")
+    )
+    failures += _report_speedup("equijoin", rows, python_ms, columnar_ms)
+    return failures
+
+
 def main(rows: int = 200) -> int:
-    failures = smoke_sort(rows) + smoke_window(rows) + smoke_pipeline(rows)
+    failures = (
+        smoke_sort(rows)
+        + smoke_window(rows)
+        + smoke_pipeline(rows)
+        + smoke_groupby(rows)
+        + smoke_equijoin(rows)
+    )
     if not failures:
         print("OK: backends agree bit-for-bit")
     return failures

@@ -20,10 +20,14 @@ native operators with vectorized kernels:
   the native sweep, and
 * the ``RA⁺`` operators of Fig. 2 (:mod:`repro.columnar.operators`):
   bound-preserving select / project / extend / rename / union / distinct /
-  cross / join, with predicates and scalar expressions evaluated as
-  vectorized interval arithmetic over the aligned bound-component arrays
-  (:mod:`repro.columnar.expressions`; object-dtype columns fall back to the
-  scalar ``eval_range`` row by row).
+  cross / join / groupby_aggregate, with predicates and scalar expressions
+  evaluated as vectorized interval arithmetic over the aligned
+  bound-component arrays (:mod:`repro.columnar.expressions`; object-dtype
+  columns fall back to the scalar ``eval_range`` row by row).  Grouped
+  aggregation runs on lexsort group codes + segmented reductions; equi-joins
+  with a certain key side take a memory-safe sort/searchsorted path
+  (endpoint binary searches materialise only actual match candidates)
+  instead of the ``O(|L|·|R|)`` pair grid.
 
 The public entry points (:func:`repro.ranking.topk.sort`,
 :func:`repro.ranking.native.sort_native`,
@@ -45,11 +49,11 @@ stage, or an explicit ``.relation()``) materialises rows::
     from repro.columnar import ColumnarPlan
 
     result = (
-        ColumnarPlan(orders)                    # AURelation or columnar
-        .select(attr("v").ge(const(10)))        # stays columnar
-        .join(ColumnarPlan(parts), on=["g"])    # stays columnar
-        .project(["o", "v"])                    # stays columnar
-        .window(spec)                           # boundary: row-major result
+        ColumnarPlan(orders)                        # AURelation or columnar
+        .select(attr("v").ge(const(10)))            # stays columnar
+        .join(ColumnarPlan(parts), on=["g"])        # stays columnar
+        .groupby_aggregate(["g"], [("sum", "v", "s")])  # stays columnar
+        .window(spec)                               # boundary: row-major result
     )
 
 NumPy is required only when the columnar backend is actually selected; the

@@ -47,6 +47,7 @@ __all__ = [
     "certainly_precedes_matrix",
     "possibly_precedes_matrix",
     "duplicate_offsets",
+    "interval_point_match_pairs",
     "certain_frame_members",
     "possible_frame_members",
     "expand_ranges",
@@ -438,6 +439,32 @@ class FrameMemberIndex:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty
         return np.concatenate(queries), np.concatenate(members_out)
+
+
+def interval_point_match_pairs(
+    lb: np.ndarray, ub: np.ndarray, points: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(interval, point)`` index pairs with ``points[j]`` inside ``[lb[i], ub[i]]``.
+
+    The memory-safe replacement for the pair-grid equi-join when one side's
+    key column is certain: sorting the point values once turns every
+    interval's possible-overlap match set into a contiguous run bounded by
+    two binary searches (``searchsorted`` on the interval endpoints), so the
+    work is ``O((n + q) log n + matches)`` instead of ``O(n · q)`` pairs.
+
+    Pairs are emitted grouped by interval; callers needing a specific pair
+    order (the join's left-outer / right-inner order) sort the result.
+    Inputs must be NaN-free numeric arrays whose cross-dtype promotion is
+    exact — the callers gate on :class:`~repro.columnar.relation.ComponentProfile`.
+    """
+    order = np.argsort(points, kind="stable")
+    sorted_points = points[order]
+    lo = np.searchsorted(sorted_points, lb, side="left")
+    hi = np.maximum(lo, np.searchsorted(sorted_points, ub, side="right"))
+    counts = hi - lo
+    interval_idx = np.repeat(np.arange(len(lb), dtype=np.int64), counts)
+    point_idx = order[expand_ranges(lo, hi)]
+    return interval_idx, point_idx
 
 
 def sliding_window_sums(values: np.ndarray, window: int) -> np.ndarray:

@@ -7,15 +7,26 @@ from ingest to result — no intermediate row-major
 Only the *plan boundary* converts: the terminal :meth:`~ColumnarPlan.sort` /
 :meth:`~ColumnarPlan.topk` / :meth:`~ColumnarPlan.window` operators (whose
 kernels emit row-major results) and the explicit :meth:`~ColumnarPlan.relation`
-accessor.
+accessor.  Every other stage — including
+:meth:`~ColumnarPlan.groupby_aggregate` — is columnar in, columnar out.
 
+>>> from repro.core.expressions import attr, const
+>>> from repro.core.relation import AURelation
+>>> orders = AURelation.from_rows(
+...     ["o", "g", "v"], [((1, 0, 20), 1), ((2, 0, 5), 1), ((3, 1, 30), 1)]
+... )
+>>> parts = AURelation.from_rows(["g", "w"], [((0, 7), 1), ((1, 9), 1)])
 >>> result = (
 ...     ColumnarPlan(orders)
-...     .select(attr("v").gt(10))
+...     .select(attr("v").gt(const(10)))
 ...     .join(ColumnarPlan(parts), on=["g"])
-...     .project(["o", "v"])
-...     .window(spec)          # terminal: row-major AURelation
+...     .groupby_aggregate(["g"], [("sum", "v", "total")])
+...     .relation()            # boundary: row-major AURelation
 ... )
+>>> for tup, _m in result:
+...     print(tup.value("g"), tup.value("total"))
+0 20
+1 30
 
 Every stage is bit-identical to running the corresponding Python-backend
 operator chain on row-major relations.
@@ -100,8 +111,34 @@ class ColumnarPlan:
         predicate: Expression | Callable[[AUTuple], RangeBool] | None = None,
         *,
         on: Sequence[str] | None = None,
+        method: str = "auto",
     ) -> "ColumnarPlan":
-        return ColumnarPlan(ops.join(self._relation, _unwrap(other), predicate, on=on))
+        """Theta / equi-join against another plan or relation (stays columnar).
+
+        ``method`` picks the pair-enumeration kernel (``"auto"`` selects the
+        memory-safe sort/searchsorted path when the equi-join keys qualify,
+        the exact pair grid otherwise); see
+        :func:`repro.columnar.operators.join`.
+        """
+        return ColumnarPlan(
+            ops.join(self._relation, _unwrap(other), predicate, on=on, method=method)
+        )
+
+    def groupby_aggregate(
+        self,
+        group_by: Sequence[str],
+        aggregates: Sequence[tuple[str, str | None, str]],
+    ) -> "ColumnarPlan":
+        """Grouped aggregation with range-bounded results (stays columnar).
+
+        Unlike the terminal sort / window stages this is a regular ``RA⁺``
+        stage: the aggregated relation remains columnar, so plans can keep
+        chaining (e.g. ``select → join → groupby_aggregate → window``)
+        without an intermediate row-major conversion.  Semantics and
+        ``aggregates`` format as in
+        :func:`repro.core.operators.groupby_aggregate`.
+        """
+        return ColumnarPlan(ops.groupby_aggregate(self._relation, group_by, aggregates))
 
     # -- terminal ranking / window stages (row-major out: plan boundary) ----
 

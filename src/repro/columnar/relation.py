@@ -7,7 +7,14 @@ the ``lb`` / ``sg`` / ``ub`` components of the range-annotated values, plus a
 the ``i``-th distinct range tuple of the source relation (in iteration
 order), so conversions are lossless round trips:
 
+>>> from repro.core.ranges import RangeValue
+>>> from repro.core.relation import AURelation
+>>> audb = AURelation.from_rows(
+...     ["a", "b"], [((1, RangeValue(0, 1, 2)), 1), ((2, 5), (0, 1, 2))]
+... )
 >>> columnar = ColumnarAURelation.from_relation(audb)
+>>> columnar.column("a").lb
+array([1, 2])
 >>> columnar.to_relation()._rows == audb._rows
 True
 

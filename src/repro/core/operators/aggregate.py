@@ -21,6 +21,26 @@ workloads) this semantics is bound preserving in the exact sense of
 Section 3.2; with uncertain group-by attributes it produces sound value
 ranges for the selected-guess groups but, like [24], approximates the set of
 output groups.
+
+The per-group bound arithmetic lives in :func:`count_bounds` /
+:func:`value_aggregate_bounds` so that the columnar backend's scalar
+fallback (:mod:`repro.columnar.operators`) folds contributions through
+*exactly* the same code path as the tuple-at-a-time reference — the two
+backends cannot drift apart on edge-case scalar semantics.
+
+Example (uncertain group membership widens the ``g`` output range):
+
+>>> from repro.core.ranges import RangeValue
+>>> from repro.core.relation import AURelation
+>>> sales = AURelation.from_rows(
+...     ["g", "v"],
+...     [((0, 10), 1), ((RangeValue(0, 1, 1), 20), 1), ((1, 5), 1)],
+... )
+>>> result = groupby_aggregate(sales, ["g"], [("sum", "v", "total"), ("count", "*", "n")])
+>>> for tup, mult in result:
+...     print(tup.value("g"), tup.value("total"), tup.value("n"), mult)
+[0/0/1] [10.0/10/30.0] [1/1/2] (1,1,1)
+[0/1/1] [5.0/25/25.0] [1/2/2] (1,1,1)
 """
 
 from __future__ import annotations
@@ -28,35 +48,77 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.multiplicity import Multiplicity
+from repro.core.operators._dispatch import (
+    as_columnar_input,
+    columnar_operators,
+    require_known_backend,
+)
 from repro.core.ranges import RangeValue, Scalar
 from repro.core.relation import AURelation
 from repro.core.schema import Schema
 from repro.core.tuples import AUTuple
 from repro.errors import OperatorError
 
-__all__ = ["groupby_aggregate"]
+__all__ = [
+    "groupby_aggregate",
+    "validate_aggregate_spec",
+    "count_bounds",
+    "value_aggregate_bounds",
+]
 
 _SUPPORTED = ("sum", "count", "min", "max", "avg")
 
 
-def groupby_aggregate(
-    relation: AURelation,
+def validate_aggregate_spec(
+    schema: Schema,
     group_by: Sequence[str],
     aggregates: Sequence[tuple[str, str | None, str]],
-) -> AURelation:
-    """Group-by aggregation with range-bounded results.
-
-    ``aggregates`` is a list of ``(function, attribute, output_name)``;
-    ``count`` may use ``"*"`` / ``None`` as its attribute.
-    """
-    relation.schema.require(list(group_by))
+) -> None:
+    """Shared argument validation for both backends (same errors, same order)."""
+    schema.require(list(group_by))
     for func, attribute, _name in aggregates:
         if func not in _SUPPORTED:
             raise OperatorError(f"unsupported aggregate {func!r}; supported: {_SUPPORTED}")
         if func != "count" and (attribute is None or attribute == "*"):
             raise OperatorError(f"aggregate {func!r} requires an attribute")
         if attribute is not None and attribute != "*":
-            relation.schema.require([attribute])
+            schema.require([attribute])
+
+
+def groupby_aggregate(
+    relation: AURelation,
+    group_by: Sequence[str],
+    aggregates: Sequence[tuple[str, str | None, str]],
+    *,
+    backend: str = "python",
+) -> AURelation:
+    """Group-by aggregation with range-bounded results.
+
+    ``aggregates`` is a list of ``(function, attribute, output_name)``;
+    ``count`` may use ``"*"`` / ``None`` as its attribute.  Supported
+    functions: ``sum``, ``count``, ``min``, ``max``, ``avg``.
+
+    ``backend="columnar"`` groups through lexicographically dense group codes
+    and evaluates the bounds with segmented NumPy reductions (bit-identical
+    results; accepts either relation layout).  Callers composing several
+    columnar operators should chain
+    :meth:`repro.columnar.plan.ColumnarPlan.groupby_aggregate` instead, which
+    skips the per-call row-major round trip.
+
+    >>> from repro.core.relation import AURelation
+    >>> r = AURelation.from_rows(["g", "v"], [((1, 10), 1), ((1, 5), 1), ((2, 7), 1)])
+    >>> for tup, _m in groupby_aggregate(r, ["g"], [("min", "v", "lo")]):
+    ...     print(tup.value("g"), tup.value("lo"))
+    1 5
+    2 7
+    """
+    require_known_backend(backend)
+    if backend == "columnar":
+        kernels = columnar_operators()
+        return kernels.groupby_aggregate(
+            as_columnar_input(relation), group_by, aggregates
+        ).to_relation()
+    validate_aggregate_spec(relation.schema, group_by, aggregates)
 
     out_schema = Schema(tuple(group_by) + tuple(name for _f, _a, name in aggregates))
 
@@ -73,11 +135,29 @@ def groupby_aggregate(
     for key, sg_members in members.items():
         certain, possible = _classify(all_rows, group_by, key)
         group_values = _group_value_ranges(group_by, key, possible, relation)
+        certain_keys = {id(tup) for tup, _m in certain}
         agg_values: list[RangeValue] = []
         for func, attribute, _name in aggregates:
-            agg_values.append(
-                _aggregate_bounds(func, attribute, key, group_by, certain, possible, sg_members)
-            )
+            if func == "count":
+                agg_values.append(
+                    count_bounds(
+                        [mult for _t, mult in certain],
+                        [mult for _t, mult in possible],
+                        [mult for _t, mult in sg_members],
+                    )
+                )
+            else:
+                assert attribute is not None
+                agg_values.append(
+                    value_aggregate_bounds(
+                        func,
+                        [
+                            (tup.value(attribute), mult, id(tup) in certain_keys)
+                            for tup, mult in possible
+                        ],
+                        [(tup.value(attribute), mult) for tup, mult in sg_members],
+                    )
+                )
         mult = _group_multiplicity(certain, sg_members)
         out.add(AUTuple(out_schema, tuple(group_values) + tuple(agg_values)), mult)
     return out
@@ -141,7 +221,7 @@ def _group_multiplicity(
 
 
 # ---------------------------------------------------------------------------
-# aggregate bounds
+# aggregate bounds (shared with the columnar backend's scalar fallback)
 # ---------------------------------------------------------------------------
 
 
@@ -153,44 +233,57 @@ def _max_product(value: float, low: int, high: int) -> float:
     return value * (high if value >= 0 else low)
 
 
-def _aggregate_bounds(
-    func: str,
-    attribute: str | None,
-    key: tuple[Scalar, ...],
-    group_by: Sequence[str],
-    certain: list[tuple[AUTuple, Multiplicity]],
-    possible: list[tuple[AUTuple, Multiplicity]],
-    sg_members: list[tuple[AUTuple, Multiplicity]],
+def count_bounds(
+    certain_mults: Sequence[Multiplicity],
+    possible_mults: Sequence[Multiplicity],
+    sg_mults: Sequence[Multiplicity],
 ) -> RangeValue:
-    certain_keys = {id(tup) for tup, _m in certain}
+    """``count(*)`` bounds of one group from its member multiplicities.
 
-    if func == "count":
-        lb = sum(mult.lb for _t, mult in certain)
-        ub = sum(mult.ub for _t, mult in possible)
-        sg = sum(mult.sg for _t, mult in sg_members)
-        return _make_range(lb, sg, ub)
+    ``certain_mults`` / ``possible_mults`` are the annotations of the
+    certainly- / possibly-in-group members, ``sg_mults`` those of the
+    selected-guess members (tuples whose selected-guess key equals the
+    group key).
+    """
+    lb = sum(mult.lb for mult in certain_mults)
+    ub = sum(mult.ub for mult in possible_mults)
+    sg = sum(mult.sg for mult in sg_mults)
+    return _make_range(lb, sg, ub)
 
-    assert attribute is not None
+
+def value_aggregate_bounds(
+    func: str,
+    possible: Sequence[tuple[RangeValue, Multiplicity, bool]],
+    sg_members: Sequence[tuple[RangeValue, Multiplicity]],
+) -> RangeValue:
+    """Value-aggregate (``sum``/``min``/``max``/``avg``) bounds of one group.
+
+    ``possible`` holds ``(value, multiplicity, certainly_in_group)`` per
+    possibly-in-group member, in first-occurrence order (float accumulation
+    order is part of the pinned semantics); ``sg_members`` holds
+    ``(value, multiplicity)`` per selected-guess member.  The columnar
+    backend's scalar fallback calls this directly so both backends share one
+    implementation of the bound arithmetic.
+    """
     if func == "sum":
         lb = 0.0
         ub = 0.0
-        for tup, mult in possible:
-            value = tup.value(attribute)
-            if id(tup) in certain_keys:
+        for value, mult, certainly in possible:
+            if certainly:
                 lb += _min_product(value.lb, mult.lb, mult.ub)
                 ub += _max_product(value.ub, mult.lb, mult.ub)
             else:
                 lb += min(0.0, _min_product(value.lb, 0, mult.ub))
                 ub += max(0.0, _max_product(value.ub, 0, mult.ub))
-        sg = sum(tup.value(attribute).sg * mult.sg for tup, mult in sg_members)
+        sg = sum(value.sg * mult.sg for value, mult in sg_members)
         return _make_range(lb, sg, ub)
 
     if func in ("min", "max", "avg"):
-        poss_lbs = [tup.value(attribute).lb for tup, _m in possible]
-        poss_ubs = [tup.value(attribute).ub for tup, _m in possible]
-        cert_lbs = [tup.value(attribute).lb for tup, _m in certain]
-        cert_ubs = [tup.value(attribute).ub for tup, _m in certain]
-        sg_values = [tup.value(attribute).sg for tup, mult in sg_members if mult.sg > 0]
+        poss_lbs = [value.lb for value, _m, _c in possible]
+        poss_ubs = [value.ub for value, _m, _c in possible]
+        cert_lbs = [value.lb for value, _m, certainly in possible if certainly]
+        cert_ubs = [value.ub for value, _m, certainly in possible if certainly]
+        sg_values = [value.sg for value, mult in sg_members if mult.sg > 0]
         if not poss_lbs:
             return RangeValue.certain(None)
         if func == "min":

@@ -1,4 +1,19 @@
-"""Duplicate elimination (set projection) over AU-DB relations."""
+"""Duplicate elimination (set projection) over AU-DB relations.
+
+Bound-preserving under the tuple-matching definition of Section 3.2 (the
+min-cost-flow oracle of :mod:`repro.core.bounding`), which is stricter than
+the naive "cap every triple at one" semantics:
+
+* **certain** (``lb``): a tuple keeps a certain copy only when its hypercube
+  is *disjoint* from every other possibly-existing tuple's hypercube.  Two
+  overlapping range tuples may collapse to the same value in some world, so
+  deduplication leaves a single copy there — neither may claim certainty.
+* **selected guess** (``sg``): deduplication of the selected-guess world —
+  the *first* tuple producing each selected-guess row keeps the copy.
+* **possible** (``ub``): point-valued tuples cap at one copy (all duplicates
+  share the one value).  A range tuple's ``ub`` duplicates may hold ``ub``
+  *distinct* values, so its possible multiplicity survives uncapped.
+"""
 
 from __future__ import annotations
 
@@ -8,23 +23,47 @@ from repro.core.operators._dispatch import (
     columnar_operators,
     require_known_backend,
 )
+from repro.core.ranges import Scalar
 from repro.core.relation import AURelation
 
 __all__ = ["distinct"]
 
 
 def distinct(relation: AURelation, *, backend: str = "python") -> AURelation:
-    """Cap every multiplicity triple at one copy.
+    """Bound-preserving duplicate elimination.
 
-    A tuple that certainly exists keeps a certain multiplicity of one; a tuple
-    that only possibly exists keeps a possible multiplicity of one.  This is
-    the standard bound-preserving duplicate-elimination semantics.
+    A tuple disjoint from every other tuple keeps one certain copy when it
+    certainly exists; overlapping tuples keep only possible copies (they may
+    denote the same value as a neighbour in some world).  The selected-guess
+    annotations form exactly the deduplicated selected-guess world.
+
+    >>> from repro.core.relation import AURelation
+    >>> r = AURelation.from_rows(["a"], [((1,), (2, 3, 4)), ((7,), (0, 1, 2))])
+    >>> [str(m) for _t, m in distinct(r)]
+    ['(1,1,1)', '(0,1,1)']
     """
     require_known_backend(backend)
     if backend == "columnar":
         kernels = columnar_operators()
         return kernels.distinct(as_columnar_input(relation)).to_relation()
+    rows = list(relation)
     out = relation.empty_like()
-    for tup, mult in relation:
-        out.add(tup, Multiplicity(min(1, mult.lb), min(1, mult.sg), min(1, mult.ub)))
+    seen_sg: set[tuple[Scalar, ...]] = set()
+    for i, (tup, mult) in enumerate(rows):
+        overlaps_other = any(
+            i != j
+            and other_mult.possibly_exists
+            and all(a.overlaps(b) for a, b in zip(tup.values, other.values))
+            for j, (other, other_mult) in enumerate(rows)
+        )
+        lb = 1 if mult.lb >= 1 and not overlaps_other else 0
+        sg = 0
+        if mult.sg >= 1:
+            sg_row = tup.sg_row()
+            if sg_row not in seen_sg:
+                seen_sg.add(sg_row)
+                sg = 1
+        point = all(value.is_certain for value in tup.values)
+        ub = min(1, mult.ub) if point else mult.ub
+        out.add(tup, Multiplicity(lb, max(lb, min(sg, ub)), ub))
     return out

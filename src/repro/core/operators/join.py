@@ -55,8 +55,18 @@ def join(
     filtered by the bounding triple of the equality condition.  Otherwise the
     ``predicate`` is evaluated over the concatenated tuple.
 
-    ``backend="columnar"`` expands the pair grid in bulk and filters it with
-    vectorized equality / predicate masks (bit-identical results).
+    ``backend="columnar"`` enumerates pairs with vectorized kernels
+    (bit-identical results): the memory-safe sort/searchsorted path when the
+    equi-join keys qualify (a certain key side, NaN-free numeric columns),
+    the bulk ``np.repeat`` × ``np.tile`` pair grid otherwise — see
+    :func:`repro.columnar.operators.join` for the kernel selection knob.
+
+    >>> from repro.core.relation import AURelation
+    >>> left = AURelation.from_rows(["k", "a"], [((1, 10), 1), ((2, 20), 1)])
+    >>> right = AURelation.from_rows(["k", "b"], [((1, 5), 1)])
+    >>> for tup, mult in join(left, right, on=["k"]):
+    ...     print(tup.value("a"), tup.value("b"), mult)
+    10 5 (1,1,1)
     """
     if on is None and predicate is None:
         raise OperatorError("join requires either a predicate or an `on` attribute list")

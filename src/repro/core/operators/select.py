@@ -35,6 +35,15 @@ def select(
     ``backend="columnar"`` evaluates the predicate as vectorized boolean
     masks over the aligned bound-component arrays (bit-identical results;
     accepts either relation layout).
+
+    >>> from repro.core.expressions import attr, const
+    >>> from repro.core.ranges import RangeValue
+    >>> from repro.core.relation import AURelation
+    >>> r = AURelation.from_rows(["v"], [((3,), 1), ((RangeValue(1, 2, 9),), 1)])
+    >>> for tup, mult in select(r, attr("v").le(const(4))):
+    ...     print(tup.value("v"), mult)
+    3 (1,1,1)
+    [1/2/9] (0,1,1)
     """
     require_known_backend(backend)
     if backend == "columnar":

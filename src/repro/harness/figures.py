@@ -618,37 +618,39 @@ def fig19_realworld_window_quality(*, scale: float = 0.05, seed: int = 0) -> Exp
 # ---------------------------------------------------------------------------
 
 
-def pipeline_scaling(*, sizes: Sequence[int] = (64, 128, 256, 512), seed: int = 0) -> ExperimentResult:
-    """Multi-operator pipeline (select -> join -> project -> window) per backend.
+def _pipeline_backend_scaling(
+    name: str,
+    description: str,
+    python_runner,
+    columnar_runner,
+    *,
+    sizes: Sequence[int],
+    seed: int,
+) -> ExperimentResult:
+    """Shared driver for the pipeline-shaped two-backend comparisons.
 
-    ``Imp`` materialises a row-major relation between every stage; ``Imp-Col``
-    runs the identical plan as a :class:`~repro.columnar.plan.ColumnarPlan`
-    chain that stays columnar until the terminal window stage.  Results are
+    ``Imp`` materialises a row-major relation between every stage;
+    ``Imp-Col`` runs the identical plan as a
+    :class:`~repro.columnar.plan.ColumnarPlan` chain.  Results are
     bit-identical (``smoke_backends.py`` asserts it); without NumPy the
     columnar column degrades to ``-``.
     """
-    from repro.workloads.pipeline import (
-        pipeline_inputs,
-        run_pipeline_columnar,
-        run_pipeline_python,
-    )
+    from repro.workloads.pipeline import pipeline_inputs
 
     result = ExperimentResult(
-        name="pipeline",
-        description="Multi-operator RA+ pipeline runtime (ms): select -> join -> project -> window",
-        headers=["Size", "Imp", "Imp-Col", "speedup"],
+        name=name, description=description, headers=["Size", "Imp", "Imp-Col", "speedup"]
     )
     # Warm both runners once so one-time import / kernel setup costs do not
     # land in the smallest size's timing.
     warm_fact, warm_dim, warm_threshold = pipeline_inputs(min(sizes), seed=seed)
-    run_pipeline_python(warm_fact, warm_dim, warm_threshold)
+    python_runner(warm_fact, warm_dim, warm_threshold)
     try:
-        run_pipeline_columnar(warm_fact, warm_dim, warm_threshold)
+        columnar_runner(warm_fact, warm_dim, warm_threshold)
     except ImportError:  # pragma: no cover - environment dependent
         pass
     for size in sizes:
         fact, dim, threshold = pipeline_inputs(size, seed=seed)
-        _, imp_ms = timed_ms(lambda: run_pipeline_python(fact, dim, threshold))
+        _, imp_ms = timed_ms(lambda: python_runner(fact, dim, threshold))
         imp_col_ms: object = "-"
         speedup: object = "-"
         try:
@@ -659,10 +661,98 @@ def pipeline_scaling(*, sizes: Sequence[int] = (64, 128, 256, 512), seed: int = 
             columnar_fact = ColumnarAURelation.from_relation(fact)
             columnar_dim = ColumnarAURelation.from_relation(dim)
             _, imp_col_ms = timed_ms(
-                lambda: run_pipeline_columnar(columnar_fact, columnar_dim, threshold)
+                lambda: columnar_runner(columnar_fact, columnar_dim, threshold)
             )
             speedup = imp_ms / imp_col_ms if imp_col_ms else float("inf")
         result.add(size, imp_ms, imp_col_ms, speedup)
+    return result
+
+
+def pipeline_scaling(*, sizes: Sequence[int] = (64, 128, 256, 512), seed: int = 0) -> ExperimentResult:
+    """Multi-operator pipeline (select -> join -> project -> window) per backend."""
+    from repro.workloads.pipeline import run_pipeline_columnar, run_pipeline_python
+
+    return _pipeline_backend_scaling(
+        "pipeline",
+        "Multi-operator RA+ pipeline runtime (ms): select -> join -> project -> window",
+        run_pipeline_python,
+        run_pipeline_columnar,
+        sizes=sizes,
+        seed=seed,
+    )
+
+
+def groupby_pipeline_scaling(
+    *, sizes: Sequence[int] = (64, 128, 256, 512), seed: int = 0
+) -> ExperimentResult:
+    """Grouped-aggregation pipeline (select -> join -> groupby -> window) per backend.
+
+    The columnar chain keeps the grouped-aggregation stage columnar between
+    the join and the terminal window (no row-major conversion mid-plan).
+    """
+    from repro.workloads.pipeline import (
+        run_groupby_pipeline_columnar,
+        run_groupby_pipeline_python,
+    )
+
+    return _pipeline_backend_scaling(
+        "groupby",
+        "Groupby pipeline runtime (ms): select -> join -> groupby -> window",
+        run_groupby_pipeline_python,
+        run_groupby_pipeline_columnar,
+        sizes=sizes,
+        seed=seed,
+    )
+
+
+def equijoin_scaling(
+    *,
+    sizes: Sequence[int] = (256, 1024, 4096),
+    quadratic_ceiling: int = 1024,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Equi-join kernels: Python loop vs columnar pair grid vs searchsorted.
+
+    The quadratic contenders (the tuple-at-a-time loop and the
+    ``np.repeat`` × ``np.tile`` grid) only run up to ``quadratic_ceiling``;
+    above it their columns degrade to ``-`` — which is the point: the
+    sort/searchsorted path reaches sizes the pair grid cannot.
+    """
+    from repro.workloads.pipeline import (
+        equijoin_inputs,
+        run_equijoin_columnar,
+        run_equijoin_python,
+    )
+
+    result = ExperimentResult(
+        name="equijoin",
+        description="Equi-join runtime (ms): python / columnar grid / columnar searchsorted",
+        headers=["Size", "Imp", "Grid", "SearchSorted"],
+    )
+    for size in sizes:
+        left, right = equijoin_inputs(size, seed=seed)
+        imp_ms: object = "-"
+        grid_ms: object = "-"
+        if size <= quadratic_ceiling:
+            _, imp_ms = timed_ms(lambda: run_equijoin_python(left, right))
+        fast_ms: object = "-"
+        try:
+            from repro.columnar.relation import ColumnarAURelation
+        except ImportError:
+            pass
+        else:
+            columnar_left = ColumnarAURelation.from_relation(left)
+            columnar_right = ColumnarAURelation.from_relation(right)
+            if size <= quadratic_ceiling:
+                _, grid_ms = timed_ms(
+                    lambda: run_equijoin_columnar(columnar_left, columnar_right, method="grid")
+                )
+            _, fast_ms = timed_ms(
+                lambda: run_equijoin_columnar(
+                    columnar_left, columnar_right, method="searchsorted"
+                )
+            )
+        result.add(size, imp_ms, grid_ms, fast_ms)
     return result
 
 
@@ -679,4 +769,6 @@ ALL_EXPERIMENTS = {
     "fig18": fig18_realworld_sort_quality,
     "fig19": fig19_realworld_window_quality,
     "pipeline": pipeline_scaling,
+    "groupby": groupby_pipeline_scaling,
+    "equijoin": equijoin_scaling,
 }

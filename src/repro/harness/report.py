@@ -34,7 +34,16 @@ def _fmt(value: object) -> str:
 
 
 def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
-    """Render rows as a fixed-width text table."""
+    """Render rows as a fixed-width text table.
+
+    Floats round to three decimals; every other value prints via ``str``:
+
+    >>> print(format_table(["Size", "Value"], [[64, 1.5], [128, 3.25]]))
+    Size | Value
+    -----+------
+    64   | 1.500
+    128  | 3.250
+    """
     cells = [[_fmt(v) for v in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in cells:

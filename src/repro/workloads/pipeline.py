@@ -1,23 +1,26 @@
-"""Multi-operator ``RA⁺`` + window pipeline workload (backend benchmark).
+"""Multi-operator ``RA⁺`` + window pipeline workloads (backend benchmarks).
 
-The figure benchmarks time single operators; this workload times a whole
-query plan — the composition the AU-DB closure theorems are about:
+The figure benchmarks time single operators; these workloads time whole
+query plans — the compositions the AU-DB closure theorems are about:
 
-    ``select(v >= t, fact) ⋈_g dim  →  π(o, v)  →  sum(v) OVER (ORDER BY o
-    ROWS 2 PRECEDING)``
+* the projection pipeline: ``select(v >= t, fact) ⋈_g dim  →  π(o, v)  →
+  sum(v) OVER (ORDER BY o ROWS 2 PRECEDING)``
+  (:func:`run_pipeline_python` / :func:`run_pipeline_columnar`),
+* the groupby pipeline: ``select(v >= t, fact) ⋈_g dim  →  γ_g(sum, count,
+  max)  →  sum(s) OVER (ORDER BY g ROWS 2 PRECEDING)``
+  (:func:`run_groupby_pipeline_python` / :func:`run_groupby_pipeline_columnar`
+  — the grouped-aggregation stage stays columnar mid-plan), and
+* a large-N equi-join with certain integer keys and ~50% overlap
+  (:func:`equijoin_inputs`, :func:`run_equijoin_python` /
+  :func:`run_equijoin_columnar` with ``method="grid" | "searchsorted"``).
 
-Two runners execute the identical plan:
-
-* :func:`run_pipeline_python` — the tuple-at-a-time operators of
-  :mod:`repro.core.operators` plus the native window sweep, materialising a
-  row-major :class:`~repro.core.relation.AURelation` between every stage, and
-* :func:`run_pipeline_columnar` — a :class:`~repro.columnar.plan.ColumnarPlan`
-  chain that stays in the columnar layout from ingest to the terminal window
-  stage (no intermediate row-major materialisation).
-
-The results are bit-identical; ``benchmarks/smoke_backends.py`` asserts it
-and ``benchmarks/bench_pipeline_ops.py`` / the ``pipeline`` harness id
-measure the speedup.
+Each python runner materialises a row-major
+:class:`~repro.core.relation.AURelation` between stages; the columnar
+runners chain a :class:`~repro.columnar.plan.ColumnarPlan` that stays in the
+columnar layout until the plan boundary.  The results are bit-identical;
+``benchmarks/smoke_backends.py`` asserts it and
+``benchmarks/bench_pipeline_ops.py`` / the ``pipeline`` / ``groupby`` /
+``equijoin`` harness ids measure the speedups.
 """
 
 from __future__ import annotations
@@ -32,9 +35,16 @@ from repro.workloads.synthetic import SyntheticConfig, as_audb, generate_window_
 
 __all__ = [
     "PIPELINE_WINDOW",
+    "GROUPBY_AGGREGATES",
+    "GROUPBY_WINDOW",
     "pipeline_inputs",
     "run_pipeline_python",
     "run_pipeline_columnar",
+    "run_groupby_pipeline_python",
+    "run_groupby_pipeline_columnar",
+    "equijoin_inputs",
+    "run_equijoin_python",
+    "run_equijoin_columnar",
 ]
 
 #: Terminal stage of the pipeline: a trailing sum over the order attribute.
@@ -98,3 +108,78 @@ def run_pipeline_columnar(fact, dim, threshold: int) -> AURelation:
         .project(["o", "v"])
         .window(PIPELINE_WINDOW)
     )
+
+
+#: Grouped-aggregation stage of the groupby pipeline (per dimension category).
+GROUPBY_AGGREGATES = (("sum", "v", "s"), ("count", "*", "n"), ("max", "v", "peak"))
+
+#: Terminal window over the aggregated groups: rolling sum of the group sums.
+GROUPBY_WINDOW = WindowSpec(
+    function="sum", attribute="s", output="rolling", order_by=("g",), frame=(-2, 0)
+)
+
+
+def run_groupby_pipeline_python(fact: AURelation, dim: AURelation, threshold: int) -> AURelation:
+    """``select → join → groupby → window`` on the tuple-at-a-time backend."""
+    from repro.core.operators import groupby_aggregate, join, select
+    from repro.window.native import window_native
+
+    filtered = select(fact, attr("v").ge(const(threshold)))
+    joined = join(filtered, dim, on=["g"])
+    grouped = groupby_aggregate(joined, ["g"], GROUPBY_AGGREGATES)
+    return window_native(grouped, GROUPBY_WINDOW)
+
+
+def run_groupby_pipeline_columnar(fact, dim, threshold: int) -> AURelation:
+    """The identical plan as a columnar chain — the groupby stage stays columnar.
+
+    Accepts either relation layout for both inputs (benchmarks pre-convert).
+    """
+    from repro.columnar.plan import ColumnarPlan
+
+    return (
+        ColumnarPlan(fact)
+        .select(attr("v").ge(const(threshold)))
+        .join(ColumnarPlan(dim), on=["g"])
+        .groupby_aggregate(["g"], GROUPBY_AGGREGATES)
+        .window(GROUPBY_WINDOW)
+    )
+
+
+def equijoin_inputs(rows: int, *, seed: int = 0) -> tuple[AURelation, AURelation]:
+    """Two ``rows``-sized relations with certain integer keys, ~50% overlap.
+
+    Left keys cover ``[0, rows)``, right keys ``[rows // 2, rows + rows // 2)``
+    (both shuffled), so the equi-join matches about half of each side 1:1 —
+    the memory-safe searchsorted path touches ``O(rows)`` pairs where the
+    grid kernel expands ``rows²``.  Payload attributes carry uncertain ranges
+    so the joined annotations stay non-trivial.
+    """
+    rng = random.Random(seed)
+    left_keys = list(range(rows))
+    right_keys = list(range(rows // 2, rows + rows // 2))
+    rng.shuffle(left_keys)
+    rng.shuffle(right_keys)
+    left = AURelation.from_rows(["k", "a"], [])
+    right = AURelation.from_rows(["k", "b"], [])
+    for key in left_keys:
+        value = rng.randint(0, 1000)
+        payload = RangeValue(value, value, value + rng.randint(0, 5))
+        left.add_values([key, payload], (1, 1, 1) if rng.random() < 0.9 else (0, 1, 2))
+    for key in right_keys:
+        right.add_values([key, rng.randint(0, 1000)], 1)
+    return left, right
+
+
+def run_equijoin_python(left: AURelation, right: AURelation) -> AURelation:
+    from repro.core.operators import join
+
+    return join(left, right, on=["k"])
+
+
+def run_equijoin_columnar(left, right, *, method: str = "auto") -> AURelation:
+    """Columnar equi-join via the selected pair-enumeration kernel."""
+    from repro.columnar import operators as col_ops
+    from repro.columnar.relation import as_columnar
+
+    return col_ops.join(as_columnar(left), as_columnar(right), on=["k"], method=method).to_relation()

@@ -29,6 +29,7 @@ def test_examples_directory_has_expected_scripts():
         "running_example.py",
         "sensor_cleaning.py",
         "crime_hotspots.py",
+        "groupby_report.py",
     } <= set(EXAMPLE_SCRIPTS)
 
 

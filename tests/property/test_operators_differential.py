@@ -24,16 +24,41 @@ from hypothesis import strategies as st
 
 from repro.core.bounding import bounds_world
 from repro.core.expressions import IfThenElse, attr, const
-from repro.core.operators import cross, distinct, extend, join, project, select, union
+from repro.core.operators import (
+    cross,
+    distinct,
+    extend,
+    groupby_aggregate,
+    join,
+    project,
+    select,
+    union,
+)
+from repro.core.ranges import RangeValue
 from repro.core.relation import AURelation
+from repro.core.schema import Schema
 from repro.relational import operators as det_ops
 from repro.relational.relation import Relation
 
-from tests.property.strategies import au_relations, object_au_relations
+from tests.property.strategies import (
+    au_relations,
+    multiplicities,
+    object_au_relations,
+    range_values,
+)
 
 pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
 
 SETTINGS = settings(max_examples=80, deadline=None)
+
+#: One of each supported aggregate, all at once (over attribute ``v``).
+ALL_AGGREGATES = [
+    ("count", "*", "n"),
+    ("sum", "v", "s"),
+    ("min", "v", "lo"),
+    ("max", "v", "hi"),
+    ("avg", "v", "m"),
+]
 
 
 def assert_same_relation(python_result: AURelation, columnar_result: AURelation) -> None:
@@ -212,6 +237,129 @@ def test_join_predicate_backends_agree(left, right):
     )
 
 
+@st.composite
+def certain_key_relations(draw, *, attributes=("k", "b"), max_tuples=5):
+    """Relations whose first attribute is a *certain* integer key column.
+
+    These qualify for the sort/searchsorted equi-join path (point keys on one
+    side); values on the remaining attributes stay uncertain ranges.
+    """
+    relation = AURelation(Schema(attributes))
+    for _ in range(draw(st.integers(min_value=0, max_value=max_tuples))):
+        values = [draw(st.integers(min_value=-4, max_value=4))]
+        values += [draw(range_values()) for _ in attributes[1:]]
+        relation.add_values(values, draw(multiplicities(max_count=2)))
+    return relation
+
+
+@SETTINGS
+@given(
+    relation=au_relations(attributes=("g", "v"), max_tuples=5, max_count=3),
+)
+def test_groupby_backends_agree(relation):
+    """Uncertain group keys exercise the N³ possible-membership handling."""
+    assert_same_relation(
+        groupby_aggregate(relation, ["g"], ALL_AGGREGATES),
+        groupby_aggregate(relation, ["g"], ALL_AGGREGATES, backend="columnar"),
+    )
+
+
+@SETTINGS
+@given(relation=au_relations(attributes=("g", "h", "v"), max_tuples=5, max_count=3))
+def test_groupby_multi_key_backends_agree(relation):
+    assert_same_relation(
+        groupby_aggregate(relation, ["g", "h"], [("count", "*", "n"), ("sum", "v", "s")]),
+        groupby_aggregate(
+            relation, ["g", "h"], [("count", "*", "n"), ("sum", "v", "s")], backend="columnar"
+        ),
+    )
+
+
+@SETTINGS
+@given(relation=au_relations(attributes=("g", "v"), max_tuples=4, max_count=3))
+def test_groupby_global_backends_agree(relation):
+    """Empty ``group_by``: one output row even over the empty relation."""
+    assert_same_relation(
+        groupby_aggregate(relation, [], ALL_AGGREGATES),
+        groupby_aggregate(relation, [], ALL_AGGREGATES, backend="columnar"),
+    )
+
+
+@SETTINGS
+@given(relation=object_au_relations(attributes=("v", "g"), max_tuples=5, max_count=3))
+def test_groupby_backends_agree_object_keys(relation):
+    """Object-dtype group keys (strings, None/int, bool/int) group identically."""
+    aggregates = [("count", "*", "n"), ("sum", "v", "s"), ("max", "v", "hi")]
+    assert_same_relation(
+        groupby_aggregate(relation, ["g"], aggregates),
+        groupby_aggregate(relation, ["g"], aggregates, backend="columnar"),
+    )
+
+
+@SETTINGS
+@given(
+    relation=object_au_relations(
+        attributes=("g", "v"), max_tuples=5, max_count=3, pool=["p", "q", "r", "s"]
+    )
+)
+def test_groupby_backends_agree_object_values(relation):
+    """Object-dtype *aggregated* columns fold through the shared scalar helper."""
+    aggregates = [("min", "v", "lo"), ("max", "v", "hi")]
+    assert_same_relation(
+        groupby_aggregate(relation, ["g"], aggregates),
+        groupby_aggregate(relation, ["g"], aggregates, backend="columnar"),
+    )
+
+
+@SETTINGS
+@given(
+    left=au_relations(attributes=("k", "a"), max_tuples=5, max_count=2),
+    right=certain_key_relations(),
+)
+def test_equijoin_grid_and_searchsorted_agree(left, right):
+    """The memory-safe pair enumeration is bit-identical to the pair grid."""
+    import numpy as np
+
+    from repro.columnar import operators as col_ops
+    from repro.columnar.relation import ColumnarAURelation
+
+    columnar_left = ColumnarAURelation.from_relation(left)
+    columnar_right = ColumnarAURelation.from_relation(right)
+    for pair in ((columnar_left, columnar_right), (columnar_right, columnar_left)):
+        grid = col_ops.join(*pair, on=["k"], method="grid")
+        fast = col_ops.join(*pair, on=["k"], method="searchsorted")
+        assert grid.schema == fast.schema
+        assert len(grid) == len(fast)
+        for grid_col, fast_col in zip(grid.columns, fast.columns):
+            for component in ("lb", "sg", "ub"):
+                assert np.array_equal(
+                    getattr(grid_col, component), getattr(fast_col, component)
+                )
+        for component in ("mult_lb", "mult_sg", "mult_ub"):
+            assert np.array_equal(getattr(grid, component), getattr(fast, component))
+        # ... and both match the Python backend at the relation boundary.
+        assert_same_relation(join(*[p.to_relation() for p in pair], on=["k"]), fast.to_relation())
+
+
+@SETTINGS
+@given(
+    left=au_relations(attributes=("k", "a"), max_tuples=4, max_count=2),
+    right=certain_key_relations(attributes=("k", "b"), max_tuples=4),
+)
+def test_equijoin_auto_with_predicate_agrees(left, right):
+    """`auto` + extra predicate stays bit-identical across methods and backends."""
+    from repro.columnar import operators as col_ops
+    from repro.columnar.relation import ColumnarAURelation
+
+    predicate = attr("a").lt(attr("b"))
+    columnar_left = ColumnarAURelation.from_relation(left)
+    columnar_right = ColumnarAURelation.from_relation(right)
+    auto = col_ops.join(columnar_left, columnar_right, predicate, on=["k"])
+    grid = col_ops.join(columnar_left, columnar_right, predicate, on=["k"], method="grid")
+    assert auto.to_relation()._rows == grid.to_relation()._rows
+    assert_same_relation(join(left, right, predicate, on=["k"]), auto.to_relation())
+
+
 def test_empty_results_agree_on_both_backends():
     relation = AURelation.from_rows(["a", "b"], [((1, 2), (1, 1, 1)), ((3, 4), (0, 1, 2))])
     never = attr("a").gt(const(100))
@@ -284,4 +432,36 @@ def test_distinct_bounds_selected_guess_world(relation):
     expected = Relation(world.schema)
     for row, _mult in world:
         expected.add(row, 1)
+    assert bounds_world(result, expected)
+
+
+def test_distinct_overlapping_tuples_drop_certainty():
+    """Regression: two tuples that may collapse to one value cannot both stay certain.
+
+    The flow oracle found this on the naive min(1, ·) capping — the world
+    ``{(0, 0): 1}`` (the deduplicated selected-guess world) has one tuple, but
+    both outputs claimed a certain copy.
+    """
+    relation = AURelation.from_rows(
+        ["a", "b"], [((0, 0), (1, 1, 1)), ((0, RangeValue(0, 0, 1)), (1, 1, 1))]
+    )
+    for backend in ("python", "columnar"):
+        result = distinct(relation, backend=backend)
+        mults = list(result._rows.values())
+        assert [m.lb for m in mults] == [0, 0]
+        assert [m.sg for m in mults] == [1, 0]  # SG world deduplicates to one copy
+        expected = Relation(result.schema)
+        expected.add((0, 0), 1)
+        assert bounds_world(result, expected)
+
+
+@ORACLE_SETTINGS
+@given(relation=au_relations(attributes=("g", "v"), max_tuples=4, max_count=2))
+def test_groupby_bounds_selected_guess_world(relation):
+    result = groupby_aggregate(
+        relation, ["g"], [("count", "*", "n"), ("sum", "v", "s")], backend="columnar"
+    )
+    expected = det_ops.groupby_aggregate(
+        sg_world(relation), ["g"], [("count", "*", "n"), ("sum", "v", "s")]
+    )
     assert bounds_world(result, expected)

@@ -9,7 +9,17 @@ from repro.columnar.plan import ColumnarPlan
 from repro.columnar.relation import ColumnarAURelation
 from repro.core.booleans import RangeBool
 from repro.core.expressions import attr, const
-from repro.core.operators import cross, distinct, extend, join, project, select, union
+from repro.core.multiplicity import Multiplicity
+from repro.core.operators import (
+    cross,
+    distinct,
+    extend,
+    groupby_aggregate,
+    join,
+    project,
+    select,
+    union,
+)
 from repro.core.ranges import RangeValue
 from repro.core.relation import AURelation
 from repro.errors import ExpressionError, OperatorError, SchemaError
@@ -234,3 +244,308 @@ class TestColumnarPlan:
             extend(relation, "age2", attr("age") * const(2)), {"age2": "double_age"}
         )
         assert_same(expected, result)
+
+
+class TestColumnarGroupby:
+    def sales(self):
+        return AURelation.from_rows(
+            ["g", "v"],
+            [
+                ((0, 10), (1, 1, 1)),
+                ((RangeValue(0, 1, 1), 20), (0, 1, 2)),
+                ((1, RangeValue(2, 5, 9)), (1, 2, 2)),
+            ],
+        )
+
+    def test_groupby_backend_dispatch_agrees(self):
+        aggregates = [("count", "*", "n"), ("sum", "v", "s"), ("avg", "v", "m")]
+        assert_same(
+            groupby_aggregate(self.sales(), ["g"], aggregates),
+            groupby_aggregate(self.sales(), ["g"], aggregates, backend="columnar"),
+        )
+
+    def test_groupby_kernel_returns_columnar(self):
+        from repro.columnar.operators import groupby_aggregate as col_groupby
+
+        columnar = ColumnarAURelation.from_relation(self.sales())
+        result = col_groupby(columnar, ["g"], [("count", "*", "n")])
+        assert isinstance(result, ColumnarAURelation)
+        assert result.schema.attributes == ("g", "n")
+
+    def test_uncertain_membership_widens_group_hull(self):
+        """A row whose key straddles both groups contributes possibly to each."""
+        result = groupby_aggregate(
+            self.sales(), ["g"], [("count", "*", "n")], backend="columnar"
+        )
+        rows = {tup.value("g").sg: tup.value("n") for tup, _m in result}
+        assert rows[0] == RangeValue(1, 1, 3)  # straddler adds up to 2 copies
+        assert rows[1] == RangeValue(1, 3, 4)
+
+    def test_global_aggregate_over_empty_relation(self):
+        empty = AURelation.from_rows(["v"], [])
+        for backend in ("python", "columnar"):
+            result = groupby_aggregate(
+                empty, [], [("count", "*", "n"), ("min", "v", "lo")], backend=backend
+            )
+            (tup, mult), = list(result)
+            assert tup.value("n") == RangeValue(0, 0, 0)
+            assert tup.value("lo") == RangeValue(None, None, None)
+            assert mult.ub == 1 and mult.lb == 0
+
+    def test_empty_relation_with_group_by_is_empty(self):
+        empty = AURelation.from_rows(["g", "v"], [])
+        for backend in ("python", "columnar"):
+            assert groupby_aggregate(
+                empty, ["g"], [("sum", "v", "s")], backend=backend
+            ).is_empty()
+
+    def test_string_group_keys(self):
+        relation = AURelation.from_rows(
+            ["g", "v"], [(("x", 1), 1), (("y", 2), (0, 1, 1)), (("x", 3), (1, 2, 2))]
+        )
+        aggregates = [("count", "*", "n"), ("sum", "v", "s")]
+        assert_same(
+            groupby_aggregate(relation, ["g"], aggregates),
+            groupby_aggregate(relation, ["g"], aggregates, backend="columnar"),
+        )
+
+    def test_bool_int_keys_share_groups(self):
+        """`True` and `1` are the same group key on both backends."""
+        relation = AURelation.from_rows(
+            ["g", "v"], [((True, 1), 1), ((1, 2), 1), ((0, 3), 1)]
+        )
+        for backend in ("python", "columnar"):
+            assert len(groupby_aggregate(relation, ["g"], [("count", "*", "n")], backend=backend)) == 2
+        assert_same(
+            groupby_aggregate(relation, ["g"], [("count", "*", "n")]),
+            groupby_aggregate(relation, ["g"], [("count", "*", "n")], backend="columnar"),
+        )
+
+    def test_huge_integer_values_take_the_scalar_fallback(self):
+        big = 2**60
+        relation = AURelation.from_rows(
+            ["g", "v"], [((0, big), (1, 1, 2)), ((0, RangeValue(-big, 0, big)), (0, 1, 1))]
+        )
+        aggregates = [("sum", "v", "s"), ("min", "v", "lo"), ("max", "v", "hi")]
+        assert_same(
+            groupby_aggregate(relation, ["g"], aggregates),
+            groupby_aggregate(relation, ["g"], aggregates, backend="columnar"),
+        )
+
+    def test_unsupported_aggregate_raises_on_both_backends(self):
+        for backend in ("python", "columnar"):
+            with pytest.raises(OperatorError, match="unsupported aggregate"):
+                groupby_aggregate(self.sales(), ["g"], [("median", "v", "m")], backend=backend)
+            with pytest.raises(OperatorError, match="requires an attribute"):
+                groupby_aggregate(self.sales(), ["g"], [("sum", "*", "s")], backend=backend)
+
+    def test_plan_groupby_stage_stays_columnar(self):
+        plan = ColumnarPlan(self.sales()).groupby_aggregate(
+            ["g"], [("sum", "v", "s"), ("count", "*", "n")]
+        )
+        assert isinstance(plan.columnar(), ColumnarAURelation)
+        assert_same(
+            groupby_aggregate(self.sales(), ["g"], [("sum", "v", "s"), ("count", "*", "n")]),
+            plan.relation(),
+        )
+
+    def test_plan_select_join_groupby_window_chain(self):
+        """The acceptance chain: no row-major conversion before the window stage."""
+        from repro.core.operators import select as row_select, join as row_join
+        from repro.window.native import window_native
+
+        orders = AURelation.from_rows(
+            ["o", "g", "v"],
+            [
+                ((1, 0, 10), (1, 1, 1)),
+                ((RangeValue(2, 2, 3), RangeValue(0, 0, 1), 20), (0, 1, 1)),
+                ((3, 1, 30), (1, 1, 2)),
+                ((4, 2, 40), (1, 1, 1)),
+            ],
+        )
+        dims = AURelation.from_rows(["g", "w"], [((0, 5), 1), ((1, 7), 1)])
+        predicate = attr("v").ge(const(15))
+        spec = WindowSpec(
+            function="sum", attribute="s", output="rolling", order_by=("g",), frame=(-1, 0)
+        )
+        aggregates = [("sum", "v", "s")]
+
+        expected = window_native(
+            groupby_aggregate(row_join(row_select(orders, predicate), dims, on=["g"]), ["g"], aggregates),
+            spec,
+        )
+        result = (
+            ColumnarPlan(orders)
+            .select(predicate)
+            .join(ColumnarPlan(dims), on=["g"])
+            .groupby_aggregate(["g"], aggregates)
+            .window(spec)
+        )
+        assert_same(expected, result)
+
+
+class TestSearchsortedEquiJoin:
+    def orders(self):
+        return AURelation.from_rows(
+            ["k", "a"],
+            [
+                ((1, 10), (1, 1, 1)),
+                ((RangeValue(1, 2, 3), 11), (0, 1, 2)),
+                ((5, 12), (1, 1, 1)),
+            ],
+        )
+
+    def dims(self):
+        return AURelation.from_rows(
+            ["k", "b"], [((2, 100), 1), ((1, 200), (1, 2, 2)), ((3, 300), 1)]
+        )
+
+    def test_methods_are_bit_identical(self):
+        from repro.columnar import operators as col_ops
+
+        left = ColumnarAURelation.from_relation(self.orders())
+        right = ColumnarAURelation.from_relation(self.dims())
+        grid = col_ops.join(left, right, on=["k"], method="grid")
+        fast = col_ops.join(left, right, on=["k"], method="searchsorted")
+        import numpy as np
+
+        assert grid.schema == fast.schema
+        for grid_col, fast_col in zip(grid.columns, fast.columns):
+            for component in ("lb", "sg", "ub"):
+                assert np.array_equal(getattr(grid_col, component), getattr(fast_col, component))
+        for component in ("mult_lb", "mult_sg", "mult_ub"):
+            assert np.array_equal(getattr(grid, component), getattr(fast, component))
+
+    def test_searchsorted_requires_a_certain_side(self):
+        from repro.columnar import operators as col_ops
+
+        uncertain = AURelation.from_rows(
+            ["k", "a"], [((RangeValue(0, 1, 2), 1), 1)]
+        )
+        left = ColumnarAURelation.from_relation(uncertain)
+        with pytest.raises(OperatorError, match="searchsorted equi-join requires"):
+            col_ops.join(left, left, on=["k"], method="searchsorted")
+
+    def test_searchsorted_rejects_object_keys(self):
+        from repro.columnar import operators as col_ops
+
+        strings = ColumnarAURelation.from_relation(
+            AURelation.from_rows(["k"], [(("x",), 1), (("y",), 1)])
+        )
+        with pytest.raises(OperatorError, match="searchsorted equi-join requires"):
+            col_ops.join(strings, strings, on=["k"], method="searchsorted")
+        # auto silently falls back to the grid and still agrees with python.
+        auto = col_ops.join(strings, strings, on=["k"]).to_relation()
+        assert_same(join(strings.to_relation(), strings.to_relation(), on=["k"]), auto)
+
+    def test_searchsorted_requires_on(self):
+        from repro.columnar import operators as col_ops
+
+        left = ColumnarAURelation.from_relation(self.orders())
+        with pytest.raises(OperatorError, match="requires an `on`"):
+            col_ops.join(left, left, attr("a").lt(attr("a_r")), method="searchsorted")
+
+    def test_unknown_method_raises(self):
+        from repro.columnar import operators as col_ops
+
+        left = ColumnarAURelation.from_relation(self.orders())
+        with pytest.raises(OperatorError, match="unknown join method"):
+            col_ops.join(left, left, on=["k"], method="hash")
+
+    def test_multi_key_join_filters_remaining_keys(self):
+        left = AURelation.from_rows(
+            ["k", "h", "a"],
+            [((1, 1, 10), 1), ((1, RangeValue(1, 2, 3), 11), 1), ((2, 1, 12), 1)],
+        )
+        right = AURelation.from_rows(
+            ["k", "h", "b"], [((1, 1, 100), 1), ((1, 2, 200), 1), ((2, 9, 300), 1)]
+        )
+        from repro.columnar import operators as col_ops
+
+        columnar_left = ColumnarAURelation.from_relation(left)
+        columnar_right = ColumnarAURelation.from_relation(right)
+        fast = col_ops.join(columnar_left, columnar_right, on=["k", "h"], method="searchsorted")
+        assert_same(join(left, right, on=["k", "h"]), fast.to_relation())
+
+    def test_empty_sides_qualify(self):
+        from repro.columnar import operators as col_ops
+
+        empty = ColumnarAURelation.from_relation(AURelation.from_rows(["k", "a"], []))
+        right = ColumnarAURelation.from_relation(self.dims())
+        result = col_ops.join(empty, right, on=["k"], method="searchsorted")
+        assert len(result) == 0
+        assert result.schema.attributes == ("k", "a", "k_r", "b")
+
+    def test_interval_point_match_pairs_kernel(self):
+        import numpy as np
+
+        from repro.columnar.kernels import interval_point_match_pairs
+
+        lb = np.array([0, 5, 2], dtype=np.int64)
+        ub = np.array([3, 5, 2], dtype=np.int64)
+        points = np.array([2, 0, 5, 9], dtype=np.int64)
+        intervals, matched = interval_point_match_pairs(lb, ub, points)
+        pairs = sorted(zip(intervals.tolist(), matched.tolist()))
+        assert pairs == [(0, 0), (0, 1), (1, 2), (2, 0)]
+
+
+class TestDistinctSemantics:
+    def test_disjoint_certain_tuples_keep_certainty(self):
+        relation = AURelation.from_rows(["a"], [((1,), (2, 3, 4)), ((7,), (1, 1, 1))])
+        for backend in ("python", "columnar"):
+            result = distinct(relation, backend=backend)
+            assert [m for _t, m in result] == [Multiplicity(1, 1, 1), Multiplicity(1, 1, 1)]
+
+    def test_overlapping_tuples_lose_certainty_but_not_possibility(self):
+        relation = AURelation.from_rows(
+            ["a"], [((RangeValue(0, 0, 2),), (1, 1, 3)), ((1,), (1, 1, 1))]
+        )
+        for backend in ("python", "columnar"):
+            result = distinct(relation, backend=backend)
+            mults = list(result._rows.values())
+            # The range tuple's 3 duplicates may hold 3 distinct values.
+            assert mults[0] == Multiplicity(0, 1, 3)
+            assert mults[1] == Multiplicity(0, 1, 1)
+
+    def test_sg_world_deduplicates_to_first_producer(self):
+        relation = AURelation.from_rows(
+            ["a"], [((RangeValue(0, 1, 2),), (0, 1, 1)), ((1,), (1, 1, 1))]
+        )
+        for backend in ("python", "columnar"):
+            result = distinct(relation, backend=backend)
+            mults = list(result._rows.values())
+            assert [m.sg for m in mults] == [1, 0]
+
+    def test_zeroed_multiplicity_rows_do_not_block_certainty(self):
+        """Regression: a (0,0,0) row built via with_multiplicities is the
+        semiring zero — it must neither survive distinct nor strip an
+        overlapping neighbour's certain copy (the row-major layout cannot
+        hold it, so the Python reference never sees it)."""
+        import numpy as np
+
+        base = AURelation.from_rows(
+            ["a"], [((5,), (1, 1, 1)), ((RangeValue(4, 5, 6),), (1, 1, 1))]
+        )
+        columnar = ColumnarAURelation.from_relation(base)
+        zeroed = columnar.with_multiplicities(
+            np.array([1, 0], dtype=np.int64),
+            np.array([1, 0], dtype=np.int64),
+            np.array([1, 0], dtype=np.int64),
+        )
+        from repro.columnar.operators import distinct as col_distinct
+        from repro.columnar.operators import groupby_aggregate as col_groupby
+
+        result = col_distinct(zeroed).to_relation()
+        assert_same(distinct(zeroed.to_relation()), result)
+        assert list(result._rows.values()) == [Multiplicity(1, 1, 1)]
+        grouped = col_groupby(zeroed, [], [("count", "*", "n")]).to_relation()
+        assert_same(groupby_aggregate(zeroed.to_relation(), [], [("count", "*", "n")]), grouped)
+
+    def test_integer_sum_selected_guess_stays_integral(self):
+        """Regression: clamping must not float-promote an unclamped int sg."""
+        relation = AURelation.from_rows(["g", "v"], [((1, 10), 1), ((1, 5), 1)])
+        py = next(iter(groupby_aggregate(relation, ["g"], [("sum", "v", "s")])))[0]
+        col = next(
+            iter(groupby_aggregate(relation, ["g"], [("sum", "v", "s")], backend="columnar"))
+        )[0]
+        assert repr(py.value("s")) == repr(col.value("s"))

@@ -86,6 +86,8 @@ class TestExperimentsRegistry:
             "fig18",
             "fig19",
             "pipeline",
+            "groupby",
+            "equijoin",
         }
         assert expected == set(ALL_EXPERIMENTS)
 
@@ -93,6 +95,24 @@ class TestExperimentsRegistry:
         result = heap_table(items=200, seed=1)
         assert len(result.rows) == 6
         assert all(len(row) == 5 for row in result.rows)
+
+    def test_groupby_pipeline_driver_runs_small(self):
+        pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+        from repro.harness.figures import groupby_pipeline_scaling
+
+        result = groupby_pipeline_scaling(sizes=(16, 32), seed=1)
+        assert len(result.rows) == 2
+        assert all(len(row) == 4 for row in result.rows)
+
+    def test_equijoin_driver_runs_small_and_caps_quadratic_kernels(self):
+        pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+        from repro.harness.figures import equijoin_scaling
+
+        result = equijoin_scaling(sizes=(16, 64), quadratic_ceiling=16, seed=1)
+        assert len(result.rows) == 2
+        small, large = result.rows
+        assert small[1] != "-" and small[2] != "-"
+        assert large[1] == "-" and large[2] == "-" and large[3] != "-"
 
     def test_cli_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,106 @@
+"""Link and TOC checker for the markdown documentation.
+
+Checks, for each given markdown file (default: ``docs/ARCHITECTURE.md``):
+
+* every relative link target exists on disk (external ``http(s)`` links are
+  skipped — CI must not depend on the network);
+* every in-page anchor link (``#fragment``) resolves to a heading;
+* if the file has a ``## Table of contents`` section, its entries match the
+  document's ``##`` headings one-to-one (same order, correct anchors).
+
+Run directly: ``python tools/check_docs.py [files...]``.  Exits non-zero on
+the first broken document; also importable (``tests/unit/test_docs.py`` runs
+it inside tier-1).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$")
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+DEFAULT_FILES = ["docs/ARCHITECTURE.md", "benchmarks/README.md", "examples/README.md"]
+
+
+def github_anchor(heading: str) -> str:
+    """The anchor GitHub generates for a heading (code spans stripped)."""
+    text = heading.replace("`", "").strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def check_document(path: pathlib.Path) -> list[str]:
+    """All link / TOC problems of one markdown document."""
+    errors: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    lines = text.splitlines()
+
+    headings = [match for line in lines if (match := HEADING.match(line))]
+    anchors = {github_anchor(match.group(2)) for match in headings}
+
+    for target in LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if target[1:] not in anchors:
+                errors.append(f"{path}: broken in-page anchor {target!r}")
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            errors.append(f"{path}: broken link {target!r} -> {resolved}")
+
+    toc_headings = [
+        github_anchor(match.group(2))
+        for match in headings
+        if match.group(1) == "##" and github_anchor(match.group(2)) != "table-of-contents"
+    ]
+    toc_entries = _toc_entries(lines)
+    if toc_entries is not None and toc_entries != toc_headings:
+        errors.append(
+            f"{path}: TOC out of sync with ## headings\n"
+            f"  TOC:      {toc_entries}\n  headings: {toc_headings}"
+        )
+    return errors
+
+
+def _toc_entries(lines: list[str]) -> list[str] | None:
+    """Anchors listed under a ``## Table of contents`` heading (None if absent)."""
+    entries: list[str] = []
+    in_toc = False
+    for line in lines:
+        heading = HEADING.match(line)
+        if heading:
+            if in_toc:
+                break
+            in_toc = github_anchor(heading.group(2)) == "table-of-contents"
+            continue
+        if in_toc:
+            for match in re.finditer(r"\]\(#([^)]+)\)", line):
+                entries.append(match.group(1))
+    return entries if in_toc or entries else None
+
+
+def main(argv: list[str]) -> int:
+    files = argv or DEFAULT_FILES
+    failures = 0
+    for name in files:
+        path = (REPO_ROOT / name) if not pathlib.Path(name).is_absolute() else pathlib.Path(name)
+        if not path.exists():
+            print(f"MISSING: {path}")
+            failures += 1
+            continue
+        errors = check_document(path)
+        for error in errors:
+            print(error)
+        failures += len(errors)
+        if not errors:
+            print(f"OK: {path.relative_to(REPO_ROOT)}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
