@@ -9,6 +9,14 @@ Times whole ``RA⁺`` plans of :mod:`repro.workloads.pipeline` per backend:
 * ``test_imp_groupby_pipeline`` / ``test_imp_columnar_groupby_pipeline`` —
   the ``select -> join -> groupby -> window`` plan, whose grouped-aggregation
   stage stays columnar between the join and the terminal window;
+* ``test_imp_multiwindow`` / ``test_imp_columnar_roundtrip_multiwindow`` /
+  ``test_imp_columnar_multiwindow`` — the
+  ``select -> join -> window -> select -> window`` plan that *continues past*
+  its first window stage: tuple-at-a-time, per-stage
+  ``backend="columnar"`` calls (a row-major round trip per stage, from the
+  row-major tables like the Python backend), and the single chained
+  ``ColumnarPlan`` whose window stages emit columnar output (one conversion
+  at the final ``.to_rows()``);
 * ``test_equijoin_*`` — a large-N equi-join point comparing the Python
   backend, the columnar pair grid (``O(|L|·|R|)`` memory), and the
   memory-safe sort/searchsorted path (only match candidates materialise, so
@@ -23,16 +31,21 @@ import pytest
 
 from repro.workloads.pipeline import (
     equijoin_inputs,
+    multiwindow_inputs,
     pipeline_inputs,
     run_equijoin_columnar,
     run_equijoin_python,
     run_groupby_pipeline_columnar,
     run_groupby_pipeline_python,
+    run_multiwindow_columnar,
+    run_multiwindow_python,
+    run_multiwindow_roundtrip_columnar,
     run_pipeline_columnar,
     run_pipeline_python,
 )
 
 SIZES = [64, 128, 256, 512]
+MULTIWINDOW_SIZES = [256, 1024]
 JOIN_SIZES = [256, 1024]
 JOIN_SIZES_SEARCHSORTED = [256, 1024, 4096]
 
@@ -71,6 +84,30 @@ def test_imp_groupby_pipeline(benchmark, size):
 def test_imp_columnar_groupby_pipeline(benchmark, size):
     fact, dim, threshold = _inputs(size)
     benchmark(run_groupby_pipeline_columnar, _columnar(fact), _columnar(dim), threshold)
+
+
+@pytest.mark.parametrize("size", MULTIWINDOW_SIZES)
+def test_imp_multiwindow(benchmark, size):
+    fact, dim, threshold = multiwindow_inputs(size)
+    benchmark(run_multiwindow_python, fact, dim, threshold)
+
+
+@pytest.mark.parametrize("size", MULTIWINDOW_SIZES)
+def test_imp_columnar_roundtrip_multiwindow(benchmark, size):
+    """Per-stage ``backend="columnar"`` calls: a row-major round trip per stage.
+
+    Starts from the row-major tables (like the Python backend — the
+    round-trip execution model is row-major in and out of every stage).
+    """
+    fact, dim, threshold = multiwindow_inputs(size)
+    benchmark(run_multiwindow_roundtrip_columnar, fact, dim, threshold)
+
+
+@pytest.mark.parametrize("size", MULTIWINDOW_SIZES)
+def test_imp_columnar_multiwindow(benchmark, size):
+    """One chained plan over columnar-resident tables: no mid-plan round trips."""
+    fact, dim, threshold = multiwindow_inputs(size)
+    benchmark(run_multiwindow_columnar, _columnar(fact), _columnar(dim), threshold)
 
 
 @pytest.mark.parametrize("size", JOIN_SIZES)
@@ -115,6 +152,18 @@ def test_groupby_backends_agree_bit_for_bit(size):
     columnar_result = run_groupby_pipeline_columnar(fact, dim, threshold)
     assert python_result.schema == columnar_result.schema
     assert python_result._rows == columnar_result._rows
+
+
+@pytest.mark.parametrize("size", MULTIWINDOW_SIZES)
+def test_multiwindow_paths_agree_bit_for_bit(size):
+    """Python, per-stage round-trip, and chained plan produce identical relations."""
+    pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+    fact, dim, threshold = multiwindow_inputs(size)
+    python_result = run_multiwindow_python(fact, dim, threshold)
+    roundtrip_result = run_multiwindow_roundtrip_columnar(fact, dim, threshold)
+    chained_result = run_multiwindow_columnar(fact, dim, threshold)
+    assert python_result.schema == roundtrip_result.schema == chained_result.schema
+    assert python_result._rows == roundtrip_result._rows == chained_result._rows
 
 
 @pytest.mark.parametrize("size", JOIN_SIZES)

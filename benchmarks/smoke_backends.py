@@ -6,8 +6,12 @@ Used by CI to catch two regressions fast, without the full benchmark suite:
   results to the Python backend (and both must match the definitional
   rewrite) on the sort, top-k, and window paths — including following-only
   frames, which exercise the mirrored-order reduction — and on the full
-  multi-operator ``select -> join -> project -> window`` pipeline, where the
-  columnar plan stays in columnar layout between stages,
+  multi-operator ``select -> join -> project -> window``,
+  ``select -> join -> groupby -> window``, and (multi-window)
+  ``select -> join -> window -> select -> window`` pipelines, where the
+  columnar plan stays in columnar layout between stages — the multi-window
+  plan additionally pins the chained plan against the per-stage round-trip
+  execution of the same kernels,
 * **performance regressions** — the columnar backend should stay faster
   than the Python backend at the smoke size (the full
   ``bench_fig14_sort_scaling.py`` / ``bench_fig15_window_scaling.py`` runs
@@ -48,18 +52,20 @@ def best_of(fn, reps: int = 5) -> float:
     return best * 1000.0
 
 
-def _report_speedup(path: str, rows: int, python_ms: float, columnar_ms: float) -> int:
-    speedup = python_ms / columnar_ms if columnar_ms else float("inf")
+def _report_speedup(
+    path: str, rows: int, baseline_ms: float, columnar_ms: float, *, baseline: str = "python"
+) -> int:
+    speedup = baseline_ms / columnar_ms if columnar_ms else float("inf")
     print(
-        f"{path} rows={rows}: python={python_ms:.2f}ms columnar={columnar_ms:.2f}ms "
+        f"{path} rows={rows}: {baseline}={baseline_ms:.2f}ms columnar={columnar_ms:.2f}ms "
         f"speedup={speedup:.2f}x"
     )
     if speedup < 1.0:
         if os.environ.get("REPRO_SMOKE_STRICT_PERF") == "1":
-            print(f"FAIL: columnar backend slower than the Python backend on {path}")
+            print(f"FAIL: columnar backend slower than the {baseline} path on {path}")
             return 1
         print(
-            f"WARN: columnar backend slower than the Python backend on {path} "
+            f"WARN: columnar backend slower than the {baseline} path on {path} "
             "(not fatal; set REPRO_SMOKE_STRICT_PERF=1 to enforce)"
         )
     return 0
@@ -184,6 +190,52 @@ def smoke_groupby(rows: int) -> int:
     return failures
 
 
+def smoke_multiwindow(rows: int) -> int:
+    """The multi-window plan: chained-columnar vs per-stage round trips.
+
+    Asserts all three execution paths (python, per-stage ``backend="columnar"``
+    round trips, chained ``ColumnarPlan``) are bit-identical, and that the
+    chained plan — whose sort/window stages emit columnar output — beats the
+    path that re-materialises a row-major relation after every stage.  The
+    round-trip path starts from the row-major tables (its execution model is
+    row-major in and out of every stage); the chained plan runs over the
+    columnar-resident tables.
+    """
+    from repro.workloads.pipeline import (
+        multiwindow_inputs,
+        run_multiwindow_columnar,
+        run_multiwindow_python,
+        run_multiwindow_roundtrip_columnar,
+    )
+
+    fact, dim, threshold = multiwindow_inputs(rows)
+    columnar_fact = ColumnarAURelation.from_relation(fact)
+    columnar_dim = ColumnarAURelation.from_relation(dim)
+
+    failures = 0
+    python_result = run_multiwindow_python(fact, dim, threshold)
+    roundtrip_result = run_multiwindow_roundtrip_columnar(fact, dim, threshold)
+    chained_result = run_multiwindow_columnar(columnar_fact, columnar_dim, threshold)
+    if not (
+        python_result.schema == roundtrip_result.schema == chained_result.schema
+        and python_result._rows == roundtrip_result._rows == chained_result._rows
+    ):
+        print("FAIL: select->join->window->select->window paths diverge")
+        failures += 1
+
+    python_ms = best_of(lambda: run_multiwindow_python(fact, dim, threshold))
+    chained_ms = best_of(
+        lambda: run_multiwindow_columnar(columnar_fact, columnar_dim, threshold)
+    )
+    failures += _report_speedup("multiwindow", rows, python_ms, chained_ms)
+
+    roundtrip_ms = best_of(lambda: run_multiwindow_roundtrip_columnar(fact, dim, threshold))
+    failures += _report_speedup(
+        "multiwindow-roundtrip", rows, roundtrip_ms, chained_ms, baseline="roundtrip"
+    )
+    return failures
+
+
 def smoke_equijoin(rows: int) -> int:
     from repro.workloads.pipeline import (
         equijoin_inputs,
@@ -220,6 +272,7 @@ def main(rows: int = 200) -> int:
         + smoke_window(rows)
         + smoke_pipeline(rows)
         + smoke_groupby(rows)
+        + smoke_multiwindow(rows)
         + smoke_equijoin(rows)
     )
     if not failures:

@@ -68,13 +68,14 @@ def python_report(orders: AURelation, categories: AURelation) -> AURelation:
 
 
 def columnar_report(orders: AURelation, categories: AURelation) -> AURelation:
-    """The identical plan, columnar from ingest to the terminal window stage."""
+    """The identical plan, columnar from ingest to the ``.to_rows()`` boundary."""
     return (
         ColumnarPlan(orders)
         .select(attr("v").ge(const(THRESHOLD)))
         .join(ColumnarPlan(categories), on=["g"])
         .groupby_aggregate(["g"], AGGREGATES)
         .window(ROLLING)
+        .to_rows()
     )
 
 

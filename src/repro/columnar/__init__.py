@@ -42,9 +42,10 @@ Python backend (enforced by the differential property suite under
 **Plan composition.**  The per-call ``backend="columnar"`` switch converts
 back to the row-major layout after every operator.  To keep a whole plan
 columnar, chain the stages through :class:`~repro.columnar.plan.ColumnarPlan`
-instead — each stage hands the columnar intermediate straight to the next,
-and only the plan boundary (the terminal ``sort`` / ``topk`` / ``window``
-stage, or an explicit ``.relation()``) materialises rows::
+instead — each stage (``sort`` / ``topk`` / ``window`` included: their
+kernels emit columnar output) hands the columnar intermediate straight to
+the next, and only the single explicit ``.to_rows()`` boundary materialises
+rows::
 
     from repro.columnar import ColumnarPlan
 
@@ -52,17 +53,27 @@ stage, or an explicit ``.relation()``) materialises rows::
         ColumnarPlan(orders)                        # AURelation or columnar
         .select(attr("v").ge(const(10)))            # stays columnar
         .join(ColumnarPlan(parts), on=["g"])        # stays columnar
-        .groupby_aggregate(["g"], [("sum", "v", "s")])  # stays columnar
-        .window(spec)                               # boundary: row-major result
+        .window(first_spec)                         # stays columnar
+        .select(attr("w").ge(const(100)))           # stays columnar
+        .window(second_spec)                        # stays columnar
+        .to_rows()                                  # boundary: row-major result
     )
 
-NumPy is required only when the columnar backend is actually selected; the
-rest of the library stays importable without it.
+See ``docs/PLAN_GUIDE.md`` for a stage-by-stage authoring guide.  NumPy is
+required only when the columnar backend is actually selected; the rest of
+the library stays importable without it.
 """
 
 from repro.columnar.plan import ColumnarPlan
 from repro.columnar.relation import ColumnarAURelation
-from repro.columnar.sort import sort_columnar
-from repro.columnar.window import window_columnar
+from repro.columnar.sort import sort_columnar, sort_stage
+from repro.columnar.window import window_columnar, window_stage
 
-__all__ = ["ColumnarAURelation", "ColumnarPlan", "sort_columnar", "window_columnar"]
+__all__ = [
+    "ColumnarAURelation",
+    "ColumnarPlan",
+    "sort_columnar",
+    "sort_stage",
+    "window_columnar",
+    "window_stage",
+]

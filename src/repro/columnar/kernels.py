@@ -38,10 +38,12 @@ from repro.errors import OperatorError
 from repro.relational.sort import sort_key_value
 
 __all__ = [
+    "lexsort_stable",
     "dense_rank_codes",
     "order_code_matrices",
     "lex_rank_pairs",
     "sort_position_bounds",
+    "sort_position_bounds_ranked",
     "selected_guess_positions",
     "emission_schedule",
     "certainly_precedes_matrix",
@@ -55,6 +57,22 @@ __all__ = [
     "sliding_window_sums",
     "sliding_window_extrema",
 ]
+
+
+def lexsort_stable(keys: Sequence[np.ndarray]) -> np.ndarray:
+    """``np.lexsort`` semantics (last key is primary) via chained stable argsorts.
+
+    Bit-identical to ``np.lexsort(keys)`` — both orders are stable — but
+    ~5-7x faster on large key arrays: ``np.lexsort`` pays a per-key merge
+    over the full index array, while successive ``kind="stable"`` argsorts
+    use the radix/timsort fast paths.  The hot sweep orderings (the window
+    sweep's member-pair groupings, emission schedules, ``<ᵗᵒᵗᵃˡ_O`` key
+    stacks) all sort through here.
+    """
+    order = np.argsort(keys[0], kind="stable")
+    for key in keys[1:]:
+        order = order[np.argsort(key[order], kind="stable")]
+    return order
 
 
 # ---------------------------------------------------------------------------
@@ -156,7 +174,7 @@ def _lex_dense_ranks(rows: np.ndarray) -> np.ndarray:
     """Dense ranks of the rows of an integer matrix under lexicographic order."""
     if len(rows) == 0:
         return np.empty(0, dtype=np.int64)
-    order = np.lexsort(rows.T[::-1])
+    order = lexsort_stable(tuple(rows.T[::-1]))
     ordered = rows[order]
     changed = np.any(ordered[1:] != ordered[:-1], axis=1)
     ranks_sorted = np.concatenate([[0], np.cumsum(changed)])
@@ -250,7 +268,7 @@ def selected_guess_positions(
         keys.append(component_rank_codes(relation.column(name), ("sg",))[0])
     for j in reversed(range(sg_codes.shape[1])):
         keys.append(sg_codes[:, j])
-    order = np.lexsort(tuple(keys))
+    order = lexsort_stable(keys)
     weights = relation.mult_sg[order]
     running = np.cumsum(weights) - weights
     positions = np.empty(n, dtype=np.int64)
@@ -267,6 +285,25 @@ def sort_position_bounds(
     row; bit-identical to :func:`repro.ranking.positions.position_bounds` and
     to what the native sweep emits.
     """
+    lower, sg, upper, _latest_rank = sort_position_bounds_ranked(
+        relation, order_by, descending=descending
+    )
+    return lower, sg, upper
+
+
+def sort_position_bounds_ranked(
+    relation: ColumnarAURelation, order_by: Sequence[str], *, descending: bool = False
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`sort_position_bounds` plus the latest-key ranks of every row.
+
+    ``latest_rank`` orders rows by their *latest* (upper-bound) key vector —
+    the comparator the native sweep's emission heap pops by.  The
+    columnar-native sort / window stages order their output rows by
+    ``(latest_rank, input sequence)`` so that chained plans see exactly the
+    row order the Python backend's insertion-ordered dictionaries would feed
+    the next stage (downstream ``<ᵗᵒᵗᵃˡ_O`` sequence-number tiebreakers
+    depend on it).
+    """
     earliest, sg_matrix, latest = order_code_matrices(
         relation, order_by, descending=descending
     )
@@ -276,7 +313,7 @@ def sort_position_bounds(
     upper -= relation.mult_ub
     sg = selected_guess_positions(relation, order_by, sg_matrix)
     sg = np.clip(sg, lower, upper)
-    return lower, sg, upper
+    return lower, sg, upper, latest_rank
 
 
 # ---------------------------------------------------------------------------
@@ -386,25 +423,78 @@ class FrameMemberIndex:
     the members costs ``O(pairs)``.  Total work is ``O((n + q·W) log n +
     pairs)`` with ``W`` distinct widths: linear-ish in the *actual* number of
     possible members instead of quadratic in the relation size.
+
+    All (query, bucket) searches run as *one* ``np.searchsorted`` call: the
+    buckets are concatenated in ascending-width order with their normalised
+    ``pos_lb`` values shifted by ``bucket_index * stride`` (``stride`` wider
+    than the position range, so buckets cannot collide), query values are
+    clamped into the bucket's slot and shifted the same way, and the
+    resulting bounds are *global* indices into the concatenated member
+    array — no per-bucket Python loop.
     """
 
-    __slots__ = ("preceding", "_buckets")
+    __slots__ = ("preceding", "_members", "_widths", "_shifted_lb", "_base", "_stride")
 
     def __init__(self, pos_lb: np.ndarray, pos_ub: np.ndarray, preceding: int):
         self.preceding = preceding
         width = pos_ub - pos_lb
-        self._buckets: list[tuple[int, np.ndarray, np.ndarray]] = []
-        for w in np.unique(width) if len(width) else ():
-            members = np.flatnonzero(width == w)
-            members = members[np.argsort(pos_lb[members], kind="stable")]
-            self._buckets.append((int(w), members, pos_lb[members]))
+        if len(width) == 0:
+            self._members = np.empty(0, dtype=np.int64)
+            self._widths = np.empty(0, dtype=np.int64)
+            self._shifted_lb = np.empty(0, dtype=np.int64)
+            self._base = np.int64(0)
+            self._stride = np.int64(1)
+            return
+        # Members sorted by (width, pos_lb): each width bucket is a
+        # contiguous, pos_lb-sorted run of the concatenated array.
+        order = lexsort_stable((pos_lb, width))
+        self._members = order
+        sorted_width = width[order]
+        bucket_of_member = np.cumsum(
+            np.concatenate([[0], (sorted_width[1:] != sorted_width[:-1]).astype(np.int64)])
+        )
+        starts = np.flatnonzero(
+            np.concatenate([[True], sorted_width[1:] != sorted_width[:-1]])
+        )
+        self._widths = sorted_width[starts]
+        self._base = np.int64(pos_lb.min())
+        self._stride = np.int64(pos_lb.max()) - self._base + 2
+        self._shifted_lb = (pos_lb[order] - self._base) + bucket_of_member * self._stride
+
+    #: Cell budget for the (buckets x queries) bound matrices: query slices
+    #: are sized so one batched searchsorted never materialises more cells.
+    _CELL_BUDGET = 4_000_000
 
     def _bucket_bounds(
-        self, w: int, sorted_lb: np.ndarray, q_lb: np.ndarray, q_ub: np.ndarray
+        self, q_lb: np.ndarray, q_ub: np.ndarray
     ) -> tuple[np.ndarray, np.ndarray]:
-        low = np.searchsorted(sorted_lb, q_lb - self.preceding - w, side="left")
-        high = np.searchsorted(sorted_lb, q_ub, side="right")
+        """Global ``[low, high)`` member-array bounds per (bucket, query).
+
+        Returns flattened bucket-major ``(buckets * queries,)`` arrays.  The
+        query endpoints are clamped into the bucket's slot
+        (``[0, stride - 1]`` for the left bound, ``[-1, stride - 1]`` for the
+        right so an endpoint below every position yields an empty run) before
+        shifting, so an out-of-range endpoint saturates at its own bucket's
+        edge instead of bleeding into a neighbour.
+        """
+        buckets = len(self._widths)
+        lo_values = np.clip(
+            q_lb[None, :] - self.preceding - self._widths[:, None] - self._base,
+            0,
+            self._stride - 1,
+        )
+        hi_values = np.clip(q_ub - self._base, -1, self._stride - 1)
+        shift = (np.arange(buckets, dtype=np.int64) * self._stride)[:, None]
+        low = np.searchsorted(self._shifted_lb, (lo_values + shift).ravel(), side="left")
+        high = np.searchsorted(
+            self._shifted_lb, (hi_values[None, :] + shift).ravel(), side="right"
+        )
         return low, np.maximum(low, high)
+
+    def _query_slices(self, queries: int):
+        step = max(1, self._CELL_BUDGET // max(1, len(self._widths)))
+        for start in range(0, queries, step):
+            yield start, min(queries, start + step)
 
     def pair_counts(self, q_lb: np.ndarray, q_ub: np.ndarray) -> np.ndarray:
         """Per query: how many duplicates possibly fall into its frame.
@@ -412,10 +502,13 @@ class FrameMemberIndex:
         Used to budget the sweep's memory (queries are chunked so the
         materialised pair list stays bounded).
         """
+        buckets = len(self._widths)
         totals = np.zeros(len(q_lb), dtype=np.int64)
-        for w, _members, sorted_lb in self._buckets:
-            low, high = self._bucket_bounds(w, sorted_lb, q_lb, q_ub)
-            totals += high - low
+        if buckets == 0:
+            return totals
+        for start, stop in self._query_slices(len(q_lb)):
+            low, high = self._bucket_bounds(q_lb[start:stop], q_ub[start:stop])
+            totals[start:stop] = (high - low).reshape(buckets, stop - start).sum(axis=0)
         return totals
 
     def member_pairs(
@@ -426,19 +519,29 @@ class FrameMemberIndex:
         ``query`` indexes the ``q_lb`` / ``q_ub`` arrays (a chunk of defining
         duplicates), ``member`` the duplicates this index was built over.
         Certain members are a subset (containment implies overlap); callers
-        classify them per pair and drop the self pair.
+        classify them per pair and drop the self pair.  Pair order is
+        deterministic but unspecified across query slices; every consumer
+        reduces per (query, member) group, so the order never reaches results.
         """
-        queries: list[np.ndarray] = []
-        members_out: list[np.ndarray] = []
-        for w, members, sorted_lb in self._buckets:
-            low, high = self._bucket_bounds(w, sorted_lb, q_lb, q_ub)
-            counts = high - low
-            queries.append(np.repeat(np.arange(len(q_lb), dtype=np.int64), counts))
-            members_out.append(members[expand_ranges(low, high)])
-        if not queries:
+        if len(self._widths) == 0:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty
-        return np.concatenate(queries), np.concatenate(members_out)
+        query_parts: list[np.ndarray] = []
+        member_parts: list[np.ndarray] = []
+        for start, stop in self._query_slices(len(q_lb)):
+            low, high = self._bucket_bounds(q_lb[start:stop], q_ub[start:stop])
+            counts = high - low
+            query_parts.append(
+                start
+                + np.repeat(
+                    np.tile(np.arange(stop - start, dtype=np.int64), len(self._widths)),
+                    counts,
+                )
+            )
+            member_parts.append(self._members[expand_ranges(low, high)])
+        if len(query_parts) == 1:
+            return query_parts[0], member_parts[0]
+        return np.concatenate(query_parts), np.concatenate(member_parts)
 
 
 def interval_point_match_pairs(

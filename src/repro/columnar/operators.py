@@ -36,6 +36,7 @@ from typing import Callable, Mapping, Sequence
 import numpy as np
 
 from repro.columnar.expressions import predicate_masks, range_columns
+from repro.columnar.kernels import lexsort_stable
 from repro.columnar.relation import (
     FLOAT64_EXACT_MAX,
     AttributeColumn,
@@ -60,6 +61,7 @@ __all__ = [
     "cross",
     "join",
     "groupby_aggregate",
+    "merge_equal_rows",
 ]
 
 
@@ -93,7 +95,7 @@ def select(
 
 def project(relation: ColumnarAURelation, attributes: Sequence[str]) -> ColumnarAURelation:
     """Bag projection: rows with equal projected hypercubes merge (annotations add)."""
-    return _merge_equal_rows(relation.restrict(attributes))
+    return merge_equal_rows(relation.restrict(attributes))
 
 
 def extend(
@@ -121,7 +123,7 @@ def union(left: ColumnarAURelation, right: ColumnarAURelation) -> ColumnarAURela
     """Bag union: rows with identical hypercubes merge, annotations add."""
     if left.schema != right.schema:
         raise SchemaError("union requires identical schemas")
-    return _merge_equal_rows(left.concat(right))
+    return merge_equal_rows(left.concat(right))
 
 
 #: Row-block size bounding the pairwise overlap mask of :func:`distinct`.
@@ -240,6 +242,29 @@ def cross(left: ColumnarAURelation, right: ColumnarAURelation) -> ColumnarAURela
     )
 
 
+def _pair_values(
+    left: ColumnarAURelation,
+    right: ColumnarAURelation,
+    left_rows: np.ndarray,
+    right_rows: np.ndarray,
+) -> list[tuple[RangeValue, ...]] | None:
+    """Row-major value cache of selected pair rows (when both sides carry one).
+
+    Concatenating the cached value tuples keeps the cache flowing through
+    join stages, so the eventual boundary conversion only rebuilds range
+    values for columns computed *after* the join.  Callers pass only the
+    *surviving* pairs — building the cache for a full pair grid would cost
+    ``O(|L|·|R|)`` Python work before the equality masks prune it.
+    """
+    if left._values is None or right._values is None:
+        return None
+    left_values, right_values = left._values, right._values
+    return [
+        left_values[i] + right_values[j]
+        for i, j in zip(left_rows.tolist(), right_rows.tolist())
+    ]
+
+
 def join(
     left: ColumnarAURelation,
     right: ColumnarAURelation,
@@ -323,7 +348,14 @@ def join(
     mult_lb = np.where(certain, product.mult_lb, 0)
     mult_sg = np.where(sg, product.mult_sg, 0)
     mult_ub = np.where(possible, product.mult_ub, 0)
-    return product.with_multiplicities(mult_lb, mult_sg, mult_ub).mask(mult_ub > 0)
+    keep = np.flatnonzero(mult_ub > 0)
+    result = product.with_multiplicities(mult_lb, mult_sg, mult_ub).take(keep)
+    if len(right):
+        # Attach the row-value cache for the *surviving* pairs only (the
+        # product enumerates left-outer / right-inner, so pair t is
+        # (t // |R|, t % |R|)).
+        result._values = _pair_values(left, right, keep // len(right), keep % len(right))
+    return result
 
 
 def _column_certain(column: AttributeColumn) -> bool:
@@ -367,7 +399,7 @@ def _searchsorted_key_pairs(
         return None
     # Restore the pair grid's left-outer / right-inner enumeration order so
     # the result rows line up with the grid kernel (and the Python backend).
-    order = np.lexsort((right_rows, left_rows))
+    order = lexsort_stable((right_rows, left_rows))
     return left_rows[order], right_rows[order]
 
 
@@ -430,7 +462,12 @@ def _join_pairs(
     mult_lb = np.where(certain, product.mult_lb, 0)
     mult_sg = np.where(sg, product.mult_sg, 0)
     mult_ub = np.where(possible, product.mult_ub, 0)
-    return product.with_multiplicities(mult_lb, mult_sg, mult_ub).mask(mult_ub > 0)
+    keep = np.flatnonzero(mult_ub > 0)
+    result = product.with_multiplicities(mult_lb, mult_sg, mult_ub).take(keep)
+    # Attach the row-value cache for the *surviving* pairs only (matching
+    # the grid path: candidates the masks pruned never pay the scalar pass).
+    result._values = _pair_values(left, right, left_rows[keep], right_rows[keep])
+    return result
 
 
 def _pairwise_equality(
@@ -589,7 +626,7 @@ def groupby_aggregate(
         pair_row_parts.append(uncertain_rows[row_idx])
     pair_group = np.concatenate(pair_group_parts)
     pair_row = np.concatenate(pair_row_parts)
-    pair_order = np.lexsort((pair_row, pair_group))
+    pair_order = lexsort_stable((pair_row, pair_group))
     pair_group = pair_group[pair_order]
     pair_row = pair_row[pair_order]
     pair_certain = point_row[pair_row] & (relation.mult_lb[pair_row] > 0)
@@ -958,7 +995,7 @@ def _scalar_aggregate_column(
 # ---------------------------------------------------------------------------
 
 
-def _merge_equal_rows(relation: ColumnarAURelation) -> ColumnarAURelation:
+def merge_equal_rows(relation: ColumnarAURelation) -> ColumnarAURelation:
     """Merge rows with equal hypercubes, annotations adding pointwise.
 
     Equality follows the scalar semantics (``RangeValue.__eq__`` per

@@ -1,14 +1,14 @@
 """Plan composition over the columnar backend.
 
-:class:`ColumnarPlan` chains the vectorized ``RA⁺`` kernels of
-:mod:`repro.columnar.operators` so a whole query stays in the columnar layout
-from ingest to result — no intermediate row-major
+:class:`ColumnarPlan` chains the vectorized ``RA⁺``, ranking, and window
+kernels of :mod:`repro.columnar` so a whole query stays in the columnar
+layout from ingest to result — no intermediate row-major
 :class:`~repro.core.relation.AURelation` is materialised between stages.
-Only the *plan boundary* converts: the terminal :meth:`~ColumnarPlan.sort` /
-:meth:`~ColumnarPlan.topk` / :meth:`~ColumnarPlan.window` operators (whose
-kernels emit row-major results) and the explicit :meth:`~ColumnarPlan.relation`
-accessor.  Every other stage — including
-:meth:`~ColumnarPlan.groupby_aggregate` — is columnar in, columnar out.
+Every stage is non-terminal — including :meth:`~ColumnarPlan.sort`,
+:meth:`~ColumnarPlan.topk`, and :meth:`~ColumnarPlan.window`, whose kernels
+emit columnar output — so plans can continue past a window (e.g.
+``window → select → window``); only the single explicit
+:meth:`~ColumnarPlan.to_rows` boundary converts.
 
 >>> from repro.core.expressions import attr, const
 >>> from repro.core.relation import AURelation
@@ -21,7 +21,7 @@ accessor.  Every other stage — including
 ...     .select(attr("v").gt(const(10)))
 ...     .join(ColumnarPlan(parts), on=["g"])
 ...     .groupby_aggregate(["g"], [("sum", "v", "total")])
-...     .relation()            # boundary: row-major AURelation
+...     .to_rows()             # boundary: row-major AURelation
 ... )
 >>> for tup, _m in result:
 ...     print(tup.value("g"), tup.value("total"))
@@ -29,7 +29,19 @@ accessor.  Every other stage — including
 1 30
 
 Every stage is bit-identical to running the corresponding Python-backend
-operator chain on row-major relations.
+operator chain on row-major relations — including the row *order* fed to
+the next stage, so downstream ``<ᵗᵒᵗᵃˡ_O`` sequence-number tiebreakers
+cannot drift between the backends.  Chaining a stage onto an
+already-materialised result raises a clear
+:class:`~repro.errors.PlanError` instead of an ``AttributeError``:
+
+>>> rows = ColumnarPlan(orders).select(attr("v").gt(const(10))).to_rows()
+>>> rows.window(None)
+Traceback (most recent call last):
+    ...
+repro.errors.PlanError: cannot add stage 'window' after .to_rows(): the plan \
+was already materialised to a row-major AURelation; wrap the result in \
+ColumnarPlan(...) to keep querying it
 """
 
 from __future__ import annotations
@@ -43,6 +55,7 @@ from repro.core.expressions import Expression
 from repro.core.ranges import RangeValue
 from repro.core.relation import AURelation
 from repro.core.tuples import AUTuple
+from repro.errors import PlanError
 from repro.window.spec import WindowSpec
 
 __all__ = ["ColumnarPlan"]
@@ -53,8 +66,8 @@ class ColumnarPlan:
 
     Each method returns a new plan wrapping the resulting
     :class:`ColumnarAURelation`; the wrapped relation is exposed through
-    :meth:`columnar` (no conversion) and :meth:`relation` (row-major
-    boundary conversion).
+    :meth:`columnar` (no conversion) and :meth:`to_rows` (the row-major
+    plan boundary).
     """
 
     __slots__ = ("_relation",)
@@ -71,9 +84,22 @@ class ColumnarPlan:
         """The current intermediate result, still columnar (no conversion)."""
         return self._relation
 
+    def to_rows(self) -> AURelation:
+        """Materialise the plan result as a row-major relation (plan boundary).
+
+        The single point a plan converts.  The result is an ordinary
+        :class:`~repro.core.relation.AURelation`; chaining further plan
+        stages onto it raises :class:`~repro.errors.PlanError` — wrap it in
+        a fresh ``ColumnarPlan`` to keep querying it.
+        """
+        result = self._relation.to_relation()
+        boundary = _MaterialisedPlanResult(result.schema)
+        boundary._rows = result._rows
+        return boundary
+
     def relation(self) -> AURelation:
-        """Materialise the plan result as a row-major relation (plan boundary)."""
-        return self._relation.to_relation()
+        """Alias of :meth:`to_rows` (kept for callers of the old boundary name)."""
+        return self.to_rows()
 
     def __len__(self) -> int:
         return len(self._relation)
@@ -131,16 +157,12 @@ class ColumnarPlan:
     ) -> "ColumnarPlan":
         """Grouped aggregation with range-bounded results (stays columnar).
 
-        Unlike the terminal sort / window stages this is a regular ``RA⁺``
-        stage: the aggregated relation remains columnar, so plans can keep
-        chaining (e.g. ``select → join → groupby_aggregate → window``)
-        without an intermediate row-major conversion.  Semantics and
-        ``aggregates`` format as in
+        Semantics and ``aggregates`` format as in
         :func:`repro.core.operators.groupby_aggregate`.
         """
         return ColumnarPlan(ops.groupby_aggregate(self._relation, group_by, aggregates))
 
-    # -- terminal ranking / window stages (row-major out: plan boundary) ----
+    # -- ranking / window stages (columnar in, columnar out) ----------------
 
     def sort(
         self,
@@ -148,15 +170,22 @@ class ColumnarPlan:
         *,
         position_attribute: str = "pos",
         descending: bool = False,
-    ) -> AURelation:
-        """Uncertain sort over the columnar kernels (terminal stage)."""
-        from repro.columnar.sort import sort_columnar
+    ) -> "ColumnarPlan":
+        """Uncertain sort over the columnar kernels (stays columnar).
 
-        return sort_columnar(
-            self._relation,
-            order_by,
-            position_attribute=position_attribute,
-            descending=descending,
+        Appends the range-annotated position attribute; the plan can keep
+        chaining (e.g. select on the position, window over it) without a
+        row-major round trip.
+        """
+        from repro.columnar.sort import sort_stage
+
+        return ColumnarPlan(
+            sort_stage(
+                self._relation,
+                order_by,
+                position_attribute=position_attribute,
+                descending=descending,
+            )
         )
 
     def topk(
@@ -166,29 +195,71 @@ class ColumnarPlan:
         *,
         position_attribute: str = "pos",
         descending: bool = False,
-    ) -> AURelation:
-        """Uncertain top-k over the columnar kernels (terminal stage)."""
-        from repro.columnar.sort import sort_columnar
+    ) -> "ColumnarPlan":
+        """Uncertain top-k over the columnar kernels (stays columnar)."""
+        from repro.columnar.sort import sort_stage
         from repro.core.expressions import attr
-        from repro.core.operators.select import select as row_select
         from repro.errors import OperatorError
 
         if k < 0:
             raise OperatorError("k must be non-negative")
-        ranked = sort_columnar(
+        ranked = sort_stage(
             self._relation,
             order_by,
             k=k,
             position_attribute=position_attribute,
             descending=descending,
         )
-        return row_select(ranked, attr(position_attribute).lt(k))
+        return ColumnarPlan(ops.select(ranked, attr(position_attribute).lt(k)))
 
-    def window(self, spec: WindowSpec) -> AURelation:
-        """Uncertain windowed aggregation over the columnar kernels (terminal stage)."""
-        from repro.columnar.window import window_columnar
+    def window(self, spec: WindowSpec) -> "ColumnarPlan":
+        """Uncertain windowed aggregation over the columnar kernels (stays columnar).
 
-        return window_columnar(self._relation, spec)
+        Appends the range-annotated aggregate attribute; plans can continue
+        past the window (e.g. ``window → select → window``, the composed
+        RA⁺ setting) without re-converting between the layouts.
+        """
+        from repro.columnar.window import window_stage
+
+        return ColumnarPlan(window_stage(self._relation, spec))
+
+
+#: Stage names guarded on materialised plan results (kept in sync with the
+#: ColumnarPlan methods above).
+_STAGE_NAMES = (
+    "select", "project", "extend", "rename", "distinct", "union", "cross",
+    "join", "groupby_aggregate", "sort", "topk", "window", "to_rows", "columnar",
+)
+
+
+class _MaterialisedPlanResult(AURelation):
+    """The row-major relation a plan materialises at its ``.to_rows()`` boundary.
+
+    Behaves exactly like an :class:`~repro.core.relation.AURelation`; the
+    plan-stage method names are stubbed to raise a clear
+    :class:`~repro.errors.PlanError` (instead of ``AttributeError``) when a
+    stage is chained past the boundary.
+    """
+
+    __slots__ = ()
+
+
+def _stage_guard(name: str):
+    def guard(self, *_args, **_kwargs):
+        raise PlanError(
+            f"cannot add stage {name!r} after .to_rows(): the plan was already "
+            "materialised to a row-major AURelation; wrap the result in "
+            "ColumnarPlan(...) to keep querying it"
+        )
+
+    guard.__name__ = name
+    guard.__doc__ = f"Raises :class:`PlanError`: {name!r} is a plan stage, not a relation method."
+    return guard
+
+
+for _name in _STAGE_NAMES:
+    setattr(_MaterialisedPlanResult, _name, _stage_guard(_name))
+del _name
 
 
 def _unwrap(

@@ -42,6 +42,7 @@ __all__ = [
     "ComponentProfile",
     "FLOAT64_EXACT_MAX",
     "column_array",
+    "concat_components",
     "as_columnar",
     "profile_components",
 ]
@@ -313,16 +314,36 @@ class ColumnarAURelation:
         """
         schema = self.schema.project(attributes)
         columns = [self.column(name) for name in attributes]
-        return ColumnarAURelation(schema, columns, self.mult_lb, self.mult_sg, self.mult_ub)
+        values = None
+        if self._values is not None:
+            indices = [self.schema.index_of(name) for name in attributes]
+            values = [tuple(row[k] for k in indices) for row in self._values]
+        return ColumnarAURelation(
+            schema, columns, self.mult_lb, self.mult_sg, self.mult_ub, _values=values
+        )
 
     def with_column(self, column: AttributeColumn) -> "ColumnarAURelation":
-        """One computed attribute appended (row-aligned component arrays)."""
+        """One computed attribute appended (row-aligned component arrays).
+
+        When the receiver carries the row-major value cache, it is extended
+        with the new column's range values (only the appended column pays a
+        scalar pass), so boundary conversions after a sort / window /
+        extend stage stay as cheap as before the stage.
+        """
+        values = None
+        if self._values is not None:
+            lb, sg, ub = column.lb.tolist(), column.sg.tolist(), column.ub.tolist()
+            values = [
+                base + (RangeValue(lb[i], sg[i], ub[i]),)
+                for i, base in enumerate(self._values)
+            ]
         return ColumnarAURelation(
             self.schema.extend(column.name),
             self.columns + (column,),
             self.mult_lb,
             self.mult_sg,
             self.mult_ub,
+            _values=values,
         )
 
     def with_multiplicities(
@@ -370,17 +391,24 @@ class ColumnarAURelation:
         return int(self.mult_sg.sum()) if len(self) else 0
 
 
-def _concat_components(left: np.ndarray, right: np.ndarray) -> np.ndarray:
-    """Concatenate two bound-component arrays without lossy dtype promotion.
+def concat_components(arrays: Sequence[np.ndarray]) -> np.ndarray:
+    """Concatenate bound-component arrays without lossy dtype promotion.
 
-    Same non-object dtypes concatenate directly; any other pairing (e.g.
+    Equal non-object dtypes concatenate directly; any other mix (e.g.
     ``int64`` with ``float64``, whose promotion would round integers beyond
     ``2**53``, or anything involving ``object``) re-packs the Python scalars
-    through :func:`column_array` so every value survives unchanged.
+    through :func:`column_array` so every value survives unchanged.  The
+    single definition of the rule — :meth:`ColumnarAURelation.concat` and
+    the window sweep's partition stitching both concatenate through here.
     """
-    if left.dtype == right.dtype and left.dtype != object:
-        return np.concatenate([left, right])
-    return column_array(left.tolist() + right.tolist())
+    first_dtype = arrays[0].dtype
+    if first_dtype != object and all(arr.dtype == first_dtype for arr in arrays):
+        return np.concatenate(list(arrays))
+    return column_array([value for arr in arrays for value in arr.tolist()])
+
+
+def _concat_components(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+    return concat_components((left, right))
 
 
 def as_columnar(relation: AURelation | ColumnarAURelation) -> ColumnarAURelation:

@@ -1,25 +1,105 @@
 """Uncertain sort / top-k over the columnar backend.
 
-:func:`sort_columnar` computes the same range-annotated position attribute as
+:func:`sort_stage` computes the same range-annotated position attribute as
 :func:`repro.ranking.native.sort_native` and
 :func:`repro.ranking.semantics.sort_rewrite` — the three implementations are
 bound-identical (enforced by the differential property suite) — but evaluates
 the position bounds with the vectorized kernels of
-:mod:`repro.columnar.kernels` instead of a per-tuple heap sweep.
+:mod:`repro.columnar.kernels` instead of a per-tuple heap sweep, and emits a
+:class:`~repro.columnar.relation.ColumnarAURelation`: the position column is
+appended columnar-side and the Fig. 4 per-duplicate split expands the aligned
+``lb`` / ``sg`` / ``ub`` arrays in bulk, so a :class:`~repro.columnar.plan.ColumnarPlan`
+can keep chaining stages past a sort without materialising rows.
+
+:func:`sort_columnar` is the thin row-major adapter the
+``backend="columnar"`` entry points dispatch to (bit-identical to the Python
+backend, as before).
+
+>>> from repro.core.relation import AURelation
+>>> audb = AURelation.from_rows(["a"], [((3,), 1), ((1,), 2)])
+>>> for tup, mult in sort_columnar(audb, ["a"]):
+...     print(tup.value("a"), tup.value("pos"), mult)
+1 0 (1,1,1)
+1 1 (1,1,1)
+3 2 (1,1,1)
 """
 
 from __future__ import annotations
 
 from typing import Sequence
 
-from repro.columnar.kernels import sort_position_bounds
-from repro.columnar.relation import ColumnarAURelation, as_columnar
-from repro.core.multiplicity import duplicate_annotation
-from repro.core.ranges import RangeValue
+import numpy as np
+
+from repro.columnar.kernels import duplicate_offsets, sort_position_bounds_ranked
+from repro.columnar.relation import AttributeColumn, ColumnarAURelation, as_columnar
 from repro.core.relation import AURelation
 from repro.errors import OperatorError
 
-__all__ = ["sort_columnar"]
+__all__ = ["sort_stage", "sort_columnar"]
+
+
+def sort_stage(
+    relation: AURelation | ColumnarAURelation,
+    order_by: Sequence[str],
+    *,
+    k: int | None = None,
+    position_attribute: str = "pos",
+    descending: bool = False,
+) -> ColumnarAURelation:
+    """Uncertain sort emitting a columnar relation (non-terminal plan stage).
+
+    Accepts either relation layout (row-major inputs are converted).  With
+    ``k`` given, duplicates whose position is certainly not among the first
+    ``k`` are pruned — exactly the duplicates a top-k selection on the
+    position attribute would filter to zero, so top-k results agree with the
+    Python backend bit for bit.
+
+    The result is the columnar twin of ``sort_native``'s output, *including
+    row order*: rows are emitted in the native sweep's emission order —
+    latest key vector, then input sequence, then duplicate offset (the order
+    the Python backend's insertion-ordered dictionary ends up in) — so
+    chained plans feed the next stage the same ``<ᵗᵒᵗᵃˡ_O`` sequence-number
+    tiebreakers as the row-major path.
+    """
+    if not order_by:
+        raise OperatorError("sort requires at least one order-by attribute")
+    columnar = as_columnar(relation)
+    columnar.schema.require(list(order_by))
+    columnar.schema.extend(position_attribute)  # validates the name early
+
+    n = len(columnar)
+    lower, sg, upper, latest_rank = sort_position_bounds_ranked(
+        columnar, order_by, descending=descending
+    )
+
+    # The native sweep emits a tuple once an incoming tuple certainly follows
+    # it: emission order is its latest key vector, ties broken by the input
+    # sequence number.
+    emit = np.argsort(latest_rank, kind="stable")  # stable: input order breaks ties
+    ordered = columnar.take(emit)
+
+    # Fig. 4 / Algorithm 2 split: the j-th duplicate shifts the base position
+    # by j and is certain / selected-guess-only / merely possible depending on
+    # where j falls in the multiplicity triple.
+    row, offset = duplicate_offsets(ordered.mult_ub)
+    pos_lb = lower[emit][row] + offset
+    pos_sg = sg[emit][row] + offset
+    pos_ub = upper[emit][row] + offset
+    if k is not None:
+        keep = pos_lb < k
+        row, offset = row[keep], offset[keep]
+        pos_lb, pos_sg, pos_ub = pos_lb[keep], pos_sg[keep], pos_ub[keep]
+
+    expanded = ordered.take(row)
+    # Every output hypercube is distinct by construction — the columnar
+    # layout holds one row per *distinct* range tuple, and duplicates of one
+    # row occupy distinct positions — so the merge-on-collision semantics of
+    # AURelation.add cannot fire and no duplicate merge is needed.
+    return expanded.with_multiplicities(
+        (offset < ordered.mult_lb[row]).astype(np.int64),
+        (offset < ordered.mult_sg[row]).astype(np.int64),
+        np.ones(len(row), dtype=np.int64),
+    ).with_column(AttributeColumn(position_attribute, pos_lb, pos_sg, pos_ub))
 
 
 def sort_columnar(
@@ -30,47 +110,15 @@ def sort_columnar(
     position_attribute: str = "pos",
     descending: bool = False,
 ) -> AURelation:
-    """Uncertain sort over the columnar backend; optionally top-k pruned.
+    """Row-major adapter over :func:`sort_stage` (the plan boundary).
 
-    Accepts either relation layout (row-major inputs are converted).  With
-    ``k`` given, duplicates whose position is certainly not among the first
-    ``k`` are pruned — exactly the duplicates a top-k selection on the
-    position attribute would filter to zero, so top-k results agree with the
-    Python backend bit for bit.
+    This is what ``backend="columnar"`` on the sort / top-k entry points
+    dispatches to; results are bit-identical to the Python backend.
     """
-    if not order_by:
-        raise OperatorError("sort requires at least one order-by attribute")
-    columnar = as_columnar(relation)
-    columnar.schema.require(list(order_by))
-
-    lower, sg, upper = sort_position_bounds(columnar, order_by, descending=descending)
-
-    out_schema = columnar.schema.extend(position_attribute)
-    out = AURelation(out_schema)
-    # Materialise straight into the relation's row dictionary: every output
-    # hypercube is distinct by construction (distinct input rows got merged on
-    # conversion and duplicates of one row occupy distinct positions), so the
-    # per-tuple schema checks of AURelation.add would be pure overhead — but
-    # keep the merge-on-collision semantics for safety.
-    rows_out = out._rows
-    lower_l, sg_l, upper_l = lower.tolist(), sg.tolist(), upper.tolist()
-    mult_lb = columnar.mult_lb.tolist()
-    mult_sg = columnar.mult_sg.tolist()
-    mult_ub = columnar.mult_ub.tolist()
-    for i in range(len(columnar)):
-        base_lb = lower_l[i]
-        base_sg = sg_l[i]
-        base_ub = upper_l[i]
-        m_lb, m_sg, m_ub = mult_lb[i], mult_sg[i], mult_ub[i]
-        values = columnar.row_values(i)
-        # Inlined split of Fig. 4 / Algorithm 2: the j-th duplicate shifts the
-        # base position by j and is certain / selected-guess-only / possible
-        # depending on where j falls in the multiplicity triple.
-        for j in range(m_ub):
-            if k is not None and base_lb + j >= k:
-                break
-            key = values + (RangeValue(base_lb + j, base_sg + j, base_ub + j),)
-            duplicate_mult = duplicate_annotation(j, m_lb, m_sg)
-            existing = rows_out.get(key)
-            rows_out[key] = duplicate_mult if existing is None else existing.add(duplicate_mult)
-    return out
+    return sort_stage(
+        relation,
+        order_by,
+        k=k,
+        position_attribute=position_attribute,
+        descending=descending,
+    ).to_relation()

@@ -1,10 +1,28 @@
 """Vectorized uncertain windowed aggregation over the columnar backend.
 
-:func:`window_columnar` computes the same range-annotated aggregate attribute
+:func:`window_stage` computes the same range-annotated aggregate attribute
 as :func:`repro.window.native.window_native` and
 :func:`repro.window.semantics.window_rewrite` — the three implementations are
 bound-identical (enforced by the differential property suite) — but replaces
-the native sweep's heaps with columnar kernels:
+the native sweep's heaps with columnar kernels and emits a
+:class:`~repro.columnar.relation.ColumnarAURelation`: the aggregate column is
+appended columnar-side and the Fig. 4 per-duplicate split expands the aligned
+``lb`` / ``sg`` / ``ub`` arrays in bulk, so a
+:class:`~repro.columnar.plan.ColumnarPlan` can keep chaining stages past a
+window without materialising rows.  :func:`window_columnar` is the thin
+row-major adapter the ``backend="columnar"`` entry points dispatch to.
+
+>>> from repro.core.relation import AURelation
+>>> from repro.window.spec import WindowSpec
+>>> audb = AURelation.from_rows(["o", "v"], [((1, 4), 1), ((2, 6), 1), ((3, 5), (0, 1, 1))])
+>>> spec = WindowSpec(function="sum", attribute="v", output="s", order_by=("o",), frame=(-1, 0))
+>>> for tup, mult in window_columnar(audb, spec):
+...     print(tup.value("o"), tup.value("s"), mult)
+1 4 (1,1,1)
+2 10 (1,1,1)
+3 11 (0,1,1)
+
+The kernel sweep:
 
 * sort-position bound triples come from the prefix-sum kernels of
   :mod:`repro.columnar.kernels` (Equations 1-3),
@@ -16,25 +34,39 @@ the native sweep's heaps with columnar kernels:
   are ever materialised (chunked to bound peak memory) instead of the
   quadratic query x candidate mask grid,
 * aggregate bounds are grouped reductions over those pairs — ``bincount``
-  sums for the certain members, one shared lexsort + grouped prefix sums for
-  the min-k / max-k possible contributions of ``sum`` (at most
-  ``frame_size - 1`` candidates ever matter), and
+  sums for the certain members and a segmented k-pass selection
+  (``np.minimum.at`` per pass, no sort of the pair list) for the min-k /
+  max-k possible contributions of ``sum`` (at most ``frame_size - 1``
+  candidates ever matter), and
 * the selected-guess aggregate is a deterministic rolling computation over
   the selected-guess order (prefix sums for ``sum`` / ``count`` / ``avg``,
   sliding extrema for ``min`` / ``max``).
 
 ``CURRENT ROW AND N FOLLOWING`` frames use the same mirrored-order reduction
 as the native sweep; certain partition-by attributes sweep per partition via
-:meth:`~repro.columnar.relation.ColumnarAURelation.take`; everything outside
-the sweepable class (two-sided frames, frames excluding the current row,
-uncertain partition-by attributes) falls back to the definitional rewrite,
-exactly like the Python backend.  Results are bit-identical to the Python
-backend: aggregation columns the float64 kernels cannot reproduce exactly —
-integers too large for exact float64 comparisons or window sums
-(``magnitude * frame_size >= 2**53``, which also covers min/max), float
-columns under ``sum`` / ``avg`` (whose result depends on accumulation
-order), and NaN-carrying relations — delegate to the definitional rewrite;
-``count`` ignores values and is always vectorized.
+:meth:`~repro.columnar.relation.ColumnarAURelation.take`.  Results are
+bit-identical to the Python backend *including row order*: sweep output rows
+follow the native sweep's emission order — aggregate windows close in
+``(position upper bound, position lower bound, ranked sequence)`` order — so
+chained plans feed the next stage the same ``<ᵗᵒᵗᵃˡ_O`` sequence-number
+tiebreakers as the row-major path.  Inputs the vectorized kernels cannot
+reproduce exactly delegate to the Python backend itself
+(:func:`~repro.window.native.window_native`, which also owns the dispatch of
+frame classes outside the sweepable one): window specs outside the sweepable
+class (two-sided frames, frames excluding the current row, uncertain
+partition-by attributes), NaN-carrying relations, aggregation columns whose
+float64 math is inexact (integers with ``magnitude * frame_size >= 2**53``,
+float columns under ``sum`` / ``avg``).  On NaN-carrying relations the
+native sweep and the definitional rewrite *genuinely disagree* (NaN breaks
+the total order and their comparison strategies resolve it differently);
+the columnar backend follows the **native** sweep there — it is the
+implementation ``backend="columnar"`` substitutes for, and what a chained
+plan's python-per-stage reference runs (pinned by
+``tests/unit/test_columnar.py``).  Non-numeric aggregation columns
+(strings, ``None``) delegate to the definitional rewrite — the Python
+sweep's connected heap negates value upper bounds, so the rewrite is the
+only backend covering them; ``count`` ignores values and is always
+vectorized.
 """
 
 from __future__ import annotations
@@ -44,37 +76,82 @@ import numpy as np
 from repro.columnar.kernels import (
     FrameMemberIndex,
     duplicate_offsets,
+    lexsort_stable,
     sliding_window_extrema,
     sliding_window_sums,
-    sort_position_bounds,
+    sort_position_bounds_ranked,
 )
-from repro.columnar.relation import ColumnarAURelation, as_columnar
-from repro.core.multiplicity import duplicate_annotation
-from repro.core.ranges import RangeValue
+from repro.columnar.relation import (
+    AttributeColumn,
+    ColumnarAURelation,
+    as_columnar,
+    column_array,
+    concat_components,
+)
 from repro.core.relation import AURelation
 from repro.errors import OperatorError, WindowSpecError
 from repro.window.spec import WindowSpec
 
-__all__ = ["window_columnar"]
+__all__ = ["window_stage", "window_columnar"]
 
 #: Target number of materialised (query, member) pairs per sweep chunk
 #: (bounds peak memory of the pair lists).
 _PAIR_BUDGET = 4_000_000
 
 
+def window_stage(
+    relation: AURelation | ColumnarAURelation, spec: WindowSpec
+) -> ColumnarAURelation:
+    """Uncertain windowed aggregation emitting a columnar relation.
+
+    Accepts either relation layout (row-major inputs are converted).  The
+    result is the columnar twin of ``window_native``'s output — same
+    hypercubes, annotations, and row order — so plans can keep chaining
+    (e.g. ``window → select → window``) without a row-major round trip.
+    Inputs outside the vectorizable class delegate to the Python backend and
+    convert back (the only case a mid-plan stage touches the row-major
+    layout).
+    """
+    columnar = as_columnar(relation)
+    kind, spec, groups = _classify(columnar, spec)
+    if kind != "sweep":
+        return ColumnarAURelation.from_relation(
+            _fallback_rows(columnar.to_relation(), spec, kind)
+        )
+    return _partitioned_sweep(columnar, spec, groups)
+
+
 def window_columnar(
     relation: AURelation | ColumnarAURelation, spec: WindowSpec
 ) -> AURelation:
-    """Uncertain windowed aggregation over the columnar backend.
+    """Row-major adapter over :func:`window_stage` (the plan boundary).
 
-    Accepts either relation layout (row-major inputs are converted).  The
-    result is bit-identical to ``window_native`` / ``window_rewrite``.
+    This is what ``backend="columnar"`` on the window entry points dispatches
+    to; results are bit-identical to ``window_native`` / ``window_rewrite``.
+    Fallback paths reuse a row-major input directly instead of round-tripping
+    it through the columnar layout.
     """
     columnar = as_columnar(relation)
-    # Fallback paths delegate to the rewrite on a row-major relation; when
-    # the caller already handed one over, reuse it instead of round-tripping
-    # through the columnar layout.
     source = relation if isinstance(relation, AURelation) else None
+    kind, spec, groups = _classify(columnar, spec)
+    if kind != "sweep":
+        rows = source if source is not None else columnar.to_relation()
+        return _fallback_rows(rows, spec, kind)
+    return _partitioned_sweep(columnar, spec, groups).to_relation()
+
+
+def _classify(
+    columnar: ColumnarAURelation, spec: WindowSpec
+) -> tuple[str, WindowSpec, list[list[int]] | None]:
+    """Validate the spec and pick the execution path.
+
+    Returns ``(kind, spec, partition_groups)`` with the mirrored-order
+    reduction already applied to ``spec``.  ``kind`` is ``"sweep"`` (the
+    vectorized kernels apply), ``"native"`` (delegate to the Python backend:
+    it owns both the non-sweepable frame classes and the exact scalar math
+    the float64 kernels cannot reproduce), or ``"rewrite"`` (non-numeric
+    aggregation columns, which only the definitional rewrite covers).
+    """
     columnar.schema.require(list(spec.order_by))
     columnar.schema.require(list(spec.partition_by))
     if spec.attribute is not None and spec.attribute != "*":
@@ -87,14 +164,14 @@ def window_columnar(
         # the mirrored sort order (the native sweep's reduction).
         spec = spec.mirrored()
     if not spec.preceding_only:
-        return _fallback_rewrite(columnar, spec, source)
+        return "native", spec, None
 
     if _contains_nan(columnar):
         # NaN breaks the total order both backends sort by: the rank-encoded
         # kernels and Python's comparison-based sorts (and min/max) resolve
         # the incoherent comparisons differently, so NaN-carrying relations
-        # stay on the definitional path wholesale.
-        return _fallback_rewrite(columnar, spec, source)
+        # stay on the Python backend wholesale.
+        return "native", spec, None
 
     if spec.function not in ("sum", "count", "min", "max", "avg"):
         # Unreachable today (WindowSpec validates against the same set);
@@ -109,42 +186,91 @@ def window_columnar(
             # exact definitional path.  (The Python sweep's connected heap
             # negates value upper bounds, so the rewrite is the only backend
             # covering them.)
-            return _fallback_rewrite(columnar, spec, source)
+            return "rewrite", spec, None
         if spec.function in ("sum", "avg") and any(
             arr.dtype == np.float64 for arr in (column.lb, column.sg, column.ub)
         ):
             # Sum bounds select min-k / max-k member subsets per window; the
             # vectorized selection and the tuple-at-a-time implementations
             # assemble them differently, so float columns (where rounding
-            # could expose that) delegate to the definitional rewrite.
-            return _fallback_rewrite(columnar, spec, source)
+            # could expose that) delegate to the Python backend.
+            return "native", spec, None
         if not _float64_exact(column, spec.frame_size):
             # The masked bound kernels compare and accumulate in float64;
             # integers large enough that a value (or a window sum) exceeds
             # 2**53 would be silently rounded (cf. the same guard in
             # kernels.component_rank_codes).
-            return _fallback_rewrite(columnar, spec, source)
+            return "native", spec, None
 
     if spec.partition_by:
         groups = _certain_partition_groups(columnar, spec.partition_by)
         if groups is None:
-            return _fallback_rewrite(columnar, spec, source)
-        out = AURelation(columnar.schema.extend(spec.output))
-        for indices in groups:
-            partial = _sweep(columnar.take(indices), spec)
-            for tup, mult in partial:
-                out.add(tup, mult)
-        return out
-
-    return _sweep(columnar, spec)
+            return "native", spec, None
+        return "sweep", spec, groups
+    return "sweep", spec, None
 
 
-def _fallback_rewrite(
-    columnar: ColumnarAURelation, spec: WindowSpec, source: AURelation | None = None
-) -> AURelation:
-    from repro.window.semantics import window_rewrite  # local import: avoid cycle
+def _fallback_rows(rows: AURelation, spec: WindowSpec, kind: str) -> AURelation:
+    """Delegate to the scalar backends (local imports: avoid cycles)."""
+    if kind == "rewrite":
+        from repro.window.semantics import window_rewrite
 
-    return window_rewrite(source if source is not None else columnar.to_relation(), spec)
+        return window_rewrite(rows, spec)
+    from repro.window.native import window_native
+
+    return window_native(rows, spec)
+
+
+def _partitioned_sweep(
+    columnar: ColumnarAURelation, spec: WindowSpec, groups: list[list[int]] | None
+) -> ColumnarAURelation:
+    """The kernel sweep, split per (certain) partition when requested."""
+    if groups is None:
+        return _sweep_stage(columnar, spec)
+    partials = [_sweep_stage(columnar.take(indices), spec) for indices in groups]
+    if not partials:
+        return _empty_result(columnar, spec)
+    if len(partials) == 1:
+        return partials[0]
+    return _concat_partials(partials)
+
+
+def _concat_partials(partials: list[ColumnarAURelation]) -> ColumnarAURelation:
+    """Concatenate per-partition results with one array copy per component.
+
+    A pairwise ``concat`` loop would re-copy the accumulated arrays per
+    partition (quadratic in the partition count) and drop the row-value
+    cache; here every component concatenates once and the caches merge when
+    every partial carries one.
+    """
+    first = partials[0]
+    columns = [
+        AttributeColumn(
+            column.name,
+            concat_components([p.columns[j].lb for p in partials]),
+            concat_components([p.columns[j].sg for p in partials]),
+            concat_components([p.columns[j].ub for p in partials]),
+        )
+        for j, column in enumerate(first.columns)
+    ]
+    values = None
+    if all(p._values is not None for p in partials):
+        values = [row for p in partials for row in p._values]
+    return ColumnarAURelation(
+        first.schema,
+        columns,
+        np.concatenate([p.mult_lb for p in partials]),
+        np.concatenate([p.mult_sg for p in partials]),
+        np.concatenate([p.mult_ub for p in partials]),
+        _values=values,
+    )
+
+
+def _empty_result(columnar: ColumnarAURelation, spec: WindowSpec) -> ColumnarAURelation:
+    empty = np.empty(0, dtype=np.int64)
+    return columnar.mask(np.zeros(len(columnar), dtype=bool)).with_column(
+        AttributeColumn(spec.output, empty, empty, empty)
+    )
 
 
 def _contains_nan(columnar: ColumnarAURelation) -> bool:
@@ -192,16 +318,22 @@ def _certain_partition_groups(
     return list(groups.values())
 
 
-def _sweep(columnar: ColumnarAURelation, spec: WindowSpec) -> AURelation:
-    """The vectorized window sweep over one partition (preceding-only frames)."""
-    out = AURelation(columnar.schema.extend(spec.output))
+def _sweep_stage(columnar: ColumnarAURelation, spec: WindowSpec) -> ColumnarAURelation:
+    """The vectorized window sweep over one partition (preceding-only frames).
+
+    Emits a columnar relation whose rows follow the native sweep's emission
+    order — windows close in ``(pos_ub, pos_lb, ranked sequence)`` order,
+    where the ranked sequence is the order the native sort's output dict
+    would enumerate the duplicates in — so the result is the columnar twin
+    of the Python backend's insertion-ordered output.
+    """
     n = len(columnar)
     if n == 0:
-        return out
+        return _empty_result(columnar, spec)
     preceding = -spec.frame[0]
     frame_size = spec.frame_size
 
-    lower, sg, upper = sort_position_bounds(
+    lower, sg, upper, latest_rank = sort_position_bounds_ranked(
         columnar, spec.order_by, descending=spec.descending
     )
 
@@ -217,7 +349,7 @@ def _sweep(columnar: ColumnarAURelation, spec: WindowSpec) -> AURelation:
     row, offset = duplicate_offsets(columnar.mult_ub)
     m = len(row)
     if m == 0:
-        return out
+        return _empty_result(columnar, spec)
     pos_lb = lower[row] + offset
     pos_sg = sg[row] + offset
     pos_ub = upper[row] + offset
@@ -237,10 +369,14 @@ def _sweep(columnar: ColumnarAURelation, spec: WindowSpec) -> AURelation:
     fval_lb = d_val_lb.astype(np.float64)
     fval_ub = d_val_ub.astype(np.float64)
     index = FrameMemberIndex(pos_lb, pos_ub, preceding)
-    pair_counts = index.pair_counts(pos_lb, pos_ub)
+    if m * m <= _PAIR_BUDGET:
+        # Even the full pair grid fits the budget: one chunk, no counting pass.
+        chunks = [(0, m)]
+    else:
+        chunks = _query_chunks(index.pair_counts(pos_lb, pos_ub), _PAIR_BUDGET)
     w_lb = np.empty(m, dtype=np.float64)
     w_ub = np.empty(m, dtype=np.float64)
-    for start, stop in _query_chunks(pair_counts, _PAIR_BUDGET):
+    for start, stop in chunks:
         block = slice(start, stop)
         nq = stop - start
         query, member = index.member_pairs(pos_lb[block], pos_ub[block])
@@ -297,25 +433,60 @@ def _sweep(columnar: ColumnarAURelation, spec: WindowSpec) -> AURelation:
         if spec.function != "avg":
             sg_agg = sg_agg.astype(np.int64)
 
-    # Materialise into the output rows, merging duplicates that computed equal
-    # hypercubes (exactly what AURelation.add would do).  The selected guess
-    # clamps per element with Python's max/min so the winning scalar keeps
-    # its original type, exactly like bounds._clamped_sg.
-    rows_out = out._rows
-    lb_list, ub_list = w_lb.tolist(), w_ub.tolist()
-    sg_agg_list, sg_present_list = sg_agg.tolist(), dup_sg.tolist()
-    row_list, offset_list = row.tolist(), offset.tolist()
-    mult_lb, mult_sg = columnar.mult_lb.tolist(), columnar.mult_sg.tolist()
-    for t in range(m):
-        i = row_list[t]
-        lb = lb_list[t]
-        ub = ub_list[t]
-        sg = max(lb, min(sg_agg_list[t], ub)) if sg_present_list[t] else lb
-        key = columnar.row_values(i) + (RangeValue(lb, sg, ub),)
-        mult = duplicate_annotation(offset_list[t], mult_lb[i], mult_sg[i])
-        existing = rows_out.get(key)
-        rows_out[key] = mult if existing is None else existing.add(mult)
-    return out
+    sg_col = _sg_column(sg_agg, dup_sg, w_lb, w_ub)
+
+    # Emission order of the native sweep: the ranked sequence of a duplicate
+    # is its position in the native sort's output (rows ordered by latest key
+    # vector then input sequence, duplicates by offset); windows then close
+    # in (pos_ub, pos_lb, sequence) order.
+    row_order = np.argsort(latest_rank, kind="stable")  # stable: input order breaks ties
+    ub_ranked = columnar.mult_ub[row_order]
+    row_start = np.empty(n, dtype=np.int64)
+    row_start[row_order] = np.cumsum(ub_ranked) - ub_ranked
+    seq = row_start[row] + offset
+    emit = lexsort_stable((seq, pos_lb, pos_ub))
+
+    result = columnar.take(row[emit]).with_multiplicities(
+        dup_cert[emit].astype(np.int64),
+        dup_sg[emit].astype(np.int64),
+        np.ones(m, dtype=np.int64),
+    ).with_column(
+        AttributeColumn(spec.output, w_lb[emit], sg_col[emit], w_ub[emit])
+    )
+    if m == n:
+        # One duplicate per row: output hypercubes are distinct by
+        # construction (the columnar layout holds one row per distinct range
+        # tuple), so the AURelation.add merge cannot fire.
+        return result
+    # Bag inputs (ub > 1): duplicates of one row can compute equal aggregate
+    # hypercubes; merge them exactly like the Python backend's
+    # AURelation.add (first-occurrence order kept).
+    from repro.columnar.operators import merge_equal_rows
+
+    return merge_equal_rows(result)
+
+
+def _sg_column(
+    sg_agg: np.ndarray, dup_sg: np.ndarray, w_lb: np.ndarray, w_ub: np.ndarray
+) -> np.ndarray:
+    """Selected-guess component: the rolling aggregate clamped into the bounds.
+
+    Selected-guess-absent duplicates fall back to the lower bound.  Matching
+    dtypes clamp vectorized; mixed dtypes (avg over integer columns: float
+    selected guess, integer bounds) replicate the Python backend's
+    per-element ``max(lb, min(sg, ub))`` so the winning scalar keeps its
+    original type, exactly like ``bounds._clamped_sg``.
+    """
+    if sg_agg.dtype == w_lb.dtype and w_lb.dtype == w_ub.dtype:
+        return np.where(dup_sg, np.clip(sg_agg, w_lb, w_ub), w_lb)
+    lb_l, ub_l = w_lb.tolist(), w_ub.tolist()
+    sg_l, present = sg_agg.tolist(), dup_sg.tolist()
+    return column_array(
+        [
+            max(lb_l[t], min(sg_l[t], ub_l[t])) if present[t] else lb_l[t]
+            for t in range(len(lb_l))
+        ]
+    )
 
 
 def _selected_guess_aggregates(
@@ -424,25 +595,60 @@ def _grouped_sums(groups: np.ndarray, values: np.ndarray, nq: int) -> np.ndarray
     return np.bincount(groups, weights=values, minlength=nq)
 
 
+#: Above this per-query selection size the k-pass sweep degrades to the
+#: sorted-prefix evaluation (each pass retires one distinct value per group).
+_SELECTION_PASS_LIMIT = 8
+
+
 def _grouped_smallest_prefix_sums(
     groups: np.ndarray, values: np.ndarray, taken: np.ndarray, nq: int
 ) -> np.ndarray:
-    """Per group: the sum of its ``taken`` smallest values.
+    """Per group: the sum of its ``taken`` smallest values (ascending fold).
 
-    One ``lexsort`` by (group, value) turns every group into a sorted
-    contiguous run; grouped prefix sums plus a searchsorted per group index
-    then read the selection off in ``O(pairs log pairs)``.  ``taken`` never
-    exceeds the group size in valid sweeps (the window cannot be forced to
-    hold more members than possibly exist); the clamp keeps the kernel total
-    anyway.
+    ``taken`` is tiny in valid sweeps (at most ``frame_size - 1`` member
+    slots), so the selection runs as a *segmented k-pass*: each pass takes
+    every group's current minimum (``np.minimum.at``), counts its copies,
+    consumes them, and retires the matched pairs — ``O(passes · pairs)``
+    with at most ``max(taken)`` passes and no sort of the pair list.  This
+    also keeps every partial sum a true window sum (at most ``frame_size``
+    addends, covered by the ``2**53`` exactness gate) instead of a prefix
+    over the whole pair list.  Selections larger than
+    ``_SELECTION_PASS_LIMIT`` (huge frames) fall back to one sorted-prefix
+    evaluation.  Groups with ``taken == 0`` contribute nothing and are
+    dropped up front.
     """
-    order = np.lexsort((values, groups))
+    total = np.zeros(nq, dtype=np.float64)
+    if len(groups) == 0 or not bool((taken > 0).any()):
+        return total
+    active = taken[groups] > 0
+    if not bool(active.all()):
+        groups = groups[active]
+        values = values[active]
+    need = np.minimum(taken, np.bincount(groups, minlength=nq))
+    if int(need.max()) > _SELECTION_PASS_LIMIT:
+        return _grouped_sorted_prefix_sums(groups, values, need, nq)
+    while len(groups):
+        floor = np.full(nq, np.inf)
+        np.minimum.at(floor, groups, values)
+        at_min = values == floor[groups]
+        take_now = np.minimum(need, np.bincount(groups[at_min], minlength=nq))
+        total += np.where(take_now > 0, floor, 0.0) * take_now
+        need -= take_now
+        keep = ~at_min & (need[groups] > 0)
+        groups = groups[keep]
+        values = values[keep]
+    return total
+
+
+def _grouped_sorted_prefix_sums(
+    groups: np.ndarray, values: np.ndarray, take: np.ndarray, nq: int
+) -> np.ndarray:
+    """Sorted-prefix selection for large ``take`` (one lexsort, grouped prefix sums)."""
+    order = lexsort_stable((values, groups))
     sorted_groups = groups[order]
     prefix = np.concatenate([[0.0], np.cumsum(values[order])])
     group_ids = np.arange(nq, dtype=np.int64)
     starts = np.searchsorted(sorted_groups, group_ids, side="left")
-    stops = np.searchsorted(sorted_groups, group_ids, side="right")
-    take = np.minimum(taken, stops - starts)
     return prefix[starts + take] - prefix[starts]
 
 

@@ -36,6 +36,15 @@ class WindowSpecError(OperatorError):
     """A window specification (frame bounds, partitioning, ordering) is invalid."""
 
 
+class PlanError(OperatorError):
+    """A :class:`~repro.columnar.plan.ColumnarPlan` was composed incorrectly.
+
+    Raised, for example, when a stage is chained onto a plan result that was
+    already materialised with ``.to_rows()`` — the row-major boundary is
+    final; wrap the result in a fresh ``ColumnarPlan`` to keep querying it.
+    """
+
+
 class BoundViolationError(ReproError):
     """An AU-DB relation failed to bound an incomplete relation.
 

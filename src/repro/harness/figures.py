@@ -48,6 +48,9 @@ __all__ = [
     "fig18_realworld_sort_quality",
     "fig19_realworld_window_quality",
     "pipeline_scaling",
+    "groupby_pipeline_scaling",
+    "multiwindow_scaling",
+    "equijoin_scaling",
     "ALL_EXPERIMENTS",
 ]
 
@@ -705,6 +708,71 @@ def groupby_pipeline_scaling(
     )
 
 
+def multiwindow_scaling(
+    *, sizes: Sequence[int] = (128, 256, 512, 1024), seed: int = 0
+) -> ExperimentResult:
+    """Multi-window plan (select -> join -> window -> select -> window) per path.
+
+    The composed RA⁺ setting: the plan *continues past* its first window
+    stage.  Three execution paths over identical inputs:
+
+    * ``Imp`` — tuple-at-a-time operators, row-major between stages;
+    * ``Imp-Col-RT`` — the columnar kernels invoked per stage through the
+      ``backend="columnar"`` entry points, so every stage converts its input
+      to columnar and its result back to row-major (the pre-refactor
+      round-trip execution model; starts from the row-major tables, like
+      ``Imp``);
+    * ``Imp-Col`` — the identical plan as one ``ColumnarPlan`` chain over the
+      columnar-resident tables, converting only at the final ``.to_rows()``.
+
+    ``RT-speedup`` is the no-round-trip win (``Imp-Col-RT`` / ``Imp-Col``);
+    all three paths are bit-identical (``smoke_backends.py`` asserts it).
+    Without NumPy the columnar columns degrade to ``-``.
+    """
+    from repro.workloads.pipeline import (
+        multiwindow_inputs,
+        run_multiwindow_columnar,
+        run_multiwindow_python,
+        run_multiwindow_roundtrip_columnar,
+    )
+
+    result = ExperimentResult(
+        name="multiwindow",
+        description="Multi-window RA+ plan runtime (ms): select -> join -> window -> select -> window",
+        headers=["Size", "Imp", "Imp-Col-RT", "Imp-Col", "RT-speedup", "Imp-speedup"],
+    )
+    warm_fact, warm_dim, warm_threshold = multiwindow_inputs(min(sizes), seed=seed)
+    run_multiwindow_python(warm_fact, warm_dim, warm_threshold)
+    try:
+        run_multiwindow_columnar(warm_fact, warm_dim, warm_threshold)
+    except ImportError:  # pragma: no cover - environment dependent
+        pass
+    for size in sizes:
+        fact, dim, threshold = multiwindow_inputs(size, seed=seed)
+        _, imp_ms = timed_ms(lambda: run_multiwindow_python(fact, dim, threshold))
+        rt_ms: object = "-"
+        chained_ms: object = "-"
+        rt_speedup: object = "-"
+        imp_speedup: object = "-"
+        try:
+            from repro.columnar.relation import ColumnarAURelation
+        except ImportError:
+            pass
+        else:
+            columnar_fact = ColumnarAURelation.from_relation(fact)
+            columnar_dim = ColumnarAURelation.from_relation(dim)
+            _, rt_ms = timed_ms(
+                lambda: run_multiwindow_roundtrip_columnar(fact, dim, threshold)
+            )
+            _, chained_ms = timed_ms(
+                lambda: run_multiwindow_columnar(columnar_fact, columnar_dim, threshold)
+            )
+            rt_speedup = rt_ms / chained_ms if chained_ms else float("inf")
+            imp_speedup = imp_ms / chained_ms if chained_ms else float("inf")
+        result.add(size, imp_ms, rt_ms, chained_ms, rt_speedup, imp_speedup)
+    return result
+
+
 def equijoin_scaling(
     *,
     sizes: Sequence[int] = (256, 1024, 4096),
@@ -770,5 +838,6 @@ ALL_EXPERIMENTS = {
     "fig19": fig19_realworld_window_quality,
     "pipeline": pipeline_scaling,
     "groupby": groupby_pipeline_scaling,
+    "multiwindow": multiwindow_scaling,
     "equijoin": equijoin_scaling,
 }

@@ -9,7 +9,16 @@ query plans — the compositions the AU-DB closure theorems are about:
 * the groupby pipeline: ``select(v >= t, fact) ⋈_g dim  →  γ_g(sum, count,
   max)  →  sum(s) OVER (ORDER BY g ROWS 2 PRECEDING)``
   (:func:`run_groupby_pipeline_python` / :func:`run_groupby_pipeline_columnar`
-  — the grouped-aggregation stage stays columnar mid-plan), and
+  — the grouped-aggregation stage stays columnar mid-plan),
+* the multi-window pipeline: ``select(v >= t, fact) ⋈_g dim  →  sum(v) OVER
+  (ORDER BY o ROWS 2 PRECEDING)  →  select(w1 >= t₂)  →  max(w1) OVER
+  (ORDER BY o ROWS 3 PRECEDING)`` — the paper's composed RA⁺ setting, where
+  a plan *continues past* a window stage
+  (:func:`run_multiwindow_python` / :func:`run_multiwindow_columnar` /
+  :func:`run_multiwindow_roundtrip_columnar` — the chained plan stays
+  columnar through both windows, the round-trip runner re-materialises
+  row-major relations after every stage, isolating the conversion cost the
+  columnar-native window output removes), and
 * a large-N equi-join with certain integer keys and ~50% overlap
   (:func:`equijoin_inputs`, :func:`run_equijoin_python` /
   :func:`run_equijoin_columnar` with ``method="grid" | "searchsorted"``).
@@ -17,10 +26,10 @@ query plans — the compositions the AU-DB closure theorems are about:
 Each python runner materialises a row-major
 :class:`~repro.core.relation.AURelation` between stages; the columnar
 runners chain a :class:`~repro.columnar.plan.ColumnarPlan` that stays in the
-columnar layout until the plan boundary.  The results are bit-identical;
-``benchmarks/smoke_backends.py`` asserts it and
+columnar layout until the explicit ``.to_rows()`` boundary.  The results are
+bit-identical; ``benchmarks/smoke_backends.py`` asserts it and
 ``benchmarks/bench_pipeline_ops.py`` / the ``pipeline`` / ``groupby`` /
-``equijoin`` harness ids measure the speedups.
+``multiwindow`` / ``equijoin`` harness ids measure the speedups.
 """
 
 from __future__ import annotations
@@ -37,11 +46,18 @@ __all__ = [
     "PIPELINE_WINDOW",
     "GROUPBY_AGGREGATES",
     "GROUPBY_WINDOW",
+    "MULTIWINDOW_FIRST",
+    "MULTIWINDOW_SECOND",
     "pipeline_inputs",
     "run_pipeline_python",
     "run_pipeline_columnar",
     "run_groupby_pipeline_python",
     "run_groupby_pipeline_columnar",
+    "multiwindow_inputs",
+    "multiwindow_second_threshold",
+    "run_multiwindow_python",
+    "run_multiwindow_columnar",
+    "run_multiwindow_roundtrip_columnar",
     "equijoin_inputs",
     "run_equijoin_python",
     "run_equijoin_columnar",
@@ -107,6 +123,7 @@ def run_pipeline_columnar(fact, dim, threshold: int) -> AURelation:
         .join(ColumnarPlan(dim), on=["g"])
         .project(["o", "v"])
         .window(PIPELINE_WINDOW)
+        .to_rows()
     )
 
 
@@ -143,7 +160,101 @@ def run_groupby_pipeline_columnar(fact, dim, threshold: int) -> AURelation:
         .join(ColumnarPlan(dim), on=["g"])
         .groupby_aggregate(["g"], GROUPBY_AGGREGATES)
         .window(GROUPBY_WINDOW)
+        .to_rows()
     )
+
+
+#: First window of the multi-window pipeline: a trailing sum over ``o``.
+MULTIWINDOW_FIRST = WindowSpec(
+    function="sum", attribute="v", output="w1", order_by=("o",), frame=(-2, 0)
+)
+
+
+def multiwindow_inputs(
+    rows: int, *, seed: int = 0, uncertainty: float = 0.05
+) -> tuple[AURelation, AURelation, int]:
+    """``(fact, dim, threshold)`` inputs of the multi-window pipeline.
+
+    Same fact / dim tables as :func:`pipeline_inputs`; the selection
+    threshold keeps roughly the top quarter of the fact rows — the composed
+    plan models a *selective* spike report (filter hard, window, filter on
+    the aggregate, window again), so the two window stages run on the
+    filtered core rather than half the table.
+    """
+    fact, dim, _ = pipeline_inputs(rows, seed=seed, uncertainty=uncertainty)
+    domain = 10 * rows
+    return fact, dim, domain - domain // 4
+
+#: Second window: a trailing max *over the first window's aggregate*.
+MULTIWINDOW_SECOND = WindowSpec(
+    function="max", attribute="w1", output="w2", order_by=("o",), frame=(-3, 0)
+)
+
+
+def multiwindow_second_threshold(threshold: int) -> int:
+    """Mid-plan selection threshold on the first window's rolling sum.
+
+    The first window sums up to three ``v`` values that each passed
+    ``v >= threshold``; requiring ``w1 >= 2 * threshold`` keeps roughly the
+    windows that certainly saw more than one surviving row, so the second
+    window still has work at every size.
+    """
+    return 2 * threshold
+
+
+def run_multiwindow_python(fact: AURelation, dim: AURelation, threshold: int) -> AURelation:
+    """``select → join → window → select → window`` on the tuple-at-a-time backend."""
+    from repro.core.operators import join, select
+    from repro.window.native import window_native
+
+    filtered = select(fact, attr("v").ge(const(threshold)))
+    joined = join(filtered, dim, on=["g"])
+    first = window_native(joined, MULTIWINDOW_FIRST)
+    spiky = select(first, attr("w1").ge(const(multiwindow_second_threshold(threshold))))
+    return window_native(spiky, MULTIWINDOW_SECOND)
+
+
+def run_multiwindow_columnar(fact, dim, threshold: int) -> AURelation:
+    """The identical plan as one columnar chain — *both* windows stay columnar.
+
+    This is the no-round-trip path the columnar-native window stages enable:
+    the plan continues past the first window without re-converting.  Accepts
+    either relation layout for both inputs (benchmarks pre-convert).
+    """
+    from repro.columnar.plan import ColumnarPlan
+
+    return (
+        ColumnarPlan(fact)
+        .select(attr("v").ge(const(threshold)))
+        .join(ColumnarPlan(dim), on=["g"])
+        .window(MULTIWINDOW_FIRST)
+        .select(attr("w1").ge(const(multiwindow_second_threshold(threshold))))
+        .window(MULTIWINDOW_SECOND)
+        .to_rows()
+    )
+
+
+def run_multiwindow_roundtrip_columnar(fact, dim, threshold: int) -> AURelation:
+    """The same columnar kernels, but materialising rows after *every* stage.
+
+    The pre-refactor execution model: each ``backend="columnar"`` call
+    converts its input to columnar and its result back to row-major, so the
+    plan pays a full round trip per stage.  Benchmarked against
+    :func:`run_multiwindow_columnar` to isolate the conversion cost the
+    chained plan removes (the ``multiwindow`` harness id).
+    """
+    from repro.core.operators import join, select
+    from repro.window.native import window_native
+
+    filtered = select(fact, attr("v").ge(const(threshold)), backend="columnar")
+    joined = join(filtered, dim, on=["g"], backend="columnar")
+    first = window_native(joined, MULTIWINDOW_FIRST, backend="columnar")
+    spiky = select(
+        first,
+        attr("w1").ge(const(multiwindow_second_threshold(threshold))),
+        backend="columnar",
+    )
+    return window_native(spiky, MULTIWINDOW_SECOND, backend="columnar")
 
 
 def equijoin_inputs(rows: int, *, seed: int = 0) -> tuple[AURelation, AURelation]:

@@ -30,6 +30,7 @@ def test_examples_directory_has_expected_scripts():
         "sensor_cleaning.py",
         "crime_hotspots.py",
         "groupby_report.py",
+        "multiwindow_report.py",
     } <= set(EXAMPLE_SCRIPTS)
 
 
@@ -48,3 +49,13 @@ def test_running_example_prints_paper_answers(capsys):
     assert "[4, 4]" in output  # U-Rank
     assert "[3, 4, 5]" in output  # PT(0) possible answers
     assert "[4]" in output  # PT(1) certain answers
+
+
+def test_multiwindow_report_classifies_spikes(capsys):
+    """The window-then-filter-then-window plan separates certain from possible spikes."""
+    module = _load("multiwindow_report.py")
+    module.main()
+    output = capsys.readouterr().out
+    assert "certain spike" in output
+    assert "possible spike" in output
+    assert "bit-identical" in output

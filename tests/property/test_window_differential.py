@@ -336,3 +336,100 @@ def test_deterministic_window_backends_agree(rows, function, frame, descending, 
     columnar = window_aggregate(relation, backend="columnar", **kwargs)
     assert python.schema == columnar.schema
     assert python._rows == columnar._rows
+
+
+# ---------------------------------------------------------------------------
+# Chained multi-window plans: the columnar-native window stages must feed the
+# next stage exactly what the Python backend's row-major path would.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    relation=au_relations(attributes=("o", "v")),
+    first=st.sampled_from(FUNCTIONS + ["avg"]),
+    second=st.sampled_from(FUNCTIONS + ["avg"]),
+    frame1=window_frames(max_extent=2),
+    frame2=window_frames(max_extent=2),
+    cut=st.integers(min_value=-6, max_value=6),
+    descending=st.booleans(),
+)
+def test_multiwindow_chained_plan_matches_python_per_stage(
+    relation, first, second, frame1, frame2, cut, descending
+):
+    """``window -> select-on-aggregate -> window`` as one columnar chain.
+
+    The Python path materialises a row-major relation after every stage; the
+    chained plan stays columnar throughout (its window stages emit columnar
+    output in the native sweep's emission order, so downstream ``<total_O``
+    sequence-number tiebreakers agree).  Covers ub > 1 bag inputs, every
+    frame class of ``window_frames`` (preceding, following-only via the
+    mirrored reduction, two-sided / current-row-excluding fallbacks), and
+    float aggregate columns from a first-stage ``avg``.
+    """
+    pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+    from repro.columnar.plan import ColumnarPlan
+    from repro.core.expressions import attr, const
+    from repro.core.operators import select as row_select
+
+    spec1 = WindowSpec(
+        function=first,
+        attribute=None if first == "count" else "v",
+        output="w1",
+        order_by=("o",),
+        frame=frame1,
+        descending=descending,
+    )
+    spec2 = WindowSpec(
+        function=second,
+        attribute=None if second == "count" else "w1",
+        output="w2",
+        order_by=("o",),
+        frame=frame2,
+    )
+    predicate = attr("w1").ge(const(cut))
+
+    mid = row_select(window_native(relation, spec1), predicate)
+    expected = window_native(mid, spec2)
+    chained = (
+        ColumnarPlan(relation).window(spec1).select(predicate).window(spec2).to_rows()
+    )
+    assert_same_relation(expected, chained)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    relation=au_relations(attributes=("o", "v")),
+    function=st.sampled_from(FUNCTIONS),
+    k=st.integers(min_value=0, max_value=4),
+    following=st.integers(min_value=0, max_value=2),
+    descending=st.booleans(),
+)
+def test_sort_then_window_chained_plan_matches_python_per_stage(
+    relation, function, k, following, descending
+):
+    """``topk -> window-over-the-position`` as one columnar chain.
+
+    The sort stage's columnar output (position column appended columnar-side,
+    per-duplicate split expanded in bulk) must be a drop-in input for a
+    following-only window over the position attribute.
+    """
+    pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+    from repro.columnar.plan import ColumnarPlan
+    from repro.core.expressions import attr
+    from repro.core.operators import select as row_select
+    from repro.ranking.native import sort_native
+
+    spec = WindowSpec(
+        function=function,
+        attribute=None if function == "count" else "v",
+        output="w",
+        order_by=("pos",),
+        frame=(0, following),
+    )
+    ranked = sort_native(relation, ["o"], k=k, descending=descending)
+    expected = window_native(row_select(ranked, attr("pos").lt(k)), spec)
+    chained = (
+        ColumnarPlan(relation).topk(["o"], k, descending=descending).window(spec).to_rows()
+    )
+    assert_same_relation(expected, chained)

@@ -312,6 +312,42 @@ class TestWindowColumnar:
         spec = self.spec(function="min")
         assert window_columnar(relation, spec)._rows == window_rewrite(relation, spec)._rows
 
+    def test_nan_relations_follow_the_native_backend(self):
+        """NaN breaks the total order; native and rewrite genuinely disagree.
+
+        The columnar backend is the implementation ``backend="columnar"``
+        substitutes for — and the chained-plan reference runs the native
+        sweep per stage — so its NaN fallback must return the *native*
+        answer (this input is one where the rewrite's differs).
+        """
+        from repro.columnar.window import window_columnar
+        from repro.window.native import window_native
+        from repro.window.semantics import window_rewrite
+
+        nan = float("nan")
+        relation = AURelation.from_rows(
+            ["o", "v"],
+            [
+                ((1, RangeValue(-3.0, -3.0, nan)), 1),
+                ((2, RangeValue(0.0, 1.0, 2.0)), 1),
+                ((RangeValue(1, 3, 3), RangeValue(-1.0, 0.0, 1.0)), (0, 1, 1)),
+            ],
+        )
+        spec = self.spec()
+        native = window_native(relation, spec)
+        columnar = window_columnar(relation, spec)
+        assert columnar.schema == native.schema
+
+        def canon(result):
+            # NaN != NaN, so ``_rows`` equality cannot compare NaN-carrying
+            # outputs (not even against themselves); compare canonical reprs.
+            return sorted((repr(tup.values), repr(mult)) for tup, mult in result)
+
+        assert canon(columnar) == canon(native)
+        # The divergence is real: the rewrite disagrees on this input, so
+        # the assertion above genuinely pins which backend the fallback owns.
+        assert canon(window_rewrite(relation, spec)) != canon(native)
+
     def test_uncertain_partitions_fall_back_to_rewrite(self):
         from repro.columnar.window import window_columnar
         from repro.window.semantics import window_rewrite

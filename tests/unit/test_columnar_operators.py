@@ -205,16 +205,109 @@ class TestColumnarPlan:
             .join(ColumnarPlan(dims), on=["g"])
             .project(["o", "v"])
             .window(spec)
+            .to_rows()
         )
         assert_same(expected, result)
 
-    def test_plan_sort_and_topk_are_terminal(self):
+    def test_plan_sort_and_topk_stay_columnar(self):
         from repro.ranking.topk import sort as au_sort, topk as au_topk
 
         relation = people()
         plan = ColumnarPlan(relation)
-        assert_same(au_sort(relation, ["age"], method="native"), plan.sort(["age"]))
-        assert_same(au_topk(relation, ["age"], 2, method="native"), plan.topk(["age"], 2))
+        sorted_plan = plan.sort(["age"])
+        assert isinstance(sorted_plan, ColumnarPlan)
+        assert isinstance(sorted_plan.columnar(), ColumnarAURelation)
+        assert_same(au_sort(relation, ["age"], method="native"), sorted_plan.to_rows())
+        assert_same(
+            au_topk(relation, ["age"], 2, method="native"), plan.topk(["age"], 2).to_rows()
+        )
+
+    def test_plan_continues_past_sort_and_window(self):
+        """Sort / window output feeds further stages without leaving columnar."""
+        from repro.core.operators import select as row_select
+        from repro.ranking.topk import sort as au_sort
+        from repro.window.native import window_native
+
+        relation = people()
+        spec = WindowSpec(
+            function="sum", attribute="age", output="s", order_by=("age",), frame=(-1, 0)
+        )
+        expected = window_native(
+            row_select(au_sort(relation, ["age"], method="native"), attr("pos").lt(2)),
+            spec,
+        )
+        result = (
+            ColumnarPlan(relation)
+            .sort(["age"])
+            .select(attr("pos").lt(2))
+            .window(spec)
+            .to_rows()
+        )
+        assert_same(expected, result)
+
+    def test_chained_plan_never_materialises_rows_mid_plan(self, monkeypatch):
+        """Sort / window / topk stages must not touch the row-major layout.
+
+        Spies on both conversion directions; a chained plan over a
+        pre-converted columnar input may convert exactly once — at the
+        explicit ``.to_rows()`` boundary.
+        """
+        relation = AURelation.from_rows(
+            ["o", "v"],
+            [
+                ((1, 10), (1, 1, 1)),
+                ((RangeValue(2, 2, 4), 20), (0, 1, 2)),
+                ((3, RangeValue(5, 6, 9)), (1, 1, 1)),
+            ],
+        )
+        columnar = ColumnarAURelation.from_relation(relation)
+        calls = {"to_relation": 0, "from_relation": 0}
+        original_to = ColumnarAURelation.to_relation
+        original_from = ColumnarAURelation.from_relation
+
+        def spy_to(self):
+            calls["to_relation"] += 1
+            return original_to(self)
+
+        def spy_from(rows):
+            calls["from_relation"] += 1
+            return original_from(rows)
+
+        monkeypatch.setattr(ColumnarAURelation, "to_relation", spy_to)
+        monkeypatch.setattr(ColumnarAURelation, "from_relation", staticmethod(spy_from))
+
+        spec = WindowSpec(
+            function="sum", attribute="v", output="w", order_by=("o",), frame=(-1, 0)
+        )
+        second = WindowSpec(
+            function="max", attribute="w", output="w2", order_by=("pos",), frame=(-2, 0)
+        )
+        plan = (
+            ColumnarPlan(columnar)
+            .select(attr("v").ge(const(5)))
+            .window(spec)
+            .topk(["o"], 3)
+            .window(second)
+            .groupby_aggregate(["o"], [("sum", "w2", "s")])
+        )
+        assert calls == {"to_relation": 0, "from_relation": 0}
+        plan.to_rows()
+        assert calls == {"to_relation": 1, "from_relation": 0}
+
+    def test_stage_after_to_rows_raises_plan_error(self):
+        from repro.errors import PlanError
+
+        rows = ColumnarPlan(people()).select(attr("age").ge(const(20))).to_rows()
+        assert isinstance(rows, AURelation)
+        with pytest.raises(PlanError, match="after .to_rows"):
+            rows.window(None)
+        with pytest.raises(PlanError, match="wrap the result in ColumnarPlan"):
+            rows.select(attr("age").ge(const(20)))
+        with pytest.raises(PlanError, match="to_rows"):
+            rows.to_rows()
+        # Wrapping the boundary result explicitly re-opens the chain.
+        reopened = ColumnarPlan(rows).project(["age"]).to_rows()
+        assert reopened.schema.attributes == ("age",)
 
     def test_plan_topk_rejects_negative_k(self):
         with pytest.raises(OperatorError, match="non-negative"):
@@ -380,6 +473,7 @@ class TestColumnarGroupby:
             .join(ColumnarPlan(dims), on=["g"])
             .groupby_aggregate(["g"], aggregates)
             .window(spec)
+            .to_rows()
         )
         assert_same(expected, result)
 

@@ -31,9 +31,20 @@ DOCTEST_MODULES = [
 DOCTEST_MODULES_NUMPY = [
     "repro.columnar.relation",
     "repro.columnar.plan",
+    "repro.columnar.sort",
+    "repro.columnar.window",
 ]
 
-DOCUMENTS = ["docs/ARCHITECTURE.md", "benchmarks/README.md", "examples/README.md"]
+DOCUMENTS = [
+    "docs/ARCHITECTURE.md",
+    "docs/PLAN_GUIDE.md",
+    "benchmarks/README.md",
+    "examples/README.md",
+]
+
+#: Markdown files whose fenced examples are executable doctests (the CI docs
+#: job runs ``python -m doctest`` over the same list — keep in sync).
+DOCTEST_DOCUMENTS = ["docs/PLAN_GUIDE.md"]
 
 
 @pytest.mark.parametrize("module_name", DOCTEST_MODULES)
@@ -51,6 +62,16 @@ def test_columnar_module_doctests(module_name):
     results = doctest.testmod(module)
     assert results.failed == 0
     assert results.attempted > 0, f"{module_name} lost its doctest examples"
+
+
+@pytest.mark.parametrize("document", DOCTEST_DOCUMENTS)
+def test_markdown_doctests(document):
+    pytest.importorskip("numpy", reason="the plan guide exercises the columnar backend")
+    results = doctest.testfile(
+        str(REPO_ROOT / document), module_relative=False, verbose=False
+    )
+    assert results.failed == 0
+    assert results.attempted > 0, f"{document} lost its doctest examples"
 
 
 @pytest.mark.parametrize("document", DOCUMENTS)

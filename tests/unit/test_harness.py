@@ -87,6 +87,7 @@ class TestExperimentsRegistry:
             "fig19",
             "pipeline",
             "groupby",
+            "multiwindow",
             "equijoin",
         }
         assert expected == set(ALL_EXPERIMENTS)

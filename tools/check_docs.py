@@ -23,7 +23,12 @@ LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*$")
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
-DEFAULT_FILES = ["docs/ARCHITECTURE.md", "benchmarks/README.md", "examples/README.md"]
+DEFAULT_FILES = [
+    "docs/ARCHITECTURE.md",
+    "docs/PLAN_GUIDE.md",
+    "benchmarks/README.md",
+    "examples/README.md",
+]
 
 
 def github_anchor(heading: str) -> str:
