@@ -20,6 +20,14 @@ Used by CI to catch two regressions fast, without the full benchmark suite:
   ``REPRO_SMOKE_STRICT_PERF=1`` to make it fatal (e.g. for local regression
   hunting).
 
+With ``REPRO_WORKERS`` set above 1, the smoke additionally runs the
+multi-window, group-by, and equi-join plans on the partitioned parallel
+executor and asserts the sharded results are bit-identical to the
+``workers=1`` run (divergence is always fatal).  The sharded-vs-serial
+timing is reported with the machine's core count; it only warns — and even
+strict mode ignores it when the host has fewer cores than workers, since
+an oversubscribed pool cannot demonstrate a speedup.
+
 Run directly: ``PYTHONPATH=src python benchmarks/smoke_backends.py [rows]``.
 Exits non-zero on divergence (always) or slowdown (strict mode only).
 """
@@ -266,6 +274,96 @@ def smoke_equijoin(rows: int) -> int:
     return failures
 
 
+def _same_rows(serial, sharded) -> bool:
+    """Bit-identity including the first-occurrence row order."""
+    return serial.schema == sharded.schema and list(serial._rows.items()) == list(
+        sharded._rows.items()
+    )
+
+
+def smoke_parallel(rows: int) -> int:
+    """Sharded == unsharded on the plan workloads, at ``REPRO_WORKERS`` workers.
+
+    Divergence is always fatal.  The sharded-vs-serial timing only warns:
+    even under ``REPRO_SMOKE_STRICT_PERF=1`` a slowdown is ignored when the
+    host has fewer cores than workers (an oversubscribed pool cannot
+    demonstrate a speedup) — and at smoke sizes fork overhead dominates
+    anyway; ``tools/bench_trajectory.py`` measures the real large-N ratios.
+    """
+    from repro.columnar.parallel import fork_capable, resolve_workers
+    from repro.workloads.pipeline import (
+        equijoin_inputs,
+        multiwindow_inputs,
+        pipeline_inputs,
+        run_equijoin_columnar,
+        run_groupby_pipeline_columnar,
+        run_multiwindow_columnar,
+    )
+
+    workers = resolve_workers()
+    if workers <= 1:
+        print("parallel: workers=1 (set REPRO_WORKERS>1 to exercise the sharded executor)")
+        return 0
+    if not fork_capable():  # pragma: no cover - platform dependent
+        print("parallel: no fork support on this platform; executor runs serially")
+        return 0
+
+    failures = 0
+    cores = os.cpu_count() or 1
+
+    fact, dim, threshold = multiwindow_inputs(rows)
+    columnar_fact = ColumnarAURelation.from_relation(fact)
+    columnar_dim = ColumnarAURelation.from_relation(dim)
+    serial = run_multiwindow_columnar(columnar_fact, columnar_dim, threshold, workers=1)
+    sharded = run_multiwindow_columnar(columnar_fact, columnar_dim, threshold, workers=workers)
+    if not _same_rows(serial, sharded):
+        print(f"FAIL: multiwindow sharded (workers={workers}) diverges from workers=1")
+        failures += 1
+
+    g_serial = run_groupby_pipeline_columnar(columnar_fact, columnar_dim, threshold, workers=1)
+    g_sharded = run_groupby_pipeline_columnar(
+        columnar_fact, columnar_dim, threshold, workers=workers
+    )
+    if not _same_rows(g_serial, g_sharded):
+        print(f"FAIL: groupby pipeline sharded (workers={workers}) diverges from workers=1")
+        failures += 1
+
+    left, right = equijoin_inputs(rows)
+    columnar_left = ColumnarAURelation.from_relation(left)
+    columnar_right = ColumnarAURelation.from_relation(right)
+    j_serial = run_equijoin_columnar(columnar_left, columnar_right, workers=1)
+    j_sharded = run_equijoin_columnar(columnar_left, columnar_right, workers=workers)
+    if not _same_rows(j_serial, j_sharded):
+        print(f"FAIL: equijoin sharded (workers={workers}) diverges from workers=1")
+        failures += 1
+
+    serial_ms = best_of(
+        lambda: run_multiwindow_columnar(columnar_fact, columnar_dim, threshold, workers=1)
+    )
+    sharded_ms = best_of(
+        lambda: run_multiwindow_columnar(columnar_fact, columnar_dim, threshold, workers=workers)
+    )
+    speedup = serial_ms / sharded_ms if sharded_ms else float("inf")
+    print(
+        f"parallel rows={rows} workers={workers} cpus={cores}: "
+        f"serial={serial_ms:.2f}ms sharded={sharded_ms:.2f}ms speedup={speedup:.2f}x"
+    )
+    if speedup < 1.0:
+        if cores < workers:
+            print(
+                f"NOTE: {workers} workers on {cores} core(s) — oversubscribed, "
+                "speedup not expected at this size"
+            )
+        else:
+            print(
+                "WARN: sharded multiwindow slower than serial at the smoke size "
+                "(fork overhead dominates small inputs; see tools/bench_trajectory.py)"
+            )
+    if not failures:
+        print(f"OK: sharded execution bit-identical at workers={workers}")
+    return failures
+
+
 def main(rows: int = 200) -> int:
     failures = (
         smoke_sort(rows)
@@ -274,6 +372,7 @@ def main(rows: int = 200) -> int:
         + smoke_groupby(rows)
         + smoke_multiwindow(rows)
         + smoke_equijoin(rows)
+        + smoke_parallel(rows)
     )
     if not failures:
         print("OK: backends agree bit-for-bit")

@@ -1,0 +1,277 @@
+"""Morsel-driven multiprocessing executor for the columnar kernels.
+
+The columnar kernels partition cleanly: window sweeps split by certain
+``PARTITION BY`` groups or by query chunks, equi-joins by candidate-pair
+ranges, sort position bounds by row shards whose per-shard emission
+schedules merge by summation, and the plan boundary by output-row blocks.
+This module supplies the shared execution machinery those stages use:
+
+* :func:`resolve_workers` — the ``workers`` knob (``None`` reads the
+  ``REPRO_WORKERS`` environment variable; ``1`` means serial);
+* :func:`parallel_map` — a fork-based, morsel-driven worker pool.  Tasks
+  are pulled from a shared queue as workers free up, so skewed shards do
+  not straggle behind a static assignment.  Inputs reach the workers
+  through fork's copy-on-write page sharing (no pickling of the column
+  arrays); results return pickled, in task order;
+* :func:`shared_arrays` — shared-memory output buffers so forked workers
+  can write result blocks directly into the parent's arrays (used by the
+  window sweep, whose chunk outputs would otherwise round-trip through the
+  result pipe);
+* :func:`shard_ranges` / :func:`morsel_count` — contiguous shard layout
+  helpers shared by every sharded stage.
+
+``workers=1`` never touches any of this machinery beyond a trivial list
+comprehension in :func:`parallel_map`: every call site keeps its exact
+single-shard code path, and the differential property suite pins
+``sharded == unsharded`` for every stage class.
+
+>>> resolve_workers(1)
+1
+>>> shard_ranges(10, 3)
+[(0, 4), (4, 7), (7, 10)]
+>>> parallel_map(lambda x: x * x, [1, 2, 3], workers=1)
+[1, 4, 9]
+
+A worker that raises surfaces the *original* exception in the parent (the
+pool shuts down instead of hanging); a worker that dies without reporting
+raises :class:`~repro.errors.ParallelError`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as queue_module
+from typing import Callable, Iterable, Sequence, TypeVar
+
+import numpy as np
+
+from repro.errors import ParallelError
+
+__all__ = [
+    "WORKERS_ENV",
+    "resolve_workers",
+    "fork_capable",
+    "shard_ranges",
+    "morsel_count",
+    "parallel_map",
+    "shared_arrays",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Environment variable consulted when ``workers`` is not given explicitly.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Morsels per worker: enough slack for the pull-based queue to rebalance
+#: skewed shards without drowning small inputs in scheduling overhead.
+MORSELS_PER_WORKER = 4
+
+#: Seconds between liveness checks while waiting on worker results.
+_POLL_INTERVAL = 0.2
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Validate a worker count, or read it from ``REPRO_WORKERS``.
+
+    ``None`` falls back to the environment variable (default ``1``);
+    anything that is not a positive integer raises
+    :class:`~repro.errors.ParallelError`.
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV)
+        if raw is None or not raw.strip():
+            return 1
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ParallelError(
+                f"{WORKERS_ENV} must be a positive integer, got {raw!r}"
+            ) from None
+        if value < 1:
+            raise ParallelError(f"{WORKERS_ENV} must be >= 1, got {raw!r}")
+        return value
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ParallelError(f"workers must be a positive integer, got {workers!r}")
+    if workers < 1:
+        raise ParallelError(f"workers must be >= 1, got {workers!r}")
+    return workers
+
+
+def fork_capable() -> bool:
+    """Whether the platform supports fork-started workers.
+
+    The pool relies on fork's copy-on-write inheritance to share the input
+    column arrays (and the task closures) without pickling; platforms
+    without it (e.g. Windows) run every plan serially.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def shard_ranges(n: int, shards: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into at most ``shards`` contiguous, non-empty ranges.
+
+    The first ``n % shards`` ranges are one element longer, so sizes differ
+    by at most one.  Contiguity is what keeps sharded stages bit-identical:
+    concatenating per-range results in range order reproduces the unsharded
+    output exactly.
+    """
+    if n <= 0:
+        return []
+    shards = max(1, min(shards, n))
+    base, extra = divmod(n, shards)
+    ranges = []
+    start = 0
+    for i in range(shards):
+        stop = start + base + (1 if i < extra else 0)
+        ranges.append((start, stop))
+        start = stop
+    return ranges
+
+
+def morsel_count(workers: int) -> int:
+    """How many morsels a sharded stage should cut its work into."""
+    return workers * MORSELS_PER_WORKER
+
+
+def parallel_map(
+    fn: Callable[[T], R], tasks: Iterable[T], *, workers: int
+) -> list[R]:
+    """Apply ``fn`` to every task across ``workers`` forked processes.
+
+    Results come back in task order.  Tasks are dispatched through a shared
+    queue (morsel-driven): an idle worker pulls the next task, so a skewed
+    morsel occupies one worker while the rest drain the remainder.  With
+    ``workers <= 1``, a single task, or no fork support this is exactly
+    ``[fn(t) for t in tasks]`` — the serial path runs no pool code.
+
+    A task that raises re-raises the original exception in the parent and
+    tears the pool down; a worker that dies without reporting (killed,
+    ``os._exit``) raises :class:`~repro.errors.ParallelError` instead of
+    deadlocking — surviving workers finish, the missing results are
+    detected, and the pool is reaped.
+    """
+    tasks = list(tasks)
+    if workers <= 1 or len(tasks) <= 1 or not fork_capable():
+        return [fn(task) for task in tasks]
+    workers = min(workers, len(tasks))
+
+    context = multiprocessing.get_context("fork")
+    task_queue = context.Queue()
+    result_queue = context.Queue()
+    processes = [
+        context.Process(
+            target=_worker_loop,
+            args=(fn, tasks, task_queue, result_queue),
+            daemon=True,
+        )
+        for _ in range(workers)
+    ]
+    try:
+        for process in processes:
+            process.start()
+        for index in range(len(tasks)):
+            task_queue.put(index)
+        for _ in processes:
+            task_queue.put(None)  # one shutdown sentinel per worker
+
+        results: list[R | None] = [None] * len(tasks)
+        outstanding = len(tasks)
+        while outstanding:
+            try:
+                payload = result_queue.get(timeout=_POLL_INTERVAL)
+            except queue_module.Empty:
+                if any(process.is_alive() for process in processes):
+                    continue
+                # Every worker exited; drain what they managed to report.
+                while True:
+                    try:
+                        payload = result_queue.get_nowait()
+                    except queue_module.Empty:
+                        break
+                    outstanding -= _consume(pickle.loads(payload), results)
+                if outstanding:
+                    codes = [process.exitcode for process in processes]
+                    raise ParallelError(
+                        f"{outstanding} shard result(s) missing: worker processes "
+                        f"exited without reporting (exit codes {codes})"
+                    )
+                break
+            outstanding -= _consume(pickle.loads(payload), results)
+        return results  # type: ignore[return-value]
+    finally:
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+        for process in processes:
+            if process.pid is not None:
+                process.join()
+        task_queue.close()
+        result_queue.close()
+
+
+def _consume(message: tuple[int, bool, object], results: list) -> int:
+    """Record one worker message; re-raise a shipped exception."""
+    index, ok, value = message
+    if not ok:
+        if isinstance(value, BaseException):
+            raise value
+        raise ParallelError(f"shard worker failed: {value}")
+    results[index] = value
+    return 1
+
+
+def _worker_loop(fn, tasks, task_queue, result_queue) -> None:
+    """Worker body: pull task indexes until the shutdown sentinel.
+
+    Results are pickled *eagerly* so an unpicklable result (or exception)
+    becomes an explicit failure message instead of dying silently in the
+    queue's feeder thread — the parent would otherwise wait on a result
+    that never arrives.
+    """
+    while True:
+        index = task_queue.get()
+        if index is None:
+            return
+        try:
+            payload = pickle.dumps(
+                (index, True, fn(tasks[index])), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+            try:
+                payload = pickle.dumps(
+                    (index, False, exc), protocol=pickle.HIGHEST_PROTOCOL
+                )
+            except Exception:
+                payload = pickle.dumps(
+                    (index, False, f"unpicklable {type(exc).__name__}: {exc}"),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+            result_queue.put(payload)
+            return
+        result_queue.put(payload)
+
+
+def shared_arrays(*specs: tuple[int, object]) -> list[np.ndarray]:
+    """One-dimensional output arrays in anonymous shared memory.
+
+    Each ``(length, dtype)`` spec becomes a numpy array backed by an
+    anonymous shared mapping (``mmap.mmap(-1, ...)`` — the same kernel
+    facility ``multiprocessing.shared_memory`` wraps, minus the filesystem
+    name, so there is no segment to unlink and no exported-buffer teardown
+    hazard).  Allocated before the pool forks, the mapping is inherited by
+    every worker: a worker writing ``arrays[j][start:stop]`` fills the
+    parent's array directly, so result blocks never round-trip through the
+    result queue.  The arrays own their mapping — ordinary garbage
+    collection reclaims the memory.
+    """
+    import mmap
+
+    arrays = []
+    for length, dtype in specs:
+        nbytes = max(1, int(length) * np.dtype(dtype).itemsize)
+        mapping = mmap.mmap(-1, nbytes)
+        arrays.append(np.frombuffer(mapping, dtype=dtype, count=int(length)))
+    return arrays

@@ -68,15 +68,47 @@ class ColumnarPlan:
     :class:`ColumnarAURelation`; the wrapped relation is exposed through
     :meth:`columnar` (no conversion) and :meth:`to_rows` (the row-major
     plan boundary).
+
+    ``workers`` selects the partitioned parallel executor
+    (:mod:`repro.columnar.parallel`): the sharded stages — sort / top-k,
+    window, join, group-by, and the :meth:`to_rows` boundary — split their
+    work across that many forked worker processes.  ``None`` (the default)
+    reads the ``REPRO_WORKERS`` environment variable; ``workers=1`` takes
+    the exact single-shard code path of every kernel, and any sharded run
+    is bit-identical to it (pinned by the differential property suite).
+    The worker count is inherited by every chained stage.
     """
 
-    __slots__ = ("_relation",)
+    __slots__ = ("_relation", "_workers")
 
-    def __init__(self, relation: AURelation | ColumnarAURelation | "ColumnarPlan"):
+    def __init__(
+        self,
+        relation: AURelation | ColumnarAURelation | "ColumnarPlan",
+        *,
+        workers: int | None = None,
+    ):
+        from repro.columnar.parallel import resolve_workers
+
         if isinstance(relation, ColumnarPlan):
             self._relation = relation._relation
+            self._workers = (
+                relation._workers if workers is None else resolve_workers(workers)
+            )
         else:
             self._relation = as_columnar(relation)
+            self._workers = resolve_workers(workers)
+
+    @property
+    def workers(self) -> int:
+        """The resolved worker count every sharded stage of this plan uses."""
+        return self._workers
+
+    def _chain(self, relation: ColumnarAURelation) -> "ColumnarPlan":
+        """A new plan over ``relation`` carrying this plan's worker count."""
+        plan = ColumnarPlan.__new__(ColumnarPlan)
+        plan._relation = relation
+        plan._workers = self._workers
+        return plan
 
     # -- boundary accessors -------------------------------------------------
 
@@ -92,7 +124,13 @@ class ColumnarPlan:
         stages onto it raises :class:`~repro.errors.PlanError` — wrap it in
         a fresh ``ColumnarPlan`` to keep querying it.
         """
-        result = self._relation.to_relation()
+        # Serial plans call to_relation() exactly as before the parallel
+        # executor existed (the no-argument form is part of the boundary's
+        # observable contract — conversion spies in the test suite rely on it).
+        if self._workers > 1:
+            result = self._relation.to_relation(workers=self._workers)
+        else:
+            result = self._relation.to_relation()
         boundary = _MaterialisedPlanResult(result.schema)
         boundary._rows = result._rows
         return boundary
@@ -109,27 +147,27 @@ class ColumnarPlan:
     def select(
         self, predicate: Expression | Callable[[AUTuple], RangeBool]
     ) -> "ColumnarPlan":
-        return ColumnarPlan(ops.select(self._relation, predicate))
+        return self._chain(ops.select(self._relation, predicate))
 
     def project(self, attributes: Sequence[str]) -> "ColumnarPlan":
-        return ColumnarPlan(ops.project(self._relation, attributes))
+        return self._chain(ops.project(self._relation, attributes))
 
     def extend(
         self, name: str, expression: Expression | Callable[[AUTuple], RangeValue]
     ) -> "ColumnarPlan":
-        return ColumnarPlan(ops.extend(self._relation, name, expression))
+        return self._chain(ops.extend(self._relation, name, expression))
 
     def rename(self, mapping: Mapping[str, str]) -> "ColumnarPlan":
-        return ColumnarPlan(ops.rename(self._relation, mapping))
+        return self._chain(ops.rename(self._relation, mapping))
 
     def distinct(self) -> "ColumnarPlan":
-        return ColumnarPlan(ops.distinct(self._relation))
+        return self._chain(ops.distinct(self._relation))
 
     def union(self, other: "ColumnarPlan | AURelation | ColumnarAURelation") -> "ColumnarPlan":
-        return ColumnarPlan(ops.union(self._relation, _unwrap(other)))
+        return self._chain(ops.union(self._relation, _unwrap(other)))
 
     def cross(self, other: "ColumnarPlan | AURelation | ColumnarAURelation") -> "ColumnarPlan":
-        return ColumnarPlan(ops.cross(self._relation, _unwrap(other)))
+        return self._chain(ops.cross(self._relation, _unwrap(other)))
 
     def join(
         self,
@@ -146,8 +184,15 @@ class ColumnarPlan:
         the exact pair grid otherwise); see
         :func:`repro.columnar.operators.join`.
         """
-        return ColumnarPlan(
-            ops.join(self._relation, _unwrap(other), predicate, on=on, method=method)
+        return self._chain(
+            ops.join(
+                self._relation,
+                _unwrap(other),
+                predicate,
+                on=on,
+                method=method,
+                workers=self._workers,
+            )
         )
 
     def groupby_aggregate(
@@ -160,7 +205,11 @@ class ColumnarPlan:
         Semantics and ``aggregates`` format as in
         :func:`repro.core.operators.groupby_aggregate`.
         """
-        return ColumnarPlan(ops.groupby_aggregate(self._relation, group_by, aggregates))
+        return self._chain(
+            ops.groupby_aggregate(
+                self._relation, group_by, aggregates, workers=self._workers
+            )
+        )
 
     # -- ranking / window stages (columnar in, columnar out) ----------------
 
@@ -179,12 +228,13 @@ class ColumnarPlan:
         """
         from repro.columnar.sort import sort_stage
 
-        return ColumnarPlan(
+        return self._chain(
             sort_stage(
                 self._relation,
                 order_by,
                 position_attribute=position_attribute,
                 descending=descending,
+                workers=self._workers,
             )
         )
 
@@ -209,8 +259,9 @@ class ColumnarPlan:
             k=k,
             position_attribute=position_attribute,
             descending=descending,
+            workers=self._workers,
         )
-        return ColumnarPlan(ops.select(ranked, attr(position_attribute).lt(k)))
+        return self._chain(ops.select(ranked, attr(position_attribute).lt(k)))
 
     def window(self, spec: WindowSpec) -> "ColumnarPlan":
         """Uncertain windowed aggregation over the columnar kernels (stays columnar).
@@ -221,7 +272,7 @@ class ColumnarPlan:
         """
         from repro.columnar.window import window_stage
 
-        return ColumnarPlan(window_stage(self._relation, spec))
+        return self._chain(window_stage(self._relation, spec, workers=self._workers))
 
 
 #: Stage names guarded on materialised plan results (kept in sync with the

@@ -43,6 +43,7 @@ __all__ = [
     "FLOAT64_EXACT_MAX",
     "column_array",
     "concat_components",
+    "concat_relations",
     "as_columnar",
     "profile_components",
 ]
@@ -194,14 +195,57 @@ class ColumnarAURelation:
             _values=values,
         )
 
-    def to_relation(self) -> AURelation:
-        """Convert back to the row-major layout (tuples with equal hypercubes merge)."""
+    def to_relation(self, *, workers: int = 1) -> AURelation:
+        """Convert back to the row-major layout (tuples with equal hypercubes merge).
+
+        With ``workers > 1`` the conversion shards by output-row blocks:
+        rows with the semiring-zero annotation are dropped and equal
+        hypercubes are merged columnar-side first (both exactly as
+        :meth:`AURelation.add` would), so the surviving rows are distinct
+        by construction and the forked workers can build their blocks'
+        range-value tuples independently; the parent fills the row
+        dictionary in block order.  Bit-identical to the serial loop —
+        pinned by the sharded-vs-unsharded differential property.
+        """
+        if workers > 1 and len(self) > 1:
+            return self._to_relation_sharded(workers)
         out = AURelation(self.schema)
         for i in range(len(self)):
             out.add(
                 AUTuple(self.schema, self.row_values(i)),
                 Multiplicity(int(self.mult_lb[i]), int(self.mult_sg[i]), int(self.mult_ub[i])),
             )
+        return out
+
+    def _to_relation_sharded(self, workers: int) -> AURelation:
+        from repro.columnar.operators import merge_equal_rows
+        from repro.columnar.parallel import morsel_count, parallel_map, shard_ranges
+
+        relation = self
+        zero = (relation.mult_lb == 0) & (relation.mult_sg == 0) & (relation.mult_ub == 0)
+        if bool(zero.any()):
+            # AURelation.add skips exactly-zero annotations; replicate before
+            # merging so a zero row can neither survive nor absorb a merge.
+            relation = relation.mask(~zero)
+        merged = merge_equal_rows(relation)
+        mult_lb, mult_sg, mult_ub = merged.mult_lb, merged.mult_sg, merged.mult_ub
+
+        def build_block(block: tuple[int, int]) -> list:
+            start, stop = block
+            return [
+                (
+                    merged.row_values(i),
+                    Multiplicity(int(mult_lb[i]), int(mult_sg[i]), int(mult_ub[i])),
+                )
+                for i in range(start, stop)
+            ]
+
+        blocks = shard_ranges(len(merged), morsel_count(workers))
+        out = AURelation(merged.schema)
+        rows = out._rows
+        for part in parallel_map(build_block, blocks, workers=workers):
+            for values, mult in part:
+                rows[values] = mult
         return out
 
     def take(self, indices: Sequence[int] | np.ndarray) -> "ColumnarAURelation":
@@ -409,6 +453,41 @@ def concat_components(arrays: Sequence[np.ndarray]) -> np.ndarray:
 
 def _concat_components(left: np.ndarray, right: np.ndarray) -> np.ndarray:
     return concat_components((left, right))
+
+
+def concat_relations(partials: Sequence["ColumnarAURelation"]) -> "ColumnarAURelation":
+    """Concatenate shard results with one array copy per component.
+
+    The stitch-up of every sharded stage (per-partition window sweeps,
+    equi-join pair blocks, group-sharded aggregation): each bound component
+    concatenates once across all partials — a pairwise ``concat`` loop
+    would re-copy the accumulated arrays per shard (quadratic in the shard
+    count) — and the row-value caches merge when every partial carries one.
+    Requires at least one partial; all must share a schema.
+    """
+    first = partials[0]
+    if len(partials) == 1:
+        return first
+    columns = [
+        AttributeColumn(
+            column.name,
+            concat_components([p.columns[j].lb for p in partials]),
+            concat_components([p.columns[j].sg for p in partials]),
+            concat_components([p.columns[j].ub for p in partials]),
+        )
+        for j, column in enumerate(first.columns)
+    ]
+    values = None
+    if all(p._values is not None for p in partials):
+        values = [row for p in partials for row in p._values]
+    return ColumnarAURelation(
+        first.schema,
+        columns,
+        np.concatenate([p.mult_lb for p in partials]),
+        np.concatenate([p.mult_sg for p in partials]),
+        np.concatenate([p.mult_ub for p in partials]),
+        _values=values,
+    )
 
 
 def as_columnar(relation: AURelation | ColumnarAURelation) -> ColumnarAURelation:

@@ -45,6 +45,7 @@ def sort_stage(
     k: int | None = None,
     position_attribute: str = "pos",
     descending: bool = False,
+    workers: int = 1,
 ) -> ColumnarAURelation:
     """Uncertain sort emitting a columnar relation (non-terminal plan stage).
 
@@ -52,7 +53,10 @@ def sort_stage(
     ``k`` given, duplicates whose position is certainly not among the first
     ``k`` are pruned — exactly the duplicates a top-k selection on the
     position attribute would filter to zero, so top-k results agree with the
-    Python backend bit for bit.
+    Python backend bit for bit.  With ``workers > 1`` the position-bound
+    kernels shard over contributor rows (per-shard emission schedules merged
+    by summation) on the forked worker pool — bit-identical, as the
+    differential suite pins.
 
     The result is the columnar twin of ``sort_native``'s output, *including
     row order*: rows are emitted in the native sweep's emission order —
@@ -69,7 +73,7 @@ def sort_stage(
 
     n = len(columnar)
     lower, sg, upper, latest_rank = sort_position_bounds_ranked(
-        columnar, order_by, descending=descending
+        columnar, order_by, descending=descending, workers=workers
     )
 
     # The native sweep emits a tuple once an incoming tuple certainly follows
@@ -109,6 +113,7 @@ def sort_columnar(
     k: int | None = None,
     position_attribute: str = "pos",
     descending: bool = False,
+    workers: int = 1,
 ) -> AURelation:
     """Row-major adapter over :func:`sort_stage` (the plan boundary).
 
@@ -121,4 +126,5 @@ def sort_columnar(
         k=k,
         position_attribute=position_attribute,
         descending=descending,
-    ).to_relation()
+        workers=workers,
+    ).to_relation(workers=workers)

@@ -81,12 +81,13 @@ from repro.columnar.kernels import (
     sliding_window_sums,
     sort_position_bounds_ranked,
 )
+from repro.columnar.parallel import morsel_count, parallel_map, shard_ranges, shared_arrays
 from repro.columnar.relation import (
     AttributeColumn,
     ColumnarAURelation,
     as_columnar,
     column_array,
-    concat_components,
+    concat_relations as _concat_partials,
 )
 from repro.core.relation import AURelation
 from repro.errors import OperatorError, WindowSpecError
@@ -100,7 +101,7 @@ _PAIR_BUDGET = 4_000_000
 
 
 def window_stage(
-    relation: AURelation | ColumnarAURelation, spec: WindowSpec
+    relation: AURelation | ColumnarAURelation, spec: WindowSpec, *, workers: int = 1
 ) -> ColumnarAURelation:
     """Uncertain windowed aggregation emitting a columnar relation.
 
@@ -111,6 +112,13 @@ def window_stage(
     Inputs outside the vectorizable class delegate to the Python backend and
     convert back (the only case a mid-plan stage touches the row-major
     layout).
+
+    With ``workers > 1`` the sweep shards — across certain ``PARTITION BY``
+    groups when there are enough of them, by query chunks inside one sweep
+    otherwise — and runs the shards on a forked worker pool, bit-identical
+    to the serial sweep (see :mod:`repro.columnar.parallel`).  Fallback
+    kinds (uncertain partition keys, NaN, non-sweepable frames) always run
+    the unsharded Python backend.
     """
     columnar = as_columnar(relation)
     kind, spec, groups = _classify(columnar, spec)
@@ -118,11 +126,11 @@ def window_stage(
         return ColumnarAURelation.from_relation(
             _fallback_rows(columnar.to_relation(), spec, kind)
         )
-    return _partitioned_sweep(columnar, spec, groups)
+    return _partitioned_sweep(columnar, spec, groups, workers=workers)
 
 
 def window_columnar(
-    relation: AURelation | ColumnarAURelation, spec: WindowSpec
+    relation: AURelation | ColumnarAURelation, spec: WindowSpec, *, workers: int = 1
 ) -> AURelation:
     """Row-major adapter over :func:`window_stage` (the plan boundary).
 
@@ -137,7 +145,9 @@ def window_columnar(
     if kind != "sweep":
         rows = source if source is not None else columnar.to_relation()
         return _fallback_rows(rows, spec, kind)
-    return _partitioned_sweep(columnar, spec, groups).to_relation()
+    return _partitioned_sweep(columnar, spec, groups, workers=workers).to_relation(
+        workers=workers
+    )
 
 
 def _classify(
@@ -222,48 +232,38 @@ def _fallback_rows(rows: AURelation, spec: WindowSpec, kind: str) -> AURelation:
 
 
 def _partitioned_sweep(
-    columnar: ColumnarAURelation, spec: WindowSpec, groups: list[list[int]] | None
+    columnar: ColumnarAURelation,
+    spec: WindowSpec,
+    groups: list[list[int]] | None,
+    *,
+    workers: int = 1,
 ) -> ColumnarAURelation:
-    """The kernel sweep, split per (certain) partition when requested."""
+    """The kernel sweep, split per (certain) partition when requested.
+
+    With ``workers > 1`` and enough partitions, the per-partition sweeps run
+    as morsels on the forked worker pool (partials concatenate in group
+    order, which is the serial emission order); with few partitions each
+    sweep instead parallelises internally over its query chunks.  Partition
+    groups come only from :func:`_certain_partition_groups`, so an uncertain
+    partition key can never be sharded — ``_classify`` already returned the
+    unsharded ``"native"`` fallback for it.
+    """
     if groups is None:
-        return _sweep_stage(columnar, spec)
-    partials = [_sweep_stage(columnar.take(indices), spec) for indices in groups]
+        return _sweep_stage(columnar, spec, workers=workers)
+    if len(groups) > 1 and workers > 1 and len(groups) >= morsel_count(workers):
+        partials = parallel_map(
+            lambda indices: _sweep_stage(columnar.take(indices), spec),
+            groups,
+            workers=workers,
+        )
+    else:
+        partials = [
+            _sweep_stage(columnar.take(indices), spec, workers=workers)
+            for indices in groups
+        ]
     if not partials:
         return _empty_result(columnar, spec)
-    if len(partials) == 1:
-        return partials[0]
     return _concat_partials(partials)
-
-
-def _concat_partials(partials: list[ColumnarAURelation]) -> ColumnarAURelation:
-    """Concatenate per-partition results with one array copy per component.
-
-    A pairwise ``concat`` loop would re-copy the accumulated arrays per
-    partition (quadratic in the partition count) and drop the row-value
-    cache; here every component concatenates once and the caches merge when
-    every partial carries one.
-    """
-    first = partials[0]
-    columns = [
-        AttributeColumn(
-            column.name,
-            concat_components([p.columns[j].lb for p in partials]),
-            concat_components([p.columns[j].sg for p in partials]),
-            concat_components([p.columns[j].ub for p in partials]),
-        )
-        for j, column in enumerate(first.columns)
-    ]
-    values = None
-    if all(p._values is not None for p in partials):
-        values = [row for p in partials for row in p._values]
-    return ColumnarAURelation(
-        first.schema,
-        columns,
-        np.concatenate([p.mult_lb for p in partials]),
-        np.concatenate([p.mult_sg for p in partials]),
-        np.concatenate([p.mult_ub for p in partials]),
-        _values=values,
-    )
 
 
 def _empty_result(columnar: ColumnarAURelation, spec: WindowSpec) -> ColumnarAURelation:
@@ -318,7 +318,9 @@ def _certain_partition_groups(
     return list(groups.values())
 
 
-def _sweep_stage(columnar: ColumnarAURelation, spec: WindowSpec) -> ColumnarAURelation:
+def _sweep_stage(
+    columnar: ColumnarAURelation, spec: WindowSpec, *, workers: int = 1
+) -> ColumnarAURelation:
     """The vectorized window sweep over one partition (preceding-only frames).
 
     Emits a columnar relation whose rows follow the native sweep's emission
@@ -326,6 +328,14 @@ def _sweep_stage(columnar: ColumnarAURelation, spec: WindowSpec) -> ColumnarAURe
     where the ranked sequence is the order the native sort's output dict
     would enumerate the duplicates in — so the result is the columnar twin
     of the Python backend's insertion-ordered output.
+
+    With ``workers > 1`` the query chunks (and the pair-counting pass that
+    sizes them) run as morsels on the forked worker pool, each writing its
+    ``[start, stop)`` block of the bound arrays into shared memory.  Chunk
+    contents depend only on the chunk's own queries and the globally shared
+    index, and the bound reductions are order-independent (exact integer
+    arithmetic in float64 — the ``_classify`` gates), so chunk boundaries
+    cannot change the result.
     """
     n = len(columnar)
     if n == 0:
@@ -334,7 +344,7 @@ def _sweep_stage(columnar: ColumnarAURelation, spec: WindowSpec) -> ColumnarAURe
     frame_size = spec.frame_size
 
     lower, sg, upper, latest_rank = sort_position_bounds_ranked(
-        columnar, spec.order_by, descending=spec.descending
+        columnar, spec.order_by, descending=spec.descending, workers=workers
     )
 
     if spec.function == "count" or spec.attribute in (None, "*"):
@@ -369,14 +379,18 @@ def _sweep_stage(columnar: ColumnarAURelation, spec: WindowSpec) -> ColumnarAURe
     fval_lb = d_val_lb.astype(np.float64)
     fval_ub = d_val_ub.astype(np.float64)
     index = FrameMemberIndex(pos_lb, pos_ub, preceding)
+    parallel = workers > 1 and m > 1
     if m * m <= _PAIR_BUDGET:
-        # Even the full pair grid fits the budget: one chunk, no counting pass.
-        chunks = [(0, m)]
+        # Even the full pair grid fits the budget: no counting pass needed.
+        # The parallel path still cuts query-range morsels so small inputs
+        # genuinely exercise the sharded sweep (and the property suite can
+        # pin it against the single-chunk result).
+        chunks = shard_ranges(m, morsel_count(workers)) if parallel else [(0, m)]
     else:
-        chunks = _query_chunks(index.pair_counts(pos_lb, pos_ub), _PAIR_BUDGET)
-    w_lb = np.empty(m, dtype=np.float64)
-    w_ub = np.empty(m, dtype=np.float64)
-    for start, stop in chunks:
+        counts = _pair_count_pass(index, pos_lb, pos_ub, workers if parallel else 1)
+        chunks = list(_query_chunks(counts, _PAIR_BUDGET))
+
+    def chunk_bounds(start: int, stop: int) -> tuple[np.ndarray, np.ndarray]:
         block = slice(start, stop)
         nq = stop - start
         query, member = index.member_pairs(pos_lb[block], pos_ub[block])
@@ -394,33 +408,48 @@ def _sweep_stage(columnar: ColumnarAURelation, spec: WindowSpec) -> ColumnarAURe
         q_poss, e_poss = query[~cert], member[~cert]
 
         if spec.function == "sum":
-            b_lb, b_ub = _sum_bounds_chunk(
+            return _sum_bounds_chunk(
                 q_cert, e_cert, q_poss, e_poss, fval_lb, fval_ub,
                 self_lb=fval_lb[block], self_ub=fval_ub[block],
                 frame_size=frame_size,
                 certain_window_size=1 + np.minimum(preceding, pos_lb[block]),
                 nq=nq,
             )
-        elif spec.function == "count":
-            b_lb, b_ub = _count_bounds_chunk(
+        if spec.function == "count":
+            return _count_bounds_chunk(
                 q_cert, q_poss,
                 frame_size=frame_size,
                 certain_window_size=1 + np.minimum(preceding, pos_lb[block]),
                 nq=nq,
             )
-        elif spec.function in ("min", "max"):
-            b_lb, b_ub = _extrema_bounds_chunk(
+        if spec.function in ("min", "max"):
+            return _extrema_bounds_chunk(
                 q_cert, e_cert, query, member, fval_lb, fval_ub,
                 self_lb=fval_lb[block], self_ub=fval_ub[block],
                 maximum=spec.function == "max",
             )
-        else:  # avg: envelope of the member values (Algorithm 4's delegation)
-            b_lb = fval_lb[block].copy()
-            np.minimum.at(b_lb, query, fval_lb[member])
-            b_ub = fval_ub[block].copy()
-            np.maximum.at(b_ub, query, fval_ub[member])
-        w_lb[block] = b_lb
-        w_ub[block] = b_ub
+        # avg: envelope of the member values (Algorithm 4's delegation)
+        b_lb = fval_lb[block].copy()
+        np.minimum.at(b_lb, query, fval_lb[member])
+        b_ub = fval_ub[block].copy()
+        np.maximum.at(b_ub, query, fval_ub[member])
+        return b_lb, b_ub
+
+    if parallel and len(chunks) > 1:
+        # Workers fill their blocks of the shared bound buffers in place;
+        # only a per-chunk acknowledgement crosses the result queue.
+        w_lb, w_ub = shared_arrays((m, np.float64), (m, np.float64))
+
+        def run_chunk(chunk: tuple[int, int]) -> None:
+            start, stop = chunk
+            w_lb[start:stop], w_ub[start:stop] = chunk_bounds(start, stop)
+
+        parallel_map(run_chunk, chunks, workers=workers)
+    else:
+        w_lb = np.empty(m, dtype=np.float64)
+        w_ub = np.empty(m, dtype=np.float64)
+        for start, stop in chunks:
+            w_lb[start:stop], w_ub[start:stop] = chunk_bounds(start, stop)
 
     # Integer aggregation columns produce integer bounds on the Python
     # backend (sum/min/max/count of ints, and avg's member-value extrema);
@@ -524,6 +553,28 @@ def _selected_guess_aggregates(
         window_agg = sliding_window_extrema(vals, frame_size, maximum=True)
     agg[ordered] = window_agg
     return agg
+
+
+def _pair_count_pass(
+    index: FrameMemberIndex, pos_lb: np.ndarray, pos_ub: np.ndarray, workers: int
+) -> np.ndarray:
+    """The chunk-sizing pair-count pass, sharded over query ranges.
+
+    Each query's count depends only on the query itself and the shared
+    index, so range shards writing disjoint blocks of a shared buffer
+    reproduce the serial pass exactly.
+    """
+    if workers <= 1:
+        return index.pair_counts(pos_lb, pos_ub)
+    m = len(pos_lb)
+    (counts,) = shared_arrays((m, np.int64))
+
+    def count_block(block: tuple[int, int]) -> None:
+        start, stop = block
+        counts[start:stop] = index.pair_counts(pos_lb[start:stop], pos_ub[start:stop])
+
+    parallel_map(count_block, shard_ranges(m, morsel_count(workers)), workers=workers)
+    return counts
 
 
 def _query_chunks(pair_counts: np.ndarray, budget: int):

@@ -45,6 +45,17 @@ class PlanError(OperatorError):
     """
 
 
+class ParallelError(ReproError):
+    """The partitioned parallel executor was misconfigured or lost a worker.
+
+    Raised by :mod:`repro.columnar.parallel` for invalid worker counts
+    (including a malformed ``REPRO_WORKERS`` environment value) and for pool
+    infrastructure failures such as a shard worker dying without reporting a
+    result.  An exception *raised inside* a shard worker is re-raised in the
+    parent as-is, not wrapped in this class.
+    """
+
+
 class BoundViolationError(ReproError):
     """An AU-DB relation failed to bound an incomplete relation.
 

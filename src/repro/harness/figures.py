@@ -12,6 +12,7 @@ vs under-approximates — is what reproduces; absolute milliseconds do not
 
 from __future__ import annotations
 
+import os
 import random
 from typing import Sequence
 
@@ -37,6 +38,9 @@ from repro.workloads.realworld import REAL_WORLD_DATASETS, DatasetBundle
 from repro.workloads.synthetic import SyntheticConfig, generate_sort_table, generate_window_table
 
 __all__ = [
+    "BACKEND_ENV",
+    "BACKEND_CHOICES",
+    "backend_enabled",
     "heap_table",
     "fig11_sort_configs",
     "fig12_sort_quality",
@@ -55,13 +59,39 @@ __all__ = [
 ]
 
 
+#: Environment variable filtering which backends the experiments time.
+BACKEND_ENV = "REPRO_BACKEND"
+
+#: Valid ``REPRO_BACKEND`` / ``--backend`` values.
+BACKEND_CHOICES = ("python", "columnar", "all")
+
+
+def backend_enabled(backend: str) -> bool:
+    """Whether ``REPRO_BACKEND`` (default ``all``) includes this backend.
+
+    ``python`` / ``columnar`` skip the other backend's timing columns in the
+    backend-comparison experiments (they print ``-``); an unrecognised value
+    raises :class:`~repro.errors.ReproError` naming the valid choices.
+    """
+    value = os.environ.get(BACKEND_ENV, "all").strip().lower() or "all"
+    if value not in BACKEND_CHOICES:
+        from repro.errors import ReproError
+
+        raise ReproError(
+            f"{BACKEND_ENV} must be one of {', '.join(BACKEND_CHOICES)}; got {value!r}"
+        )
+    return value in ("all", backend)
+
+
 def _timed_columnar_ms(audb, run) -> object:
     """Time ``run(columnar)`` on a pre-converted columnar relation.
 
-    Degrades to ``"-"`` without NumPy instead of aborting the figure; the
-    conversion is excluded from the timing, matching how the other methods
-    are measured on pre-built inputs.
+    Degrades to ``"-"`` without NumPy (or with ``REPRO_BACKEND=python``)
+    instead of aborting the figure; the conversion is excluded from the
+    timing, matching how the other methods are measured on pre-built inputs.
     """
+    if not backend_enabled("columnar"):
+        return "-"
     try:
         from repro.columnar.relation import ColumnarAURelation
     except ImportError:
@@ -646,26 +676,32 @@ def _pipeline_backend_scaling(
     # Warm both runners once so one-time import / kernel setup costs do not
     # land in the smallest size's timing.
     warm_fact, warm_dim, warm_threshold = pipeline_inputs(min(sizes), seed=seed)
-    python_runner(warm_fact, warm_dim, warm_threshold)
-    try:
-        columnar_runner(warm_fact, warm_dim, warm_threshold)
-    except ImportError:  # pragma: no cover - environment dependent
-        pass
+    if backend_enabled("python"):
+        python_runner(warm_fact, warm_dim, warm_threshold)
+    if backend_enabled("columnar"):
+        try:
+            columnar_runner(warm_fact, warm_dim, warm_threshold)
+        except ImportError:  # pragma: no cover - environment dependent
+            pass
     for size in sizes:
         fact, dim, threshold = pipeline_inputs(size, seed=seed)
-        _, imp_ms = timed_ms(lambda: python_runner(fact, dim, threshold))
+        imp_ms: object = "-"
+        if backend_enabled("python"):
+            _, imp_ms = timed_ms(lambda: python_runner(fact, dim, threshold))
         imp_col_ms: object = "-"
         speedup: object = "-"
-        try:
-            from repro.columnar.relation import ColumnarAURelation
-        except ImportError:
-            pass
-        else:
-            columnar_fact = ColumnarAURelation.from_relation(fact)
-            columnar_dim = ColumnarAURelation.from_relation(dim)
-            _, imp_col_ms = timed_ms(
-                lambda: columnar_runner(columnar_fact, columnar_dim, threshold)
-            )
+        if backend_enabled("columnar"):
+            try:
+                from repro.columnar.relation import ColumnarAURelation
+            except ImportError:
+                pass
+            else:
+                columnar_fact = ColumnarAURelation.from_relation(fact)
+                columnar_dim = ColumnarAURelation.from_relation(dim)
+                _, imp_col_ms = timed_ms(
+                    lambda: columnar_runner(columnar_fact, columnar_dim, threshold)
+                )
+        if isinstance(imp_ms, float) and isinstance(imp_col_ms, float):
             speedup = imp_ms / imp_col_ms if imp_col_ms else float("inf")
         result.add(size, imp_ms, imp_col_ms, speedup)
     return result
@@ -742,33 +778,41 @@ def multiwindow_scaling(
         headers=["Size", "Imp", "Imp-Col-RT", "Imp-Col", "RT-speedup", "Imp-speedup"],
     )
     warm_fact, warm_dim, warm_threshold = multiwindow_inputs(min(sizes), seed=seed)
-    run_multiwindow_python(warm_fact, warm_dim, warm_threshold)
-    try:
-        run_multiwindow_columnar(warm_fact, warm_dim, warm_threshold)
-    except ImportError:  # pragma: no cover - environment dependent
-        pass
+    if backend_enabled("python"):
+        run_multiwindow_python(warm_fact, warm_dim, warm_threshold)
+    if backend_enabled("columnar"):
+        try:
+            run_multiwindow_columnar(warm_fact, warm_dim, warm_threshold)
+        except ImportError:  # pragma: no cover - environment dependent
+            pass
     for size in sizes:
         fact, dim, threshold = multiwindow_inputs(size, seed=seed)
-        _, imp_ms = timed_ms(lambda: run_multiwindow_python(fact, dim, threshold))
+        imp_ms: object = "-"
+        if backend_enabled("python"):
+            _, imp_ms = timed_ms(lambda: run_multiwindow_python(fact, dim, threshold))
         rt_ms: object = "-"
         chained_ms: object = "-"
         rt_speedup: object = "-"
         imp_speedup: object = "-"
-        try:
-            from repro.columnar.relation import ColumnarAURelation
-        except ImportError:
-            pass
-        else:
-            columnar_fact = ColumnarAURelation.from_relation(fact)
-            columnar_dim = ColumnarAURelation.from_relation(dim)
-            _, rt_ms = timed_ms(
-                lambda: run_multiwindow_roundtrip_columnar(fact, dim, threshold)
-            )
-            _, chained_ms = timed_ms(
-                lambda: run_multiwindow_columnar(columnar_fact, columnar_dim, threshold)
-            )
-            rt_speedup = rt_ms / chained_ms if chained_ms else float("inf")
-            imp_speedup = imp_ms / chained_ms if chained_ms else float("inf")
+        if backend_enabled("columnar"):
+            try:
+                from repro.columnar.relation import ColumnarAURelation
+            except ImportError:
+                pass
+            else:
+                columnar_fact = ColumnarAURelation.from_relation(fact)
+                columnar_dim = ColumnarAURelation.from_relation(dim)
+                _, rt_ms = timed_ms(
+                    lambda: run_multiwindow_roundtrip_columnar(fact, dim, threshold)
+                )
+                _, chained_ms = timed_ms(
+                    lambda: run_multiwindow_columnar(columnar_fact, columnar_dim, threshold)
+                )
+        if isinstance(chained_ms, float):
+            if isinstance(rt_ms, float):
+                rt_speedup = rt_ms / chained_ms if chained_ms else float("inf")
+            if isinstance(imp_ms, float):
+                imp_speedup = imp_ms / chained_ms if chained_ms else float("inf")
         result.add(size, imp_ms, rt_ms, chained_ms, rt_speedup, imp_speedup)
     return result
 
@@ -801,25 +845,26 @@ def equijoin_scaling(
         left, right = equijoin_inputs(size, seed=seed)
         imp_ms: object = "-"
         grid_ms: object = "-"
-        if size <= quadratic_ceiling:
+        if size <= quadratic_ceiling and backend_enabled("python"):
             _, imp_ms = timed_ms(lambda: run_equijoin_python(left, right))
         fast_ms: object = "-"
-        try:
-            from repro.columnar.relation import ColumnarAURelation
-        except ImportError:
-            pass
-        else:
-            columnar_left = ColumnarAURelation.from_relation(left)
-            columnar_right = ColumnarAURelation.from_relation(right)
-            if size <= quadratic_ceiling:
-                _, grid_ms = timed_ms(
-                    lambda: run_equijoin_columnar(columnar_left, columnar_right, method="grid")
+        if backend_enabled("columnar"):
+            try:
+                from repro.columnar.relation import ColumnarAURelation
+            except ImportError:
+                pass
+            else:
+                columnar_left = ColumnarAURelation.from_relation(left)
+                columnar_right = ColumnarAURelation.from_relation(right)
+                if size <= quadratic_ceiling:
+                    _, grid_ms = timed_ms(
+                        lambda: run_equijoin_columnar(columnar_left, columnar_right, method="grid")
+                    )
+                _, fast_ms = timed_ms(
+                    lambda: run_equijoin_columnar(
+                        columnar_left, columnar_right, method="searchsorted"
+                    )
                 )
-            _, fast_ms = timed_ms(
-                lambda: run_equijoin_columnar(
-                    columnar_left, columnar_right, method="searchsorted"
-                )
-            )
         result.add(size, imp_ms, grid_ms, fast_ms)
     return result
 

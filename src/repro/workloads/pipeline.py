@@ -110,15 +110,17 @@ def run_pipeline_python(fact: AURelation, dim: AURelation, threshold: int) -> AU
     return window_native(projected, PIPELINE_WINDOW)
 
 
-def run_pipeline_columnar(fact, dim, threshold: int) -> AURelation:
+def run_pipeline_columnar(fact, dim, threshold: int, *, workers: int | None = None) -> AURelation:
     """The identical plan as a columnar chain (row-major only at the boundary).
 
     Accepts either relation layout for both inputs (benchmarks pre-convert).
+    ``workers`` selects the partitioned parallel executor (``None`` reads
+    ``REPRO_WORKERS``); sharded runs stay bit-identical.
     """
     from repro.columnar.plan import ColumnarPlan
 
     return (
-        ColumnarPlan(fact)
+        ColumnarPlan(fact, workers=workers)
         .select(attr("v").ge(const(threshold)))
         .join(ColumnarPlan(dim), on=["g"])
         .project(["o", "v"])
@@ -147,15 +149,19 @@ def run_groupby_pipeline_python(fact: AURelation, dim: AURelation, threshold: in
     return window_native(grouped, GROUPBY_WINDOW)
 
 
-def run_groupby_pipeline_columnar(fact, dim, threshold: int) -> AURelation:
+def run_groupby_pipeline_columnar(
+    fact, dim, threshold: int, *, workers: int | None = None
+) -> AURelation:
     """The identical plan as a columnar chain — the groupby stage stays columnar.
 
     Accepts either relation layout for both inputs (benchmarks pre-convert).
+    ``workers`` selects the partitioned parallel executor (``None`` reads
+    ``REPRO_WORKERS``); sharded runs stay bit-identical.
     """
     from repro.columnar.plan import ColumnarPlan
 
     return (
-        ColumnarPlan(fact)
+        ColumnarPlan(fact, workers=workers)
         .select(attr("v").ge(const(threshold)))
         .join(ColumnarPlan(dim), on=["g"])
         .groupby_aggregate(["g"], GROUPBY_AGGREGATES)
@@ -214,17 +220,21 @@ def run_multiwindow_python(fact: AURelation, dim: AURelation, threshold: int) ->
     return window_native(spiky, MULTIWINDOW_SECOND)
 
 
-def run_multiwindow_columnar(fact, dim, threshold: int) -> AURelation:
+def run_multiwindow_columnar(
+    fact, dim, threshold: int, *, workers: int | None = None
+) -> AURelation:
     """The identical plan as one columnar chain — *both* windows stay columnar.
 
     This is the no-round-trip path the columnar-native window stages enable:
     the plan continues past the first window without re-converting.  Accepts
     either relation layout for both inputs (benchmarks pre-convert).
+    ``workers`` selects the partitioned parallel executor (``None`` reads
+    ``REPRO_WORKERS``); sharded runs stay bit-identical.
     """
     from repro.columnar.plan import ColumnarPlan
 
     return (
-        ColumnarPlan(fact)
+        ColumnarPlan(fact, workers=workers)
         .select(attr("v").ge(const(threshold)))
         .join(ColumnarPlan(dim), on=["g"])
         .window(MULTIWINDOW_FIRST)
@@ -288,9 +298,19 @@ def run_equijoin_python(left: AURelation, right: AURelation) -> AURelation:
     return join(left, right, on=["k"])
 
 
-def run_equijoin_columnar(left, right, *, method: str = "auto") -> AURelation:
-    """Columnar equi-join via the selected pair-enumeration kernel."""
+def run_equijoin_columnar(
+    left, right, *, method: str = "auto", workers: int | None = None
+) -> AURelation:
+    """Columnar equi-join via the selected pair-enumeration kernel.
+
+    ``workers`` selects the partitioned parallel executor for both the join
+    kernel and the row-major plan boundary (``None`` reads ``REPRO_WORKERS``).
+    """
     from repro.columnar import operators as col_ops
+    from repro.columnar.parallel import resolve_workers
     from repro.columnar.relation import as_columnar
 
-    return col_ops.join(as_columnar(left), as_columnar(right), on=["k"], method=method).to_relation()
+    workers = resolve_workers(workers)
+    return col_ops.join(
+        as_columnar(left), as_columnar(right), on=["k"], method=method, workers=workers
+    ).to_relation(workers=workers)

@@ -119,6 +119,19 @@ def test_precede_kernels_match_pairwise_matrices(relation):
     assert np.array_equal(upper, columnar.mult_ub @ possible_matrix)
 
 
+def test_empty_input_agrees_across_implementations():
+    """n = 0 edge case: sort and top-k on an empty relation, every path."""
+    from repro.core.schema import Schema
+
+    empty = AURelation(Schema(("a", "b")))
+    rewrite = sort_rewrite(empty, ["a"])
+    assert len(rewrite) == 0
+    assert_same_relation(rewrite, sort_native(empty, ["a"]))
+    assert_same_relation(rewrite, sort_native(empty, ["a"], backend="columnar"))
+    for backend in ("python", "columnar"):
+        assert len(topk(empty, ["a"], 3, backend=backend)) == 0
+
+
 @settings(max_examples=100, deadline=None)
 @given(
     rows=st.lists(

@@ -191,6 +191,20 @@ def test_two_sided_frame_falls_back_to_rewrite(relation, function):
     assert_same_relation(window_native(relation, spec), window_rewrite(relation, spec))
 
 
+def test_empty_input_agrees_across_implementations():
+    """n = 0 edge case: every implementation emits the widened empty schema."""
+    from repro.core.schema import Schema
+
+    empty = AURelation(Schema(("o", "v")))
+    for frame in ((-1, 0), (0, 1), (-1, 1)):
+        spec = _spec("sum", frame)
+        rewrite = window_rewrite(empty, spec)
+        assert len(rewrite) == 0
+        assert_same_relation(rewrite, window_native(empty, spec))
+        pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+        assert_same_relation(rewrite, window_native(empty, spec, backend="columnar"))
+
+
 def test_certain_partitions_take_the_sweep_path():
     """Sanity: fully certain partition keys do *not* fall back to the rewrite."""
     relation = AURelation.from_rows(

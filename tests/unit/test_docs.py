@@ -30,6 +30,7 @@ DOCTEST_MODULES = [
 #: Modules needing NumPy (skipped, not failed, when it is unavailable).
 DOCTEST_MODULES_NUMPY = [
     "repro.columnar.relation",
+    "repro.columnar.parallel",
     "repro.columnar.plan",
     "repro.columnar.sort",
     "repro.columnar.window",
@@ -92,6 +93,7 @@ def test_architecture_doc_covers_the_subsystems():
         "_dispatch",
         "groupby_aggregate",
         "searchsorted",
+        "Parallel execution",
         "Module map",
         "bounding",
     ):

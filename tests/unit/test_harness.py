@@ -1,5 +1,7 @@
 """Unit tests for the experiment harness (adapters, reporting, CLI wiring)."""
 
+import os
+
 import pytest
 
 from repro.harness.adapters import (
@@ -118,3 +120,61 @@ class TestExperimentsRegistry:
     def test_cli_rejects_unknown_experiment(self):
         with pytest.raises(SystemExit):
             main(["not-an-experiment"])
+
+
+class TestCliFlags:
+    """Validation and env plumbing of ``--backend`` / ``--workers``."""
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "two", "2.5"])
+    def test_rejects_bad_worker_counts(self, bad, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["heap_table", "--workers", bad])
+        assert excinfo.value.code == 2  # argparse usage error
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_rejects_unknown_backend(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["heap_table", "--backend", "rust"])
+        assert excinfo.value.code == 2
+        assert "invalid choice" in capsys.readouterr().err
+
+    def test_flags_set_env_for_the_run_and_restore_it(self, monkeypatch, capsys):
+        from repro.harness import cli
+
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        seen = {}
+
+        class FakeResult:
+            def to_text(self):
+                return "fake"
+
+        def fake_experiment():
+            seen["backend"] = os.environ.get("REPRO_BACKEND")
+            seen["workers"] = os.environ.get("REPRO_WORKERS")
+            return FakeResult()
+
+        monkeypatch.setattr(cli, "ALL_EXPERIMENTS", {"fake": fake_experiment})
+        assert main(["fake", "--backend", "columnar", "--workers", "2"]) == 0
+        assert seen == {"backend": "columnar", "workers": "2"}
+        # The overrides are scoped to the run: the unset variable is unset
+        # again, the pre-existing one is back to its previous value.
+        assert "REPRO_BACKEND" not in os.environ
+        assert os.environ["REPRO_WORKERS"] == "7"
+        assert "fake" in capsys.readouterr().out
+
+    def test_backend_enabled_rejects_unknown_env_value(self, monkeypatch):
+        from repro.errors import ReproError
+        from repro.harness.figures import backend_enabled
+
+        monkeypatch.setenv("REPRO_BACKEND", "rust")
+        with pytest.raises(ReproError, match="REPRO_BACKEND must be one of"):
+            backend_enabled("columnar")
+
+    def test_backend_enabled_filters_the_named_backend(self, monkeypatch):
+        from repro.harness.figures import backend_enabled
+
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert backend_enabled("python") and backend_enabled("columnar")
+        monkeypatch.setenv("REPRO_BACKEND", "python")
+        assert backend_enabled("python") and not backend_enabled("columnar")

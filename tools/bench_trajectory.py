@@ -1,0 +1,135 @@
+"""Append multiwindow / equijoin timings to the perf trajectory file.
+
+Each run appends one JSON record to ``BENCH_pipeline.json`` (a JSON array at
+the repository root) timing the two large-N harness workloads —
+the multi-window plan (``select -> join -> window -> select -> window``) and
+the searchsorted equi-join — on the columnar backend at each requested
+worker count.  Records carry the host's core count: speedup numbers are only
+meaningful when ``cpus >= workers`` (an oversubscribed pool measures
+scheduling overhead, not scaling), so downstream tooling must filter on it
+rather than compare raw milliseconds across machines.
+
+Example::
+
+    PYTHONPATH=src python tools/bench_trajectory.py --rows 20000 --workers 1,2,4
+    PYTHONPATH=src python tools/bench_trajectory.py --rows 100000 --reps 3
+
+The trajectory is append-only — committing the file over time charts the
+backend's perf history against a fixed workload shape.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
+
+
+def best_of(fn, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1000.0
+
+
+def parse_workers(raw: str) -> list[int]:
+    try:
+        values = sorted({int(part) for part in raw.split(",") if part.strip()})
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a comma-separated list of positive integers, got {raw!r}"
+        ) from None
+    if not values or any(value < 1 for value in values):
+        raise argparse.ArgumentTypeError(
+            f"expected a comma-separated list of positive integers, got {raw!r}"
+        )
+    return values
+
+
+def measure(rows: int, workers: list[int], reps: int) -> list[dict]:
+    from repro.columnar.relation import ColumnarAURelation
+    from repro.workloads.pipeline import (
+        equijoin_inputs,
+        multiwindow_inputs,
+        run_equijoin_columnar,
+        run_multiwindow_columnar,
+    )
+
+    fact, dim, threshold = multiwindow_inputs(rows)
+    columnar_fact = ColumnarAURelation.from_relation(fact)
+    columnar_dim = ColumnarAURelation.from_relation(dim)
+    left, right = equijoin_inputs(rows)
+    columnar_left = ColumnarAURelation.from_relation(left)
+    columnar_right = ColumnarAURelation.from_relation(right)
+
+    results = []
+    for count in workers:
+        multiwindow_ms = best_of(
+            lambda: run_multiwindow_columnar(
+                columnar_fact, columnar_dim, threshold, workers=count
+            ),
+            reps,
+        )
+        equijoin_ms = best_of(
+            lambda: run_equijoin_columnar(
+                columnar_left, columnar_right, method="searchsorted", workers=count
+            ),
+            reps,
+        )
+        results.append(
+            {"workers": count, "multiwindow_ms": round(multiwindow_ms, 3),
+             "equijoin_ms": round(equijoin_ms, 3)}
+        )
+        print(
+            f"workers={count}: multiwindow={multiwindow_ms:.1f}ms "
+            f"equijoin={equijoin_ms:.1f}ms"
+        )
+    return results
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--rows", type=int, default=20000, help="workload size (default 20000)")
+    parser.add_argument(
+        "--workers",
+        type=parse_workers,
+        default=[1, 2, 4],
+        help="comma-separated worker counts to time (default 1,2,4)",
+    )
+    parser.add_argument("--reps", type=int, default=1, help="repetitions, best-of (default 1)")
+    parser.add_argument(
+        "--output", type=Path, default=DEFAULT_OUTPUT, help="trajectory file to append to"
+    )
+    args = parser.parse_args(argv)
+
+    results = measure(args.rows, args.workers, args.reps)
+    record = {
+        "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "rows": args.rows,
+        "reps": args.reps,
+        "cpus": os.cpu_count() or 1,
+        "results": results,
+    }
+
+    trajectory = []
+    if args.output.exists():
+        trajectory = json.loads(args.output.read_text())
+        if not isinstance(trajectory, list):
+            raise SystemExit(f"{args.output} is not a JSON array")
+    trajectory.append(record)
+    args.output.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"appended record #{len(trajectory)} to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
