@@ -20,7 +20,13 @@ Times whole ``RA⁺`` plans of :mod:`repro.workloads.pipeline` per backend:
 * ``test_equijoin_*`` — a large-N equi-join point comparing the Python
   backend, the columnar pair grid (``O(|L|·|R|)`` memory), and the
   memory-safe sort/searchsorted path (only match candidates materialise, so
-  it reaches sizes the grid cannot).
+  it reaches sizes the grid cannot);
+* ``test_factjoin_*`` — the ``select -> join -> select -> window`` chain
+  through the factorised representation
+  (:class:`~repro.columnar.factorised.FactorisedAURelation`): the join
+  result stays a fragment-plus-pair-index structure, so the post-join
+  select and window never touch expanded pair rows.  Compared against the
+  Python backend and the expanded grid plan at grid-safe sizes.
 
 Results are bit-identical across backends and join methods (the
 ``*_agree_bit_for_bit`` tests pin it here at the benchmark sizes;
@@ -31,10 +37,13 @@ import pytest
 
 from repro.workloads.pipeline import (
     equijoin_inputs,
+    factjoin_inputs,
     multiwindow_inputs,
     pipeline_inputs,
     run_equijoin_columnar,
     run_equijoin_python,
+    run_factjoin_columnar,
+    run_factjoin_python,
     run_groupby_pipeline_columnar,
     run_groupby_pipeline_python,
     run_multiwindow_columnar,
@@ -48,6 +57,8 @@ SIZES = [64, 128, 256, 512]
 MULTIWINDOW_SIZES = [256, 1024]
 JOIN_SIZES = [256, 1024]
 JOIN_SIZES_SEARCHSORTED = [256, 1024, 4096]
+FACTJOIN_SIZES = [64, 128, 512]
+FACTJOIN_SIZES_FACTORISED = [64, 128, 512, 4096]
 
 
 def _inputs(size):
@@ -133,6 +144,36 @@ def test_equijoin_columnar_searchsorted(benchmark, size):
     )
 
 
+@pytest.mark.parametrize("size", FACTJOIN_SIZES)
+def test_factjoin_python(benchmark, size):
+    left, right, v_threshold, w_threshold = factjoin_inputs(size)
+    benchmark(run_factjoin_python, left, right, v_threshold, w_threshold)
+
+
+@pytest.mark.parametrize("size", FACTJOIN_SIZES)
+def test_factjoin_columnar_grid(benchmark, size):
+    """The fully expanded plan: the join materialises every surviving pair."""
+    left, right, v_threshold, w_threshold = factjoin_inputs(size)
+    columnar_left, columnar_right = _columnar(left), _columnar(right)
+    benchmark(
+        lambda: run_factjoin_columnar(
+            columnar_left, columnar_right, v_threshold, w_threshold, method="grid"
+        )
+    )
+
+
+@pytest.mark.parametrize("size", FACTJOIN_SIZES_FACTORISED)
+def test_factjoin_columnar_factorised(benchmark, size):
+    """The factorised chain reaches N=4096, where the expanded plans stay off."""
+    left, right, v_threshold, w_threshold = factjoin_inputs(size)
+    columnar_left, columnar_right = _columnar(left), _columnar(right)
+    benchmark(
+        lambda: run_factjoin_columnar(
+            columnar_left, columnar_right, v_threshold, w_threshold
+        )
+    )
+
+
 @pytest.mark.parametrize("size", SIZES)
 def test_backends_agree_bit_for_bit(size):
     """Not a timing: the two backends must produce identical relations."""
@@ -175,3 +216,17 @@ def test_equijoin_methods_agree_bit_for_bit(size):
     fast_result = run_equijoin_columnar(left, right, method="searchsorted")
     assert python_result.schema == grid_result.schema == fast_result.schema
     assert python_result._rows == grid_result._rows == fast_result._rows
+
+
+@pytest.mark.parametrize("size", FACTJOIN_SIZES)
+def test_factjoin_paths_agree_bit_for_bit(size):
+    """Python, expanded grid, and factorised chain produce identical relations."""
+    pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+    left, right, v_threshold, w_threshold = factjoin_inputs(size)
+    python_result = run_factjoin_python(left, right, v_threshold, w_threshold)
+    grid_result = run_factjoin_columnar(
+        left, right, v_threshold, w_threshold, method="grid"
+    )
+    fact_result = run_factjoin_columnar(left, right, v_threshold, w_threshold)
+    assert python_result.schema == grid_result.schema == fact_result.schema
+    assert python_result._rows == grid_result._rows == fact_result._rows

@@ -274,6 +274,90 @@ def smoke_equijoin(rows: int) -> int:
     return failures
 
 
+def smoke_factjoin(rows: int) -> int:
+    """The factorised select → join → select → window chain vs the expanded grid.
+
+    Three gates, at N = max(rows, 512) so the asymptotics are visible:
+
+    * **bit-identity** — python / expanded grid / factorised results must
+      agree at ``.to_rows()`` (and, with ``REPRO_WORKERS > 1``, the sharded
+      factorised run must match the serial one) — divergence is fatal;
+    * **peak allocation** — the factorised path must materialise
+      asymptotically fewer pair rows than the grid's ``|L'|·|R|`` scratch
+      (``pair_rows_materialised`` counts every pair-length array the
+      factorised representation gathers), so a regression that silently
+      re-expands mid-chain fails CI;
+    * **performance** — factorised should beat the grid contender
+      (warn-only unless ``REPRO_SMOKE_STRICT_PERF=1``, like every other
+      wall-clock gate here).
+    """
+    from repro.columnar.factorised import pair_rows_materialised, reset_pair_rows
+    from repro.columnar.parallel import resolve_workers
+    from repro.core.expressions import attr, const
+    from repro.core.operators import select
+    from repro.workloads.pipeline import (
+        factjoin_inputs,
+        run_factjoin_columnar,
+        run_factjoin_python,
+    )
+
+    size = max(rows, 512)
+    left, right, v_threshold, w_threshold = factjoin_inputs(size)
+    columnar_left = ColumnarAURelation.from_relation(left)
+    columnar_right = ColumnarAURelation.from_relation(right)
+
+    failures = 0
+    python_result = run_factjoin_python(left, right, v_threshold, w_threshold)
+    grid_result = run_factjoin_columnar(
+        columnar_left, columnar_right, v_threshold, w_threshold, method="grid"
+    )
+    reset_pair_rows()
+    fact_result = run_factjoin_columnar(
+        columnar_left, columnar_right, v_threshold, w_threshold
+    )
+    fact_alloc = pair_rows_materialised()
+    if not (
+        python_result.schema == grid_result.schema == fact_result.schema
+        and python_result._rows == grid_result._rows == fact_result._rows
+    ):
+        print("FAIL: factjoin python / grid / factorised paths diverge")
+        failures += 1
+
+    grid_pairs = len(select(left, attr("v").ge(const(v_threshold)))) * len(right)
+    print(
+        f"factjoin rows={size}: factorised pair-rows={fact_alloc} "
+        f"grid pair-grid={grid_pairs}"
+    )
+    if fact_alloc * 8 >= grid_pairs:
+        print(
+            "FAIL: factorised chain materialised too many pair rows "
+            f"({fact_alloc} vs grid {grid_pairs}) — something expands mid-chain"
+        )
+        failures += 1
+
+    workers = resolve_workers()
+    if workers > 1:
+        sharded = run_factjoin_columnar(
+            columnar_left, columnar_right, v_threshold, w_threshold, workers=workers
+        )
+        if not _same_rows(fact_result, sharded):
+            print(f"FAIL: factjoin sharded (workers={workers}) diverges from workers=1")
+            failures += 1
+
+    grid_ms = best_of(
+        lambda: run_factjoin_columnar(
+            columnar_left, columnar_right, v_threshold, w_threshold, method="grid"
+        )
+    )
+    fact_ms = best_of(
+        lambda: run_factjoin_columnar(
+            columnar_left, columnar_right, v_threshold, w_threshold
+        )
+    )
+    failures += _report_speedup("factjoin", size, grid_ms, fact_ms, baseline="grid")
+    return failures
+
+
 def _same_rows(serial, sharded) -> bool:
     """Bit-identity including the first-occurrence row order."""
     return serial.schema == sharded.schema and list(serial._rows.items()) == list(
@@ -372,6 +456,7 @@ def main(rows: int = 200) -> int:
         + smoke_groupby(rows)
         + smoke_multiwindow(rows)
         + smoke_equijoin(rows)
+        + smoke_factjoin(rows)
         + smoke_parallel(rows)
     )
     if not failures:

@@ -59,11 +59,20 @@ rows::
         .to_rows()                                  # boundary: row-major result
     )
 
+**Factorised join/cross results.**  Inside a plan, ``cross`` and qualifying
+equi-``join`` stages do not enumerate the ``O(|L|·|R|)`` (or match-count)
+pair grid at all: they return a
+:class:`~repro.columnar.factorised.FactorisedAURelation` — fragments plus a
+pairing structure — and downstream stages push down into it, expanding only
+at the ``.to_rows()`` boundary.  See the "Factorised representation"
+section of ``docs/ARCHITECTURE.md``.
+
 See ``docs/PLAN_GUIDE.md`` for a stage-by-stage authoring guide.  NumPy is
 required only when the columnar backend is actually selected; the rest of
 the library stays importable without it.
 """
 
+from repro.columnar.factorised import FactorisedAURelation
 from repro.columnar.plan import ColumnarPlan
 from repro.columnar.relation import ColumnarAURelation
 from repro.columnar.sort import sort_columnar, sort_stage
@@ -72,6 +81,7 @@ from repro.columnar.window import window_columnar, window_stage
 __all__ = [
     "ColumnarAURelation",
     "ColumnarPlan",
+    "FactorisedAURelation",
     "sort_columnar",
     "sort_stage",
     "window_columnar",

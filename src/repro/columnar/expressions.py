@@ -59,7 +59,7 @@ from repro.core.ranges import RangeValue
 from repro.core.tuples import AUTuple
 from repro.errors import ExpressionError
 
-__all__ = ["range_columns", "predicate_masks"]
+__all__ = ["range_columns", "predicate_masks", "referenced_attributes"]
 
 
 #: Magnitude ceiling for vectorized int64 arithmetic results; beyond it the
@@ -144,6 +144,51 @@ def predicate_masks(
                 return _scalar_predicate_masks(relation, predicate)
             return result.certain, result.sg, result.possible
     return _scalar_predicate_masks(relation, predicate)
+
+
+def referenced_attributes(
+    expression: Expression | Callable,
+) -> frozenset[str] | None:
+    """The attribute names an expression reads, or ``None`` when undecidable.
+
+    Column-ownership analysis for the factorised pushdown rules
+    (:mod:`repro.columnar.factorised`): a predicate or scalar expression can
+    be evaluated inside the factorised component that owns its referenced
+    columns exactly when that set is known.  Plain callables and AST nodes
+    outside the proven expression language may read any attribute
+    tuple-at-a-time, so they return ``None`` (callers must expand).
+
+    >>> from repro.core.expressions import attr, const
+    >>> sorted(referenced_attributes(attr("a").lt(attr("b") + const(1))))
+    ['a', 'b']
+    >>> referenced_attributes(const(2).lt(const(3)))
+    frozenset()
+    >>> referenced_attributes(lambda tup: tup.value("a")) is None
+    True
+    """
+    if not isinstance(expression, Expression):
+        return None
+    names: set[str] = set()
+    stack: list[Expression] = [expression]
+    while stack:
+        node = stack.pop()
+        node_type = type(node)
+        if node_type is Attribute:
+            names.add(node.name)
+        elif node_type is Constant:
+            pass
+        elif node_type in (Arithmetic, Comparison, BooleanOp):
+            stack.append(node.left)
+            stack.append(node.right)
+        elif node_type is Not:
+            stack.append(node.operand)
+        elif node_type is IfThenElse:
+            stack.append(node.condition)
+            stack.append(node.then_branch)
+            stack.append(node.else_branch)
+        else:  # custom Expression subclass: only the scalar path knows it
+            return None
+    return frozenset(names)
 
 
 # ---------------------------------------------------------------------------

@@ -230,8 +230,16 @@ def cross(left: ColumnarAURelation, right: ColumnarAURelation) -> ColumnarAURela
     """
     schema = left.schema.concat(right.schema, disambiguate=True)
     n_left, n_right = len(left), len(right)
-    expanded_left = left.repeat(n_right)
-    expanded_right = right.tile(n_left)
+    if n_left == 0 or n_right == 0:
+        # n=0 short-circuit: the product is empty — gather zero rows (dtypes
+        # preserved) instead of paying the repeat/tile pass over the
+        # non-empty side's arrays.
+        empty = np.empty(0, dtype=np.int64)
+        expanded_left = left.take(empty)
+        expanded_right = right.take(empty)
+    else:
+        expanded_left = left.repeat(n_right)
+        expanded_right = right.tile(n_left)
     columns = list(expanded_left.columns)
     for name, column in zip(schema.attributes[len(columns) :], expanded_right.columns):
         columns.append(AttributeColumn(name, column.lb, column.sg, column.ub))
@@ -314,6 +322,14 @@ def join(
     left.schema.require(list(on or ()))
     right.schema.require(list(on or ()))
 
+    if len(left) == 0 or len(right) == 0:
+        # n=0 short-circuit: no pairs can exist — run the pair assembler on
+        # an empty candidate list (same schema, masks, and predicate errors
+        # as the grid, without its repeat/tile scratch over the non-empty
+        # side).
+        empty = np.empty(0, dtype=np.int64)
+        return _join_pairs(left, right, predicate, list(on or ()), empty, empty)
+
     if method != "grid" and on:
         pairs = _searchsorted_key_pairs(left, right, list(on))
         if pairs is not None:
@@ -391,6 +407,16 @@ def _column_certain(column: AttributeColumn) -> bool:
 def _searchsorted_key_pairs(
     left: ColumnarAURelation, right: ColumnarAURelation, on: list[str]
 ) -> tuple[np.ndarray, np.ndarray] | None:
+    """Match-candidate pairs of two relations (see the column-based kernel)."""
+    return searchsorted_candidate_pairs(
+        [left.column(name) for name in on], [right.column(name) for name in on]
+    )
+
+
+def searchsorted_candidate_pairs(
+    left_columns: Sequence[AttributeColumn],
+    right_columns: Sequence[AttributeColumn],
+) -> tuple[np.ndarray, np.ndarray] | None:
     """Match-candidate ``(left_row, right_row)`` pairs via endpoint binary search.
 
     Returns ``None`` when the keys do not qualify: every key column pair must
@@ -399,17 +425,21 @@ def _searchsorted_key_pairs(
     point values are the sorted search space, the other side's ``[lb, ub]``
     endpoints the queries.  Remaining key columns are filtered per candidate
     pair afterwards, so only the first key needs a certain side.
+
+    Takes bare key columns (not relations) so the factorised layer
+    (:mod:`repro.columnar.factorised`) can enumerate candidates over gathered
+    pair columns through the identical kernel.
     """
     from repro.columnar.kernels import interval_point_match_pairs
 
-    if len(left) == 0 or len(right) == 0:
+    if len(left_columns[0].lb) == 0 or len(right_columns[0].lb) == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
-    for name in on:
-        if not _equality_vectorizable(left.column(name), right.column(name)):
+    for left_column, right_column in zip(left_columns, right_columns):
+        if not _equality_vectorizable(left_column, right_column):
             return None
-    left_key = left.column(on[0])
-    right_key = right.column(on[0])
+    left_key = left_columns[0]
+    right_key = right_columns[0]
     if _column_certain(right_key):
         left_rows, right_rows = interval_point_match_pairs(
             left_key.lb, left_key.ub, right_key.sg

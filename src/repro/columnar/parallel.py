@@ -55,6 +55,7 @@ __all__ = [
     "fork_capable",
     "shard_ranges",
     "morsel_count",
+    "pair_blocks",
     "parallel_map",
     "shared_arrays",
 ]
@@ -134,6 +135,23 @@ def shard_ranges(n: int, shards: int) -> list[tuple[int, int]]:
 def morsel_count(workers: int) -> int:
     """How many morsels a sharded stage should cut its work into."""
     return workers * MORSELS_PER_WORKER
+
+
+def pair_blocks(n: int, workers: int) -> list[tuple[int, int]]:
+    """Contiguous pair-range morsels for a stage sharded over ``n`` pair rows.
+
+    The factorised layer (:mod:`repro.columnar.factorised`) shards its
+    expansion blocks and join-predicate evaluation over logical pair ranges
+    with this layout; contiguity plus block-order concatenation is what
+    keeps ``workers=N`` bit-identical to the serial path.  ``workers <= 1``
+    (or a single row) yields one block covering everything, so serial runs
+    take the exact single-shard code path.
+    """
+    if n <= 0:
+        return []
+    if workers <= 1 or n == 1:
+        return [(0, n)]
+    return shard_ranges(n, morsel_count(workers))
 
 
 def parallel_map(

@@ -48,7 +48,9 @@ from __future__ import annotations
 
 from typing import Callable, Mapping, Sequence
 
+from repro.columnar import factorised as fx
 from repro.columnar import operators as ops
+from repro.columnar.factorised import FactorisedAURelation, as_factorised
 from repro.columnar.relation import ColumnarAURelation, as_columnar
 from repro.core.booleans import RangeBool
 from repro.core.expressions import Expression
@@ -83,7 +85,7 @@ class ColumnarPlan:
 
     def __init__(
         self,
-        relation: AURelation | ColumnarAURelation | "ColumnarPlan",
+        relation: "AURelation | ColumnarAURelation | FactorisedAURelation | ColumnarPlan",
         *,
         workers: int | None = None,
     ):
@@ -94,6 +96,9 @@ class ColumnarPlan:
             self._workers = (
                 relation._workers if workers is None else resolve_workers(workers)
             )
+        elif isinstance(relation, FactorisedAURelation):
+            self._relation = relation
+            self._workers = resolve_workers(workers)
         else:
             self._relation = as_columnar(relation)
             self._workers = resolve_workers(workers)
@@ -103,34 +108,58 @@ class ColumnarPlan:
         """The resolved worker count every sharded stage of this plan uses."""
         return self._workers
 
-    def _chain(self, relation: ColumnarAURelation) -> "ColumnarPlan":
+    def _chain(
+        self, relation: "ColumnarAURelation | FactorisedAURelation"
+    ) -> "ColumnarPlan":
         """A new plan over ``relation`` carrying this plan's worker count."""
         plan = ColumnarPlan.__new__(ColumnarPlan)
         plan._relation = relation
         plan._workers = self._workers
         return plan
 
+    def _expanded(self) -> ColumnarAURelation:
+        """The current intermediate as an expanded columnar relation."""
+        if isinstance(self._relation, FactorisedAURelation):
+            return self._relation.expand()
+        return self._relation
+
     # -- boundary accessors -------------------------------------------------
 
     def columnar(self) -> ColumnarAURelation:
-        """The current intermediate result, still columnar (no conversion)."""
-        return self._relation
+        """The current intermediate result as an expanded columnar relation.
+
+        Plain intermediates return with no conversion; a factorised
+        intermediate (downstream of a :meth:`join` / :meth:`cross`) expands
+        here — :meth:`factorised` exposes it without materialisation.
+        """
+        return self._expanded()
+
+    def factorised(self) -> FactorisedAURelation:
+        """The current intermediate as a factorised relation (no expansion)."""
+        return as_factorised(self._relation)
 
     def to_rows(self) -> AURelation:
         """Materialise the plan result as a row-major relation (plan boundary).
 
-        The single point a plan converts.  The result is an ordinary
-        :class:`~repro.core.relation.AURelation`; chaining further plan
-        stages onto it raises :class:`~repro.errors.PlanError` — wrap it in
-        a fresh ``ColumnarPlan`` to keep querying it.
+        The single point a plan converts: a factorised intermediate expands
+        here (the only materialisation point of the factorised
+        representation), then converts to row-major.  The result is an
+        ordinary :class:`~repro.core.relation.AURelation`; chaining further
+        plan stages onto it raises :class:`~repro.errors.PlanError` — wrap
+        it in a fresh ``ColumnarPlan`` to keep querying it.
         """
+        relation = self._relation
+        if isinstance(relation, FactorisedAURelation):
+            relation = relation.expand(
+                workers=self._workers if self._workers > 1 else 1
+            )
         # Serial plans call to_relation() exactly as before the parallel
         # executor existed (the no-argument form is part of the boundary's
         # observable contract — conversion spies in the test suite rely on it).
         if self._workers > 1:
-            result = self._relation.to_relation(workers=self._workers)
+            result = relation.to_relation(workers=self._workers)
         else:
-            result = self._relation.to_relation()
+            result = relation.to_relation()
         boundary = _MaterialisedPlanResult(result.schema)
         boundary._rows = result._rows
         return boundary
@@ -147,27 +176,43 @@ class ColumnarPlan:
     def select(
         self, predicate: Expression | Callable[[AUTuple], RangeBool]
     ) -> "ColumnarPlan":
+        if isinstance(self._relation, FactorisedAURelation):
+            return self._chain(fx.fact_select(self._relation, predicate))
         return self._chain(ops.select(self._relation, predicate))
 
     def project(self, attributes: Sequence[str]) -> "ColumnarPlan":
+        if isinstance(self._relation, FactorisedAURelation):
+            return self._chain(fx.fact_project(self._relation, attributes))
         return self._chain(ops.project(self._relation, attributes))
 
     def extend(
         self, name: str, expression: Expression | Callable[[AUTuple], RangeValue]
     ) -> "ColumnarPlan":
+        if isinstance(self._relation, FactorisedAURelation):
+            return self._chain(fx.fact_extend(self._relation, name, expression))
         return self._chain(ops.extend(self._relation, name, expression))
 
     def rename(self, mapping: Mapping[str, str]) -> "ColumnarPlan":
+        if isinstance(self._relation, FactorisedAURelation):
+            return self._chain(fx.fact_rename(self._relation, mapping))
         return self._chain(ops.rename(self._relation, mapping))
 
     def distinct(self) -> "ColumnarPlan":
-        return self._chain(ops.distinct(self._relation))
+        return self._chain(ops.distinct(self._expanded()))
 
     def union(self, other: "ColumnarPlan | AURelation | ColumnarAURelation") -> "ColumnarPlan":
-        return self._chain(ops.union(self._relation, _unwrap(other)))
+        return self._chain(ops.union(self._expanded(), _unwrap(other)))
 
     def cross(self, other: "ColumnarPlan | AURelation | ColumnarAURelation") -> "ColumnarPlan":
-        return self._chain(ops.cross(self._relation, _unwrap(other)))
+        """Cross product as a factorised relation — no pair materialisation.
+
+        The result stays a :class:`FactorisedAURelation` product of the two
+        inputs' components; it expands only at :meth:`to_rows` (or when a
+        later stage genuinely spans both sides).
+        """
+        return self._chain(
+            fx.fact_cross(as_factorised(self._relation), _unwrap_factorised(other))
+        )
 
     def join(
         self,
@@ -183,11 +228,16 @@ class ColumnarPlan:
         memory-safe sort/searchsorted path when the equi-join keys qualify,
         the exact pair grid otherwise); see
         :func:`repro.columnar.operators.join`.
+
+        A qualifying equi-join stays factorised: the matched pairs are kept
+        as index vectors into the two inputs' fragments and only expand at
+        :meth:`to_rows`.  Non-qualifying joins (uncertain keys, ``"grid"``)
+        fall back to the eager expanded kernel automatically.
         """
         return self._chain(
-            ops.join(
-                self._relation,
-                _unwrap(other),
+            fx.fact_join(
+                as_factorised(self._relation),
+                _unwrap_factorised(other),
                 predicate,
                 on=on,
                 method=method,
@@ -205,6 +255,12 @@ class ColumnarPlan:
         Semantics and ``aggregates`` format as in
         :func:`repro.core.operators.groupby_aggregate`.
         """
+        if isinstance(self._relation, FactorisedAURelation):
+            return self._chain(
+                fx.fact_groupby_aggregate(
+                    self._relation, group_by, aggregates, workers=self._workers
+                )
+            )
         return self._chain(
             ops.groupby_aggregate(
                 self._relation, group_by, aggregates, workers=self._workers
@@ -228,6 +284,16 @@ class ColumnarPlan:
         """
         from repro.columnar.sort import sort_stage
 
+        if isinstance(self._relation, FactorisedAURelation):
+            return self._chain(
+                fx.fact_sort(
+                    self._relation,
+                    order_by,
+                    position_attribute=position_attribute,
+                    descending=descending,
+                    workers=self._workers,
+                )
+            )
         return self._chain(
             sort_stage(
                 self._relation,
@@ -253,6 +319,18 @@ class ColumnarPlan:
 
         if k < 0:
             raise OperatorError("k must be non-negative")
+        if isinstance(self._relation, FactorisedAURelation):
+            ranked_fact = fx.fact_sort(
+                self._relation,
+                order_by,
+                k=k,
+                position_attribute=position_attribute,
+                descending=descending,
+                workers=self._workers,
+            )
+            return self._chain(
+                fx.fact_select(ranked_fact, attr(position_attribute).lt(k))
+            )
         ranked = sort_stage(
             self._relation,
             order_by,
@@ -272,6 +350,10 @@ class ColumnarPlan:
         """
         from repro.columnar.window import window_stage
 
+        if isinstance(self._relation, FactorisedAURelation):
+            return self._chain(
+                fx.fact_window(self._relation, spec, workers=self._workers)
+            )
         return self._chain(window_stage(self._relation, spec, workers=self._workers))
 
 
@@ -280,6 +362,7 @@ class ColumnarPlan:
 _STAGE_NAMES = (
     "select", "project", "extend", "rename", "distinct", "union", "cross",
     "join", "groupby_aggregate", "sort", "topk", "window", "to_rows", "columnar",
+    "factorised",
 )
 
 
@@ -316,6 +399,18 @@ del _name
 def _unwrap(
     other: "ColumnarPlan | AURelation | ColumnarAURelation",
 ) -> ColumnarAURelation:
+    """``other`` as an expanded columnar relation (for eager binary stages)."""
     if isinstance(other, ColumnarPlan):
-        return other._relation
+        return other._expanded()
+    if isinstance(other, FactorisedAURelation):
+        return other.expand()
     return as_columnar(other)
+
+
+def _unwrap_factorised(
+    other: "ColumnarPlan | AURelation | ColumnarAURelation | FactorisedAURelation",
+) -> FactorisedAURelation:
+    """``other`` as a factorised relation, keeping its layout (no expansion)."""
+    if isinstance(other, ColumnarPlan):
+        return as_factorised(other._relation)
+    return as_factorised(other)

@@ -491,7 +491,16 @@ def concat_relations(partials: Sequence["ColumnarAURelation"]) -> "ColumnarAURel
 
 
 def as_columnar(relation: AURelation | ColumnarAURelation) -> ColumnarAURelation:
-    """Coerce either relation layout to columnar (no copy when already columnar)."""
+    """Coerce any relation layout to columnar (no copy when already columnar).
+
+    Factorised relations (:mod:`repro.columnar.factorised`) expand here —
+    this is one of their sanctioned materialisation points, used when an
+    eager kernel genuinely needs the full pair enumeration.
+    """
     if isinstance(relation, ColumnarAURelation):
         return relation
+    from repro.columnar.factorised import FactorisedAURelation  # avoids a module cycle
+
+    if isinstance(relation, FactorisedAURelation):
+        return relation.expand()
     return ColumnarAURelation.from_relation(relation)

@@ -55,6 +55,7 @@ __all__ = [
     "groupby_pipeline_scaling",
     "multiwindow_scaling",
     "equijoin_scaling",
+    "factjoin_scaling",
     "ALL_EXPERIMENTS",
 ]
 
@@ -869,6 +870,80 @@ def equijoin_scaling(
     return result
 
 
+def factjoin_scaling(
+    *,
+    sizes: Sequence[int] = (256, 1024, 4096),
+    quadratic_ceiling: int = 1024,
+    seed: int = 0,
+) -> ExperimentResult:
+    """The factorised select → join → select → window chain vs the expanded paths.
+
+    The Python backend and the eager pair-grid contender only run up to
+    ``quadratic_ceiling`` — above it their columns degrade to ``-``, which is
+    the point: the factorised representation (matched-pair index vectors, no
+    payload gather before the boundary) reaches N=4096 where the grid's
+    ``O(|L|·|R|)`` scratch exceeds its memory ceiling.  At the capped sizes
+    the three results are checked bit-identical at ``.to_rows()`` (a mismatch
+    raises, so the table never reports timings for diverging plans).
+    """
+    from repro.errors import ReproError
+    from repro.workloads.pipeline import (
+        factjoin_inputs,
+        run_factjoin_columnar,
+        run_factjoin_python,
+    )
+
+    result = ExperimentResult(
+        name="factjoin",
+        description=(
+            "select-join-select-window runtime (ms): python / expanded grid / factorised"
+        ),
+        headers=["Size", "Imp", "Grid", "Factorised"],
+    )
+    for size in sizes:
+        left, right, v_threshold, w_threshold = factjoin_inputs(size, seed=seed)
+        imp_ms: object = "-"
+        python_rows = None
+        if size <= quadratic_ceiling and backend_enabled("python"):
+            python_rows, imp_ms = timed_ms(
+                lambda: run_factjoin_python(left, right, v_threshold, w_threshold)
+            )
+        grid_ms: object = "-"
+        fact_ms: object = "-"
+        if backend_enabled("columnar"):
+            try:
+                from repro.columnar.relation import ColumnarAURelation
+            except ImportError:
+                pass
+            else:
+                columnar_left = ColumnarAURelation.from_relation(left)
+                columnar_right = ColumnarAURelation.from_relation(right)
+                grid_rows = None
+                if size <= quadratic_ceiling:
+                    grid_rows, grid_ms = timed_ms(
+                        lambda: run_factjoin_columnar(
+                            columnar_left, columnar_right, v_threshold, w_threshold,
+                            method="grid",
+                        )
+                    )
+                fact_rows, fact_ms = timed_ms(
+                    lambda: run_factjoin_columnar(
+                        columnar_left, columnar_right, v_threshold, w_threshold
+                    )
+                )
+                for label, other in (("python", python_rows), ("grid", grid_rows)):
+                    if other is not None and (
+                        fact_rows.schema != other.schema
+                        or fact_rows._rows != other._rows
+                    ):
+                        raise ReproError(
+                            f"factjoin: factorised result diverges from the "
+                            f"{label} backend at size {size}"
+                        )
+        result.add(size, imp_ms, grid_ms, fact_ms)
+    return result
+
+
 #: Registry used by the CLI: experiment id -> driver.
 ALL_EXPERIMENTS = {
     "heap_table": heap_table,
@@ -885,4 +960,5 @@ ALL_EXPERIMENTS = {
     "groupby": groupby_pipeline_scaling,
     "multiwindow": multiwindow_scaling,
     "equijoin": equijoin_scaling,
+    "factjoin": factjoin_scaling,
 }

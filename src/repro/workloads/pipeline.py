@@ -61,6 +61,10 @@ __all__ = [
     "equijoin_inputs",
     "run_equijoin_python",
     "run_equijoin_columnar",
+    "FACTJOIN_WINDOW",
+    "factjoin_inputs",
+    "run_factjoin_python",
+    "run_factjoin_columnar",
 ]
 
 #: Terminal stage of the pipeline: a trailing sum over the order attribute.
@@ -314,3 +318,88 @@ def run_equijoin_columnar(
     return col_ops.join(
         as_columnar(left), as_columnar(right), on=["k"], method=method, workers=workers
     ).to_relation(workers=workers)
+
+
+#: Terminal stage of the factorised-join chain: a trailing sum of the fact
+#: payload over the uncertain order attribute.
+FACTJOIN_WINDOW = WindowSpec(
+    function="sum", attribute="v", output="w_sum", order_by=("o",), frame=(-2, 0)
+)
+
+
+def factjoin_inputs(
+    rows: int, *, seed: int = 0
+) -> tuple[AURelation, AURelation, int, int]:
+    """``(left, right, v_threshold, w_threshold)`` for the ``factjoin`` chain.
+
+    ``left`` has schema ``(k, o, v)``: certain shuffled keys over
+    ``[0, rows)``, an order attribute that is an uncertain integer range on
+    ~20% of the rows, an integer payload carrying ranges on ~30% (integers,
+    so the terminal window sum stays on the vectorized sweep), and bag
+    multiplicities ``(0, 1, 2)`` on ~15%.  ``right`` has schema ``(k, w)``:
+    certain shuffled keys over ``[rows // 2, rows + rows // 2)`` (~50%
+    overlap) and certain integer weights.  The thresholds keep roughly half
+    of each side's rows through the two selections, so the chain
+    select → join → select → window exercises every factorised stage with a
+    non-trivial surviving pair set.
+    """
+    rng = random.Random(seed)
+    left_keys = list(range(rows))
+    right_keys = list(range(rows // 2, rows + rows // 2))
+    rng.shuffle(left_keys)
+    rng.shuffle(right_keys)
+    left = AURelation.from_rows(["k", "o", "v"], [])
+    for key in left_keys:
+        order = rng.randint(0, 50)
+        if rng.random() < 0.2:
+            order = RangeValue(order, order, order + rng.randint(1, 5))
+        value = rng.randint(0, 100)
+        if rng.random() < 0.3:
+            value = RangeValue(value, value, value + rng.randint(1, 10))
+        mult = (0, 1, 2) if rng.random() < 0.15 else 1
+        left.add_values([key, order, value], mult)
+    right = AURelation.from_rows(["k", "w"], [])
+    for key in right_keys:
+        right.add_values([key, rng.randint(0, 100)], 1)
+    return left, right, 50, 60
+
+
+def run_factjoin_python(
+    left: AURelation, right: AURelation, v_threshold: int, w_threshold: int
+) -> AURelation:
+    """The select → join → select → window chain on the Python backend."""
+    from repro.core.operators import join, select
+    from repro.window.native import window_native
+
+    filtered = select(left, attr("v").ge(const(v_threshold)))
+    joined = join(filtered, right, on=["k"])
+    narrowed = select(joined, attr("w").lt(const(w_threshold)))
+    return window_native(narrowed, FACTJOIN_WINDOW)
+
+
+def run_factjoin_columnar(
+    left,
+    right,
+    v_threshold: int,
+    w_threshold: int,
+    *,
+    method: str = "auto",
+    workers: int | None = None,
+) -> AURelation:
+    """The identical chain as a columnar plan (factorised between stages).
+
+    With ``method="auto"`` the join stage keeps the result factorised —
+    matched-pair index vectors, no payload gather — and the downstream
+    select / window stages push down into it; only ``.to_rows()`` expands.
+    ``method="grid"`` forces the eager ``O(|L|·|R|)`` pair-grid contender.
+    """
+    from repro.columnar.plan import ColumnarPlan
+
+    return (
+        ColumnarPlan(left, workers=workers)
+        .select(attr("v").ge(const(v_threshold)))
+        .join(ColumnarPlan(right), on=["k"], method=method)
+        .select(attr("w").lt(const(w_threshold)))
+        .window(FACTJOIN_WINDOW)
+        .to_rows()
+    )

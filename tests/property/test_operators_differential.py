@@ -360,6 +360,47 @@ def test_equijoin_auto_with_predicate_agrees(left, right):
     assert_same_relation(join(left, right, predicate, on=["k"]), auto.to_relation())
 
 
+def test_join_cross_empty_inputs_agree_all_methods():
+    """Regression: ``n == 0`` inputs short-circuit before the repeat/tile scratch.
+
+    The grid kernel used to size its pair scratch from ``|L| * |R|`` before
+    checking for emptiness; every method must now return the empty result on
+    an empty side without touching the pair-expansion path, bit-identical to
+    the Python backend.
+    """
+    from repro.columnar import operators as col_ops
+    from repro.columnar.relation import ColumnarAURelation
+
+    filled_left = AURelation.from_rows(
+        ["k", "a"], [((1, 2), (1, 1, 1)), ((RangeValue(0, 1, 2), 4), (0, 1, 2))]
+    )
+    filled_right = AURelation.from_rows(["k", "b"], [((1, 5), 1)])
+    empty_left = AURelation.from_rows(["k", "a"], [])
+    empty_right = AURelation.from_rows(["k", "b"], [])
+    for left, right in [
+        (filled_left, empty_right),
+        (empty_left, filled_right),
+        (empty_left, empty_right),
+    ]:
+        columnar_left = ColumnarAURelation.from_relation(left)
+        columnar_right = ColumnarAURelation.from_relation(right)
+        python_joined = join(left, right, on=["k"])
+        assert python_joined.is_empty()
+        for method in ("auto", "grid", "searchsorted"):
+            columnar_joined = col_ops.join(
+                columnar_left, columnar_right, on=["k"], method=method
+            )
+            assert_same_relation(python_joined, columnar_joined.to_relation())
+        python_crossed = cross(left, right)
+        assert python_crossed.is_empty()
+        assert_same_relation(python_crossed, cross(left, right, backend="columnar"))
+        predicate = attr("a").lt(attr("b"))
+        assert_same_relation(
+            join(left, right, predicate),
+            join(left, right, predicate, backend="columnar"),
+        )
+
+
 def test_empty_results_agree_on_both_backends():
     relation = AURelation.from_rows(["a", "b"], [((1, 2), (1, 1, 1)), ((3, 4), (0, 1, 2))])
     never = attr("a").gt(const(100))

@@ -32,6 +32,7 @@ DOCTEST_MODULES_NUMPY = [
     "repro.columnar.relation",
     "repro.columnar.parallel",
     "repro.columnar.plan",
+    "repro.columnar.factorised",
     "repro.columnar.sort",
     "repro.columnar.window",
 ]

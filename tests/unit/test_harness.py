@@ -91,6 +91,7 @@ class TestExperimentsRegistry:
             "groupby",
             "multiwindow",
             "equijoin",
+            "factjoin",
         }
         assert expected == set(ALL_EXPERIMENTS)
 

@@ -1,18 +1,28 @@
-"""Append multiwindow / equijoin timings to the perf trajectory file.
+"""Append multiwindow / equijoin / factjoin timings to the perf trajectory file.
 
 Each run appends one JSON record to ``BENCH_pipeline.json`` (a JSON array at
-the repository root) timing the two large-N harness workloads —
+the repository root) timing the large-N harness workloads —
 the multi-window plan (``select -> join -> window -> select -> window``) and
-the searchsorted equi-join — on the columnar backend at each requested
-worker count.  Records carry the host's core count: speedup numbers are only
-meaningful when ``cpus >= workers`` (an oversubscribed pool measures
-scheduling overhead, not scaling), so downstream tooling must filter on it
-rather than compare raw milliseconds across machines.
+the searchsorted equi-join at each requested worker count, plus the
+factorised ``select -> join -> select -> window`` chain (``factjoin``).  The
+factjoin block compares the fully expanded grid plan against the factorised
+representation head-to-head: each path runs in a forked child process so
+``resource.getrusage(RUSAGE_SELF).ru_maxrss`` isolates its peak RSS, and the
+record carries the estimated expanded pair-row count (``|L'| * |R|``)
+alongside the pair rows the factorised path actually materialised
+(:func:`repro.columnar.factorised.pair_rows_materialised`).  Above the grid
+ceiling only the factorised path runs — that asymmetry *is* the datapoint.
+
+Records carry the host's core count: speedup numbers are only meaningful
+when ``cpus >= workers`` (an oversubscribed pool measures scheduling
+overhead, not scaling), so downstream tooling must filter on it rather than
+compare raw milliseconds across machines.
 
 Example::
 
     PYTHONPATH=src python tools/bench_trajectory.py --rows 20000 --workers 1,2,4
     PYTHONPATH=src python tools/bench_trajectory.py --rows 100000 --reps 3
+    PYTHONPATH=src python tools/bench_trajectory.py --factjoin-rows 4096
 
 The trajectory is append-only — committing the file over time charts the
 backend's perf history against a fixed workload shape.
@@ -39,6 +49,99 @@ def best_of(fn, reps: int) -> float:
         fn()
         best = min(best, time.perf_counter() - start)
     return best * 1000.0
+
+
+def _forked_best_of(fn, reps: int) -> tuple[float, int]:
+    """Best-of timing plus peak RSS, measured in a forked child process.
+
+    Forking isolates the measurement: ``ru_maxrss`` is a per-process
+    high-water mark, so running both contenders in one process would let
+    whichever ran first set the mark for both.  The child inherits the
+    parent's pages copy-on-write, times ``fn`` like :func:`best_of`, and
+    reports ``(best_ms, peak_rss_kb)`` back through a queue.  ``ru_maxrss``
+    is kilobytes on Linux.
+    """
+    import multiprocessing
+    import resource
+
+    context = multiprocessing.get_context("fork")
+    channel = context.Queue()
+
+    def child() -> None:
+        best = best_of(fn, reps)
+        peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        channel.put((best, int(peak)))
+
+    process = context.Process(target=child)
+    process.start()
+    try:
+        best_ms, peak_rss_kb = channel.get()
+    finally:
+        process.join()
+    return best_ms, peak_rss_kb
+
+
+def measure_factjoin(rows: int, reps: int, *, grid_ceiling: int = 1024) -> dict:
+    """Time the factjoin chain and record peak RSS + pair-row counts.
+
+    Returns one JSON-ready block: logical row counts first (estimated
+    expanded pairs vs pair rows the factorised path materialised), then the
+    per-path timings and peak RSS.  The grid path is skipped above
+    ``grid_ceiling`` (its scratch is ``O(|L'| * |R|)``); the factorised path
+    always runs.
+    """
+    from repro.columnar.factorised import pair_rows_materialised, reset_pair_rows
+    from repro.columnar.relation import ColumnarAURelation
+    from repro.core.expressions import attr, const
+    from repro.core.operators import select
+    from repro.workloads.pipeline import factjoin_inputs, run_factjoin_columnar
+
+    left, right, v_threshold, w_threshold = factjoin_inputs(rows)
+    columnar_left = ColumnarAURelation.from_relation(left)
+    columnar_right = ColumnarAURelation.from_relation(right)
+
+    expanded_pairs = len(select(left, attr("v").ge(const(v_threshold)))) * len(right)
+    reset_pair_rows()
+    result = run_factjoin_columnar(
+        columnar_left, columnar_right, v_threshold, w_threshold
+    )
+    factorised_pairs = pair_rows_materialised()
+
+    block = {
+        "rows": rows,
+        "output_rows": len(result),
+        "expanded_pair_rows": expanded_pairs,
+        "factorised_pair_rows": factorised_pairs,
+    }
+    factorised_ms, factorised_rss = _forked_best_of(
+        lambda: run_factjoin_columnar(
+            columnar_left, columnar_right, v_threshold, w_threshold
+        ),
+        reps,
+    )
+    block["factorised_ms"] = round(factorised_ms, 3)
+    block["factorised_peak_rss_kb"] = factorised_rss
+    if rows <= grid_ceiling:
+        grid_ms, grid_rss = _forked_best_of(
+            lambda: run_factjoin_columnar(
+                columnar_left, columnar_right, v_threshold, w_threshold, method="grid"
+            ),
+            reps,
+        )
+        block["grid_ms"] = round(grid_ms, 3)
+        block["grid_peak_rss_kb"] = grid_rss
+        print(
+            f"factjoin rows={rows}: factorised={factorised_ms:.1f}ms "
+            f"(peak {factorised_rss}KB, {factorised_pairs} pair rows) "
+            f"grid={grid_ms:.1f}ms (peak {grid_rss}KB, {expanded_pairs} pair rows)"
+        )
+    else:
+        print(
+            f"factjoin rows={rows}: factorised={factorised_ms:.1f}ms "
+            f"(peak {factorised_rss}KB, {factorised_pairs} pair rows) "
+            f"grid skipped (would expand {expanded_pairs} pair rows)"
+        )
+    return block
 
 
 def parse_workers(raw: str) -> list[int]:
@@ -107,6 +210,12 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--reps", type=int, default=1, help="repetitions, best-of (default 1)")
     parser.add_argument(
+        "--factjoin-rows",
+        type=int,
+        default=4096,
+        help="factjoin chain size; 0 skips the factjoin block (default 4096)",
+    )
+    parser.add_argument(
         "--output", type=Path, default=DEFAULT_OUTPUT, help="trajectory file to append to"
     )
     args = parser.parse_args(argv)
@@ -119,6 +228,8 @@ def main(argv: list[str] | None = None) -> int:
         "cpus": os.cpu_count() or 1,
         "results": results,
     }
+    if args.factjoin_rows > 0:
+        record["factjoin"] = measure_factjoin(args.factjoin_rows, args.reps)
 
     trajectory = []
     if args.output.exists():
