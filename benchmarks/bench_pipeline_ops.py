@@ -21,6 +21,10 @@ Times whole ``RA⁺`` plans of :mod:`repro.workloads.pipeline` per backend:
   backend, the columnar pair grid (``O(|L|·|R|)`` memory), and the
   memory-safe sort/searchsorted path (only match candidates materialise, so
   it reaches sizes the grid cannot);
+* ``test_rangejoin_*`` — the same comparison when the join keys are
+  uncertain ranges on *both* sides, which disqualifies searchsorted: the
+  interval-overlap sweep enumerates only the possibly overlapping pairs
+  (``O((n + k) log n)``) and reaches N=4096 while the grid stays capped;
 * ``test_factjoin_*`` — the ``select -> join -> select -> window`` chain
   through the factorised representation
   (:class:`~repro.columnar.factorised.FactorisedAURelation`): the join
@@ -40,6 +44,7 @@ from repro.workloads.pipeline import (
     factjoin_inputs,
     multiwindow_inputs,
     pipeline_inputs,
+    rangejoin_inputs,
     run_equijoin_columnar,
     run_equijoin_python,
     run_factjoin_columnar,
@@ -51,12 +56,16 @@ from repro.workloads.pipeline import (
     run_multiwindow_roundtrip_columnar,
     run_pipeline_columnar,
     run_pipeline_python,
+    run_rangejoin_columnar,
+    run_rangejoin_python,
 )
 
 SIZES = [64, 128, 256, 512]
 MULTIWINDOW_SIZES = [256, 1024]
 JOIN_SIZES = [256, 1024]
 JOIN_SIZES_SEARCHSORTED = [256, 1024, 4096]
+RANGEJOIN_SIZES = [256, 1024]
+RANGEJOIN_SIZES_SWEEP = [256, 1024, 4096]
 FACTJOIN_SIZES = [64, 128, 512]
 FACTJOIN_SIZES_FACTORISED = [64, 128, 512, 4096]
 
@@ -144,6 +153,27 @@ def test_equijoin_columnar_searchsorted(benchmark, size):
     )
 
 
+@pytest.mark.parametrize("size", RANGEJOIN_SIZES)
+def test_rangejoin_python(benchmark, size):
+    left, right = rangejoin_inputs(size)
+    benchmark(run_rangejoin_python, left, right)
+
+
+@pytest.mark.parametrize("size", RANGEJOIN_SIZES)
+def test_rangejoin_columnar_grid(benchmark, size):
+    left, right = rangejoin_inputs(size)
+    columnar_left, columnar_right = _columnar(left), _columnar(right)
+    benchmark(lambda: run_rangejoin_columnar(columnar_left, columnar_right, method="grid"))
+
+
+@pytest.mark.parametrize("size", RANGEJOIN_SIZES_SWEEP)
+def test_rangejoin_columnar_sweep(benchmark, size):
+    """Reaches N=4096 (16.8M grid pairs) — the grid kernel stays off this size."""
+    left, right = rangejoin_inputs(size)
+    columnar_left, columnar_right = _columnar(left), _columnar(right)
+    benchmark(lambda: run_rangejoin_columnar(columnar_left, columnar_right, method="sweep"))
+
+
 @pytest.mark.parametrize("size", FACTJOIN_SIZES)
 def test_factjoin_python(benchmark, size):
     left, right, v_threshold, w_threshold = factjoin_inputs(size)
@@ -216,6 +246,28 @@ def test_equijoin_methods_agree_bit_for_bit(size):
     fast_result = run_equijoin_columnar(left, right, method="searchsorted")
     assert python_result.schema == grid_result.schema == fast_result.schema
     assert python_result._rows == grid_result._rows == fast_result._rows
+
+
+@pytest.mark.parametrize("size", RANGEJOIN_SIZES)
+def test_rangejoin_methods_agree_bit_for_bit(size):
+    pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+    left, right = rangejoin_inputs(size)
+    python_result = run_rangejoin_python(left, right)
+    grid_result = run_rangejoin_columnar(left, right, method="grid")
+    sweep_result = run_rangejoin_columnar(left, right, method="sweep")
+    auto_result = run_rangejoin_columnar(left, right)
+    assert (
+        python_result.schema
+        == grid_result.schema
+        == sweep_result.schema
+        == auto_result.schema
+    )
+    assert (
+        python_result._rows
+        == grid_result._rows
+        == sweep_result._rows
+        == auto_result._rows
+    )
 
 
 @pytest.mark.parametrize("size", FACTJOIN_SIZES)

@@ -274,6 +274,89 @@ def smoke_equijoin(rows: int) -> int:
     return failures
 
 
+def smoke_rangejoin(rows: int) -> int:
+    """Both-sides-uncertain range join: sweep kernel vs the quadratic grid.
+
+    Three gates, at N = max(rows, 512) so the asymptotics are visible:
+
+    * **bit-identity** — python / grid / sweep / auto results must agree
+      (and, with ``REPRO_WORKERS > 1``, the sharded sweep must match the
+      serial one) — divergence is fatal;
+    * **candidate-pair ceiling** — the sweep must enumerate asymptotically
+      fewer candidate pairs than the grid's ``|L|·|R|`` (the workload's
+      interval overlaps are ``O(N)``), so a regression that silently
+      degrades to near-cross-product enumeration fails CI;
+    * **performance** — the sweep should beat the grid contender (warn-only
+      unless ``REPRO_SMOKE_STRICT_PERF=1``).
+    """
+    from repro.columnar import operators as col_ops
+    from repro.columnar.parallel import resolve_workers
+    from repro.workloads.pipeline import (
+        rangejoin_inputs,
+        run_rangejoin_columnar,
+        run_rangejoin_python,
+    )
+
+    size = max(rows, 512)
+    left, right = rangejoin_inputs(size)
+    columnar_left = ColumnarAURelation.from_relation(left)
+    columnar_right = ColumnarAURelation.from_relation(right)
+
+    failures = 0
+    python_result = run_rangejoin_python(left, right)
+    grid_result = run_rangejoin_columnar(columnar_left, columnar_right, method="grid")
+    sweep_result = run_rangejoin_columnar(columnar_left, columnar_right, method="sweep")
+    auto_result = run_rangejoin_columnar(columnar_left, columnar_right, method="auto")
+    if not (
+        python_result.schema
+        == grid_result.schema
+        == sweep_result.schema
+        == auto_result.schema
+        and python_result._rows
+        == grid_result._rows
+        == sweep_result._rows
+        == auto_result._rows
+    ):
+        print("FAIL: range-join python / grid / sweep / auto kernels diverge")
+        failures += 1
+
+    kernel = col_ops.planned_join_kernel(columnar_left, columnar_right, on=["k"])
+    if kernel != "sweep":
+        print(f"FAIL: method='auto' planned {kernel!r} for the range join, not 'sweep'")
+        failures += 1
+
+    candidates = col_ops.candidate_key_pairs(
+        [columnar_left.column("k")], [columnar_right.column("k")], kernels=("sweep",)
+    )
+    grid_pairs = len(columnar_left) * len(columnar_right)
+    sweep_pairs = len(candidates[0]) if candidates is not None else grid_pairs
+    print(f"rangejoin rows={size}: sweep candidates={sweep_pairs} grid={grid_pairs}")
+    if sweep_pairs * 8 >= grid_pairs:
+        print(
+            "FAIL: sweep kernel enumerated too many candidate pairs "
+            f"({sweep_pairs} vs grid {grid_pairs}) — near-cross-product enumeration"
+        )
+        failures += 1
+
+    workers = resolve_workers()
+    if workers > 1:
+        sharded = run_rangejoin_columnar(
+            columnar_left, columnar_right, method="sweep", workers=workers
+        )
+        if not _same_rows(sweep_result, sharded):
+            print(f"FAIL: rangejoin sharded (workers={workers}) diverges from workers=1")
+            failures += 1
+
+    grid_ms = best_of(
+        lambda: run_rangejoin_columnar(columnar_left, columnar_right, method="grid")
+    )
+    sweep_ms = best_of(
+        lambda: run_rangejoin_columnar(columnar_left, columnar_right, method="sweep")
+    )
+    failures += _report_speedup("rangejoin", size, grid_ms, sweep_ms, baseline="grid")
+    return failures
+
+
 def smoke_factjoin(rows: int) -> int:
     """The factorised select → join → select → window chain vs the expanded grid.
 
@@ -456,6 +539,7 @@ def main(rows: int = 200) -> int:
         + smoke_groupby(rows)
         + smoke_multiwindow(rows)
         + smoke_equijoin(rows)
+        + smoke_rangejoin(rows)
         + smoke_factjoin(rows)
         + smoke_parallel(rows)
     )

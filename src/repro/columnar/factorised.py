@@ -643,24 +643,36 @@ def fact_join(
     method: str = "auto",
     workers: int = 1,
 ) -> "FactorisedAURelation | ColumnarAURelation":
-    """Equi-join as matched-pair index vectors over the factorised sides.
+    """Equi-, sweep-, or band-join as matched-pair index vectors over the sides.
 
-    When the searchsorted candidate enumeration qualifies (first ``on`` key
-    certain on one side, all keys exactly vectorizable — the same gate as the
-    eager kernel), the result is a single paired group holding *both* sides'
-    fragments aligned by the surviving candidate pairs: only the key columns
-    and the pair index vectors materialise, never the payloads.  Grid-method
-    requests and non-qualifying keys expand both sides and delegate to the
+    When a non-grid candidate enumeration qualifies — any ``on`` key certain
+    on one side (searchsorted), both sides uncertain but exactly vectorizable
+    (the range×range sweep), or a band window extractable from the predicate
+    of a key-less join (the shifted-endpoint sweep) — the result is a single
+    paired group holding *both* sides' fragments aligned by the surviving
+    candidate pairs: only the key columns and the pair index vectors
+    materialise, never the payloads.  The gates are the same as the eager
+    kernel's (:func:`repro.columnar.operators.candidate_key_pairs` /
+    :func:`~repro.columnar.operators.band_candidate_pairs`); grid-method
+    requests and non-qualifying inputs expand both sides and delegate to the
     eager join (automatic fallback, bit-identical by construction).
     """
     if on is None and predicate is None:
         raise OperatorError("join requires either a predicate or an `on` attribute list")
-    if method not in ("auto", "grid", "searchsorted"):
+    if method not in ("auto", "grid", "searchsorted", "sweep", "band"):
         raise OperatorError(
-            f"unknown join method {method!r}; expected 'auto', 'grid' or 'searchsorted'"
+            f"unknown join method {method!r}; expected 'auto', 'grid', "
+            "'searchsorted', 'sweep' or 'band'"
         )
-    if method == "searchsorted" and not on:
-        raise OperatorError("the searchsorted equi-join requires an `on` attribute list")
+    if method in ("searchsorted", "sweep") and not on:
+        raise OperatorError(f"the {method} equi-join requires an `on` attribute list")
+    if method == "band" and predicate is None:
+        raise OperatorError("the band join requires a predicate")
+    if method == "band" and on:
+        raise OperatorError(
+            "the band join enumerates candidates from the predicate; drop the "
+            "`on` keys or use method='auto'"
+        )
     left.schema.require(list(on or ()))
     right.schema.require(list(on or ()))
 
@@ -668,17 +680,46 @@ def fact_join(
         keys = list(on)
         left_keys = [left.gather_column(name) for name in keys]
         right_keys = [right.gather_column(name) for name in keys]
-        pairs = ops.searchsorted_candidate_pairs(left_keys, right_keys)
-        if pairs is not None:
+        kernels = ("searchsorted", "sweep") if method == "auto" else (method,)
+        candidates = ops.candidate_key_pairs(left_keys, right_keys, kernels=kernels)
+        if candidates is not None:
             return _fact_join_pairs(
-                left, right, predicate, keys, left_keys, right_keys, *pairs,
+                left, right, predicate, keys, left_keys, right_keys,
+                candidates[0], candidates[1],
                 workers=workers,
             )
         if method == "searchsorted":
             raise OperatorError(
-                "searchsorted equi-join requires a certain (lb == sg == ub) first "
+                "searchsorted equi-join requires a certain (lb == sg == ub) "
                 "key column on one side and NaN-free, exactly promotable numeric "
                 "key columns; use method='grid' (or 'auto') for these inputs"
+            )
+        if method == "sweep":
+            raise OperatorError(
+                "the sweep equi-join requires NaN-free, exactly promotable "
+                "numeric key columns; use method='grid' (or 'auto') for these inputs"
+            )
+    if method in ("auto", "band") and not on and predicate is not None:
+        plan = ops.band_join_plan(predicate, left.schema, right.schema)
+        pairs = None
+        if plan is not None:
+            left_name, right_name, low, high = plan
+            pairs = ops.band_candidate_pairs(
+                left.gather_column(left_name),
+                right.gather_column(right_name),
+                low,
+                high,
+            )
+        if pairs is not None:
+            return _fact_join_pairs(
+                left, right, predicate, [], [], [], *pairs, workers=workers
+            )
+        if method == "band":
+            raise OperatorError(
+                "the band join requires an AND-tree predicate comparing a left "
+                "attribute against a (constant-shifted) right attribute over "
+                "NaN-free, exactly promotable numeric columns; use "
+                "method='grid' (or 'auto') for these inputs"
             )
     return ops.join(
         left.expand(), right.expand(), predicate, on=on, method=method, workers=workers
@@ -878,15 +919,18 @@ def _ranked_slim(
     order_by: Sequence[str],
     extra_names: Sequence[str],
     *avoid: str,
-) -> tuple[ColumnarAURelation, str]:
-    """The slim input of a ranked stage (sort / window): ``(relation, rowid)``.
+) -> tuple[ColumnarAURelation, str, str]:
+    """The slim input of a ranked stage (sort / window): ``(relation, rowid, tie)``.
 
     Columns: the order-by attributes, then the ``<ᵗᵒᵗᵃˡ_O`` tiebreak rank —
     a strict permutation, so it must be the *first* non-order-by column: the
     ranked kernels consult the remaining attributes in schema order and the
     rank settles every tie before the extras could disagree with the eager
     ordering — then the extra referenced columns, then a certain source
-    row-id column mapping each row back to its pair.
+    row-id column mapping each row back to its pair.  ``tie`` is the rank
+    column's name: because the rank is strict, the stage kernels may use it
+    as their *only* non-order-by sort key (``strict_tiebreak=tie``), skipping
+    the rank-coding of the extras and the row-id entirely.
     """
     order_names = list(dict.fromkeys(order_by))
     extras = [
@@ -905,6 +949,7 @@ def _ranked_slim(
     return (
         ColumnarAURelation(schema, columns, mult_lb, mult_sg, mult_ub),
         rowid,
+        tie,
     )
 
 
@@ -992,7 +1037,7 @@ def fact_sort(
                 workers=workers,
             )
         )
-    slim, rowid = _ranked_slim(fact, order_by, (), position_attribute)
+    slim, rowid, tie = _ranked_slim(fact, order_by, (), position_attribute)
     ranked = sort_stage(
         slim,
         order_by,
@@ -1000,6 +1045,7 @@ def fact_sort(
         position_attribute=position_attribute,
         descending=descending,
         workers=workers,
+        strict_tiebreak=tie,
     )
     source_rows = ranked.column(rowid).sg.astype(np.int64, copy=False)
     return _reattached(
@@ -1038,11 +1084,13 @@ def fact_window(
     extras = list(spec.partition_by) + (
         [spec.attribute] if spec.attribute not in (None, "*") else []
     )
-    slim, rowid = _ranked_slim(fact, spec.order_by, extras, spec.output)
+    slim, rowid, tie = _ranked_slim(fact, spec.order_by, extras, spec.output)
     kind, sweep_spec, groups = _classify(slim, spec)
     if kind != "sweep":
         return window_stage(fact.expand(), spec, workers=workers)
-    result = _partitioned_sweep(slim, sweep_spec, groups, workers=workers)
+    result = _partitioned_sweep(
+        slim, sweep_spec, groups, workers=workers, strict_tiebreak=tie
+    )
     source_rows = result.column(rowid).sg.astype(np.int64, copy=False)
     return _reattached(
         fact,

@@ -50,6 +50,7 @@ __all__ = [
     "possibly_precedes_matrix",
     "duplicate_offsets",
     "interval_point_match_pairs",
+    "interval_overlap_pairs",
     "certain_frame_members",
     "possible_frame_members",
     "expand_ranges",
@@ -249,6 +250,8 @@ def selected_guess_positions(
     relation: ColumnarAURelation,
     order_by: Sequence[str],
     sg_codes: np.ndarray,
+    *,
+    strict_tiebreak: str | None = None,
 ) -> np.ndarray:
     """Position of every tuple's first duplicate in the selected-guess world.
 
@@ -256,16 +259,31 @@ def selected_guess_positions(
     the remaining attributes, then the input sequence number — and
     accumulates selected-guess multiplicities, exactly like the Python
     backend's ``_sg_positions``.
+
+    ``strict_tiebreak`` names an attribute whose selected-guess values are a
+    strict ``int64`` permutation ordered like the *full* non-order-by
+    remainder (the factorised slim schema's rank column): it settles every
+    ``<ᵗᵒᵗᵃˡ_O`` tie before any later attribute or the sequence number could
+    be consulted, so the sort uses it as the sole tiebreaker — skipping the
+    rank-encode + sort of every remaining column — and stays bit-identical.
     """
     n = len(relation)
     in_order_by = set(order_by)
-    rest = [name for name in relation.schema if name not in in_order_by]
     # np.lexsort sorts by its *last* key first: sequence number (final
     # tiebreaker) goes first, then the rest attributes right-to-left, then
     # the order-by codes right-to-left.
-    keys: list[np.ndarray] = [np.arange(n, dtype=np.int64)]
-    for name in reversed(rest):
-        keys.append(component_rank_codes(relation.column(name), ("sg",))[0])
+    if strict_tiebreak is not None:
+        if strict_tiebreak in in_order_by or strict_tiebreak not in relation.schema:
+            raise OperatorError(
+                f"strict_tiebreak {strict_tiebreak!r} must be a non-order-by attribute"
+            )
+        # Raw values are their own rank codes (strict int64 permutation).
+        keys: list[np.ndarray] = [relation.column(strict_tiebreak).sg]
+    else:
+        rest = [name for name in relation.schema if name not in in_order_by]
+        keys = [np.arange(n, dtype=np.int64)]
+        for name in reversed(rest):
+            keys.append(component_rank_codes(relation.column(name), ("sg",))[0])
     for j in reversed(range(sg_codes.shape[1])):
         keys.append(sg_codes[:, j])
     order = lexsort_stable(keys)
@@ -297,6 +315,7 @@ def sort_position_bounds_ranked(
     *,
     descending: bool = False,
     workers: int = 1,
+    strict_tiebreak: str | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """:func:`sort_position_bounds` plus the latest-key ranks of every row.
 
@@ -311,7 +330,8 @@ def sort_position_bounds_ranked(
     With ``workers > 1`` the two precedes-counts evaluate as per-shard
     emission schedules that merge by summation (see
     :func:`_sharded_precedes_counts`); the rank encoding and selected-guess
-    pass stay serial.
+    pass stay serial.  ``strict_tiebreak`` passes through to
+    :func:`selected_guess_positions`.
     """
     earliest, sg_matrix, latest = order_code_matrices(
         relation, order_by, descending=descending
@@ -325,7 +345,9 @@ def sort_position_bounds_ranked(
         lower = certainly_precedes_counts(earliest_rank, latest_rank, relation.mult_lb)
         upper = possibly_precedes_counts(earliest_rank, latest_rank, relation.mult_ub)
     upper -= relation.mult_ub
-    sg = selected_guess_positions(relation, order_by, sg_matrix)
+    sg = selected_guess_positions(
+        relation, order_by, sg_matrix, strict_tiebreak=strict_tiebreak
+    )
     sg = np.clip(sg, lower, upper)
     return lower, sg, upper, latest_rank
 
@@ -622,6 +644,34 @@ def interval_point_match_pairs(
     interval_idx = np.repeat(np.arange(len(lb), dtype=np.int64), counts)
     point_idx = order[expand_ranges(lo, hi)]
     return interval_idx, point_idx
+
+
+def interval_overlap_pairs(
+    l_lb: np.ndarray, l_ub: np.ndarray, r_lb: np.ndarray, r_ub: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(left, right)`` index pairs whose ``[lb, ub]`` intervals overlap.
+
+    The range×range sweep kernel: when *both* join sides carry uncertain
+    keys, the possibly-equal pairs are exactly the pairs whose key intervals
+    intersect — ``l_lb[i] <= r_ub[j]  and  r_lb[j] <= l_ub[i]``.  The four
+    endpoint arrays are rank-encoded into one shared ``int64`` code space
+    (overlap only compares endpoints with ``<=``, which dense codes
+    preserve), then a :class:`FrameMemberIndex` over the right intervals with
+    ``preceding=0`` answers every left interval's overlap set as contiguous
+    searchsorted runs per width bucket — ``O((n + q·W) log n + pairs)`` with
+    ``W`` distinct right-interval widths, instead of the grid's ``O(n · q)``.
+
+    Pair order is deterministic but unspecified; callers needing the join's
+    left-outer / right-inner order sort the result.  Inputs must be NaN-free
+    numeric arrays whose cross-dtype promotion is exact — the callers gate on
+    :class:`~repro.columnar.relation.ComponentProfile`.
+    """
+    if len(l_lb) == 0 or len(r_lb) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    q_lb, q_ub, m_lb, m_ub = _numeric_rank_codes([l_lb, l_ub, r_lb, r_ub])
+    index = FrameMemberIndex(m_lb, m_ub, 0)
+    return index.member_pairs(q_lb, q_ub)
 
 
 def sliding_window_sums(values: np.ndarray, window: int) -> np.ndarray:

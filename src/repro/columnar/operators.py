@@ -47,7 +47,14 @@ from repro.columnar.relation import (
     profile_components,
 )
 from repro.core.booleans import RangeBool
-from repro.core.expressions import Expression
+from repro.core.expressions import (
+    Arithmetic,
+    Attribute,
+    BooleanOp,
+    Comparison,
+    Constant,
+    Expression,
+)
 from repro.core.ranges import RangeValue
 from repro.core.schema import Schema
 from repro.core.tuples import AUTuple
@@ -64,6 +71,11 @@ __all__ = [
     "join",
     "groupby_aggregate",
     "merge_equal_rows",
+    "candidate_key_pairs",
+    "searchsorted_candidate_pairs",
+    "band_join_plan",
+    "band_candidate_pairs",
+    "planned_join_kernel",
 ]
 
 
@@ -297,28 +309,51 @@ def join(
     * ``"grid"`` — expand the full ``|L| × |R|`` pair grid (``np.repeat`` ×
       ``np.tile``) and filter it with vectorized masks.  Exact for every
       input, but ``O(|L| · |R|)`` memory.
-    * ``"searchsorted"`` — sort/searchsorted equi-join: when the first
-      ``on`` key is *certain* (``lb == sg == ub``) on one side, the
+    * ``"searchsorted"`` — sort/searchsorted equi-join: when *any* ``on``
+      key is *certain* (``lb == sg == ub``) on one side, the
       possible-overlap matches of every row on the other side form a
       contiguous run in the sorted key order, found by two endpoint binary
-      searches (:func:`repro.columnar.kernels.interval_point_match_pairs`)
-      — only actual match candidates are ever materialised.  Raises
+      searches (:func:`repro.columnar.kernels.interval_point_match_pairs`);
+      the remaining keys refine the candidate set pairwise.  Raises
       :class:`~repro.errors.OperatorError` when the keys do not qualify.
-    * ``"auto"`` (default) — ``searchsorted`` when the keys qualify
-      (certain key side, NaN-free numeric columns with exact promotion),
-      ``grid`` otherwise.
+    * ``"sweep"`` — range×range interval-overlap sweep: when *both* sides
+      carry uncertain keys, the possibly-equal pairs are exactly the pairs
+      whose first-key ``[lb, ub]`` intervals intersect, enumerated by the
+      width-bucketed endpoint index
+      (:func:`repro.columnar.kernels.interval_overlap_pairs`).
+    * ``"band"`` — shifted-endpoint sweep over a band / theta *predicate*
+      (no ``on`` keys): an AND-tree containing ``l.x OP r.y ± c``
+      comparisons implies an interval-overlap window between ``l.x`` and the
+      constant-shifted ``r.y``, so candidates enumerate through the same
+      sweep index over the shifted endpoints (see :func:`band_join_plan`).
+    * ``"auto"`` (default) — the cheapest applicable kernel in the order
+      ``searchsorted`` → ``sweep`` → ``band``, falling back to ``grid``
+      (object-dtype / NaN / lossy-promotion keys, or predicates without an
+      extractable band).
 
-    Both kernels are bit-identical — same pairs, same row order, same
-    annotations; the differential suite cross-checks them.
+    Every kernel is bit-identical to the grid — same pairs, same row order,
+    same annotations: candidate enumeration may only *over*-approximate the
+    possibly-joining pairs, and the pair assembler re-checks every candidate
+    with the exact equality / predicate masks (zero-multiplicity pairs are
+    dropped, exactly as the grid masks them out).  The differential suite
+    cross-checks all kernels against the grid and the Python backend.
     """
     if on is None and predicate is None:
         raise OperatorError("join requires either a predicate or an `on` attribute list")
-    if method not in ("auto", "grid", "searchsorted"):
+    if method not in ("auto", "grid", "searchsorted", "sweep", "band"):
         raise OperatorError(
-            f"unknown join method {method!r}; expected 'auto', 'grid' or 'searchsorted'"
+            f"unknown join method {method!r}; expected 'auto', 'grid', "
+            "'searchsorted', 'sweep' or 'band'"
         )
-    if method == "searchsorted" and not on:
-        raise OperatorError("the searchsorted equi-join requires an `on` attribute list")
+    if method in ("searchsorted", "sweep") and not on:
+        raise OperatorError(f"the {method} equi-join requires an `on` attribute list")
+    if method == "band" and predicate is None:
+        raise OperatorError("the band join requires a predicate")
+    if method == "band" and on:
+        raise OperatorError(
+            "the band join enumerates candidates from the predicate; drop the "
+            "`on` keys or use method='auto'"
+        )
     left.schema.require(list(on or ()))
     right.schema.require(list(on or ()))
 
@@ -331,14 +366,38 @@ def join(
         return _join_pairs(left, right, predicate, list(on or ()), empty, empty)
 
     if method != "grid" and on:
-        pairs = _searchsorted_key_pairs(left, right, list(on))
-        if pairs is not None:
-            return _join_pairs(left, right, predicate, list(on), *pairs, workers=workers)
+        kernels = ("searchsorted", "sweep") if method == "auto" else (method,)
+        candidates = candidate_key_pairs(
+            [left.column(name) for name in on],
+            [right.column(name) for name in on],
+            kernels=kernels,
+        )
+        if candidates is not None:
+            left_rows, right_rows, _kernel = candidates
+            return _join_pairs(
+                left, right, predicate, list(on), left_rows, right_rows, workers=workers
+            )
         if method == "searchsorted":
             raise OperatorError(
-                "searchsorted equi-join requires a certain (lb == sg == ub) first "
+                "searchsorted equi-join requires a certain (lb == sg == ub) "
                 "key column on one side and NaN-free, exactly promotable numeric "
                 "key columns; use method='grid' (or 'auto') for these inputs"
+            )
+        if method == "sweep":
+            raise OperatorError(
+                "the sweep equi-join requires NaN-free, exactly promotable "
+                "numeric key columns; use method='grid' (or 'auto') for these inputs"
+            )
+    if method in ("auto", "band") and not on and predicate is not None:
+        band = _band_join_pairs(left, right, predicate)
+        if band is not None:
+            return _join_pairs(left, right, predicate, [], *band, workers=workers)
+        if method == "band":
+            raise OperatorError(
+                "the band join requires an AND-tree predicate comparing a left "
+                "attribute against a (constant-shifted) right attribute over "
+                "NaN-free, exactly promotable numeric columns; use "
+                "method='grid' (or 'auto') for these inputs"
             )
 
     if workers > 1 and len(left) > 1 and len(right):
@@ -404,56 +463,349 @@ def _column_certain(column: AttributeColumn) -> bool:
     return bool(np.all((column.lb == column.sg) & (column.sg == column.ub)))
 
 
-def _searchsorted_key_pairs(
-    left: ColumnarAURelation, right: ColumnarAURelation, on: list[str]
-) -> tuple[np.ndarray, np.ndarray] | None:
-    """Match-candidate pairs of two relations (see the column-based kernel)."""
-    return searchsorted_candidate_pairs(
-        [left.column(name) for name in on], [right.column(name) for name in on]
-    )
+def candidate_key_pairs(
+    left_columns: Sequence[AttributeColumn],
+    right_columns: Sequence[AttributeColumn],
+    *,
+    kernels: Sequence[str] = ("searchsorted", "sweep"),
+) -> tuple[np.ndarray, np.ndarray, str] | None:
+    """Match-candidate ``(left_rows, right_rows, kernel)`` for an equi-join.
+
+    Enumerates the pairs whose key ranges possibly intersect on every ``on``
+    column, through the cheapest kernel in ``kernels`` that applies:
+
+    * ``"searchsorted"`` — *any* key pair with a certain (``lb == sg == ub``)
+      side anchors the enumeration: its point values are the sorted search
+      space, the other side's ``[lb, ub]`` endpoints the queries
+      (:func:`~repro.columnar.kernels.interval_point_match_pairs`).
+    * ``"sweep"`` — both sides uncertain: the *first* key's interval-overlap
+      pairs via the width-bucketed endpoint index
+      (:func:`~repro.columnar.kernels.interval_overlap_pairs`).
+
+    The remaining key columns refine the candidate set pairwise (interval
+    overlap per pair — pure pruning, since non-overlapping pairs carry a zero
+    possible multiplicity through the exact masks anyway).  Returns ``None``
+    when no requested kernel applies: every key column pair must be exactly
+    vectorizable (no object dtypes, NaN, or lossy int/float promotion), and
+    ``"searchsorted"`` additionally needs a certain side on some key.
+
+    Takes bare key columns (not relations) so the factorised layer
+    (:mod:`repro.columnar.factorised`) can enumerate candidates over gathered
+    pair columns through the identical kernels.  Pairs return in the pair
+    grid's left-outer / right-inner enumeration order, so the assembled rows
+    line up with the grid kernel (and the Python backend).
+    """
+    from repro.columnar.kernels import interval_overlap_pairs, interval_point_match_pairs
+
+    if len(left_columns[0].lb) == 0 or len(right_columns[0].lb) == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, kernels[0]
+    for left_column, right_column in zip(left_columns, right_columns):
+        if not _equality_vectorizable(left_column, right_column):
+            return None
+    anchor = None
+    kernel = None
+    if "searchsorted" in kernels:
+        for index, (left_key, right_key) in enumerate(zip(left_columns, right_columns)):
+            if _column_certain(right_key):
+                left_rows, right_rows = interval_point_match_pairs(
+                    left_key.lb, left_key.ub, right_key.sg
+                )
+            elif _column_certain(left_key):
+                right_rows, left_rows = interval_point_match_pairs(
+                    right_key.lb, right_key.ub, left_key.sg
+                )
+            else:
+                continue
+            anchor, kernel = index, "searchsorted"
+            break
+    if anchor is None and "sweep" in kernels:
+        left_key, right_key = left_columns[0], right_columns[0]
+        left_rows, right_rows = interval_overlap_pairs(
+            left_key.lb, left_key.ub, right_key.lb, right_key.ub
+        )
+        anchor, kernel = 0, "sweep"
+    if anchor is None:
+        return None
+    if len(left_rows) and len(left_columns) > 1:
+        keep = np.ones(len(left_rows), dtype=bool)
+        for index, (left_key, right_key) in enumerate(zip(left_columns, right_columns)):
+            if index == anchor:
+                continue
+            keep &= (left_key.lb[left_rows] <= right_key.ub[right_rows]) & (
+                right_key.lb[right_rows] <= left_key.ub[left_rows]
+            )
+        left_rows, right_rows = left_rows[keep], right_rows[keep]
+    # Restore the pair grid's left-outer / right-inner enumeration order so
+    # the result rows line up with the grid kernel (and the Python backend).
+    order = lexsort_stable((right_rows, left_rows))
+    return left_rows[order], right_rows[order], kernel
 
 
 def searchsorted_candidate_pairs(
     left_columns: Sequence[AttributeColumn],
     right_columns: Sequence[AttributeColumn],
 ) -> tuple[np.ndarray, np.ndarray] | None:
-    """Match-candidate ``(left_row, right_row)`` pairs via endpoint binary search.
+    """Certain-side candidate pairs only (:func:`candidate_key_pairs` subset)."""
+    result = candidate_key_pairs(left_columns, right_columns, kernels=("searchsorted",))
+    if result is None:
+        return None
+    return result[0], result[1]
 
-    Returns ``None`` when the keys do not qualify: every key column pair must
-    be exactly vectorizable (no object dtypes, NaN, or lossy int/float
-    promotion) and the *first* key must be certain on at least one side — its
-    point values are the sorted search space, the other side's ``[lb, ub]``
-    endpoints the queries.  Remaining key columns are filtered per candidate
-    pair afterwards, so only the first key needs a certain side.
 
-    Takes bare key columns (not relations) so the factorised layer
-    (:mod:`repro.columnar.factorised`) can enumerate candidates over gathered
-    pair columns through the identical kernel.
+# ---------------------------------------------------------------------------
+# Band / theta predicate candidates (shifted-endpoint sweep)
+# ---------------------------------------------------------------------------
+
+
+def band_join_plan(
+    predicate: object, left_schema: Schema, right_schema: Schema
+) -> tuple[str, str, int | float | None, int | float | None] | None:
+    """Extract a band window ``(left_attr, right_attr, low, high)`` from a predicate.
+
+    Walks the top-level AND-tree of an :class:`Expression` for comparisons of
+    the shape ``l.x ± c₁  OP  r.y ± c₂`` (``OP`` ∈ ``<``, ``<=``, ``>``,
+    ``>=``, ``==``; either side may be the bare attribute) referencing one
+    attribute of each join side, and normalises them into per-attribute-pair
+    shift windows: the conjunction *possibly* holds on a pair only if
+    ``[l.lb, l.ub]`` overlaps ``[r.lb + low, r.ub + high]``.  Strict
+    comparisons relax to non-strict — candidate enumeration may only
+    over-approximate; the exact predicate masks re-check every pair.
+
+    Per pair, ``<``/``<=`` conjuncts tighten ``high`` (minimum shift wins),
+    ``>``/``>=`` tighten ``low`` (maximum), ``==`` tightens both.  A missing
+    bound stays ``None`` (one-sided bands still prune: ``l < r`` candidates
+    are exactly the possibly-true pairs).  Attribute names resolve against
+    the disambiguated product schema — the namespace join predicates are
+    written in.  Returns the first two-sided window, else the first
+    one-sided one, else ``None`` (no extractable band — conjuncts that are
+    not band-shaped are simply ignored, which is sound for a conjunction).
     """
-    from repro.columnar.kernels import interval_point_match_pairs
+    if not isinstance(predicate, Expression):
+        return None
+    attributes = left_schema.concat(right_schema, disambiguate=True).attributes
+    n_left = len(left_schema.attributes)
+    side_of = {}
+    for position, name in enumerate(attributes):
+        if position < n_left:
+            side_of[name] = ("left", left_schema.attributes[position])
+        else:
+            side_of[name] = ("right", right_schema.attributes[position - n_left])
+    conjuncts = []
+    stack = [predicate]
+    while stack:
+        node = stack.pop()
+        if type(node) is BooleanOp and node.op == "and":
+            stack.append(node.left)
+            stack.append(node.right)
+        else:
+            conjuncts.append(node)
+    windows: dict[tuple[str, str], list] = {}
+    for node in conjuncts:
+        if type(node) is not Comparison or node.op not in ("<", "<=", ">", ">=", "=="):
+            continue
+        lhs = _shifted_attribute(node.left, side_of)
+        rhs = _shifted_attribute(node.right, side_of)
+        if lhs is None or rhs is None or lhs[0] == rhs[0]:
+            continue
+        op = node.op
+        if lhs[0] == "right":
+            lhs, rhs = rhs, lhs
+            op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "=="}[op]
+        # l.x + c₁ OP r.y + c₂  ==>  l.x OP r.y + (c₂ - c₁)
+        _, left_name, left_shift = lhs
+        _, right_name, right_shift = rhs
+        shift = right_shift - left_shift
+        window = windows.setdefault((left_name, right_name), [None, None])
+        if op in (">", ">=", "=="):
+            window[0] = shift if window[0] is None else max(window[0], shift)
+        if op in ("<", "<=", "=="):
+            window[1] = shift if window[1] is None else min(window[1], shift)
+    chosen = None
+    for names, (low, high) in windows.items():
+        if low is not None and high is not None:
+            chosen = (names, low, high)
+            break
+    if chosen is None:
+        for names, (low, high) in windows.items():
+            chosen = (names, low, high)
+            break
+    if chosen is None:
+        return None
+    (left_name, right_name), low, high = chosen
+    return left_name, right_name, low, high
 
-    if len(left_columns[0].lb) == 0 or len(right_columns[0].lb) == 0:
+
+def _shifted_attribute(node: Expression, side_of: dict) -> tuple[str, str, int | float] | None:
+    """Resolve ``attr``, ``attr ± const``, or ``const + attr`` to ``(side, name, shift)``."""
+    shift: int | float = 0
+    if type(node) is Arithmetic and node.op in ("+", "-"):
+        left, right = node.left, node.right
+        if type(right) is Constant and type(left) is Attribute:
+            value = right.value
+            if type(value) not in (int, float):  # bools are not shifts
+                return None
+            shift = value if node.op == "+" else -value
+            node = left
+        elif node.op == "+" and type(left) is Constant and type(right) is Attribute:
+            value = left.value
+            if type(value) not in (int, float):
+                return None
+            shift = value
+            node = right
+        else:
+            return None
+    if type(node) is not Attribute:
+        return None
+    resolved = side_of.get(node.name)
+    if resolved is None:
+        return None
+    side, name = resolved
+    return side, name, shift
+
+
+def band_candidate_pairs(
+    left_column: AttributeColumn,
+    right_column: AttributeColumn,
+    low: int | float | None,
+    high: int | float | None,
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Candidate pairs of a band window: ``[l.lb, l.ub]`` meets ``[r.lb+low, r.ub+high]``.
+
+    The shifted-endpoint mirror of the range×range sweep — the right
+    endpoints shift by the band constants before the interval-overlap
+    enumeration (float shifts widen one ULP outward, so rounding can only
+    *add* candidates; integer shifts are exact under the overflow gate).  A
+    ``None`` bound substitutes the matching extreme of the left endpoints,
+    making that side of the condition vacuous.  Returns ``None`` when the
+    columns or shifts are not exactly vectorizable; pairs return in
+    left-outer / right-inner order.
+    """
+    from repro.columnar.kernels import interval_overlap_pairs
+
+    if len(left_column.lb) == 0 or len(right_column.lb) == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
-    for left_column, right_column in zip(left_columns, right_columns):
-        if not _equality_vectorizable(left_column, right_column):
-            return None
-    left_key = left_columns[0]
-    right_key = right_columns[0]
-    if _column_certain(right_key):
-        left_rows, right_rows = interval_point_match_pairs(
-            left_key.lb, left_key.ub, right_key.sg
-        )
-    elif _column_certain(left_key):
-        right_rows, left_rows = interval_point_match_pairs(
-            right_key.lb, right_key.ub, left_key.sg
-        )
-    else:
+    if not _band_vectorizable(left_column, right_column, low, high):
         return None
-    # Restore the pair grid's left-outer / right-inner enumeration order so
-    # the result rows line up with the grid kernel (and the Python backend).
+    if low is None:
+        r_lo = np.full(len(right_column.lb), left_column.ub.min())
+    else:
+        r_lo = _shifted_endpoint(right_column.lb, low, -1)
+    if high is None:
+        r_hi = np.full(len(right_column.lb), left_column.lb.max())
+    else:
+        r_hi = _shifted_endpoint(right_column.ub, high, 1)
+    left_rows, right_rows = interval_overlap_pairs(
+        left_column.lb, left_column.ub, r_lo, r_hi
+    )
     order = lexsort_stable((right_rows, left_rows))
     return left_rows[order], right_rows[order]
+
+
+def _band_join_pairs(
+    left: ColumnarAURelation,
+    right: ColumnarAURelation,
+    predicate: Expression | Callable[[AUTuple], RangeBool],
+) -> tuple[np.ndarray, np.ndarray] | None:
+    """Band candidates of a predicate join, or ``None`` when no band applies."""
+    plan = band_join_plan(predicate, left.schema, right.schema)
+    if plan is None:
+        return None
+    left_name, right_name, low, high = plan
+    return band_candidate_pairs(
+        left.column(left_name), right.column(right_name), low, high
+    )
+
+
+def _shifted_endpoint(values: np.ndarray, shift: int | float, direction: int) -> np.ndarray:
+    """``values + shift``, over-approximated one ULP in ``direction`` for floats.
+
+    Integer arrays with integer shifts stay exact ``int64`` (the
+    vectorizability gate excludes overflow); any float involvement computes
+    in ``float64`` and widens the result outward so rounding can only add
+    candidates, never drop a possibly-matching pair.
+    """
+    if type(shift) is int and values.dtype == np.int64:
+        return values + np.int64(shift)
+    out = values.astype(np.float64) + float(shift)
+    return np.nextafter(out, -np.inf if direction < 0 else np.inf)
+
+
+def _band_vectorizable(
+    left: AttributeColumn,
+    right: AttributeColumn,
+    low: int | float | None,
+    high: int | float | None,
+) -> bool:
+    """Whether the shifted-endpoint sweep is a sound over-approximation here.
+
+    Mirrors :func:`_equality_vectorizable` on the columns, then guards the
+    shift arithmetic: pure-integer bands must not overflow ``int64``; any
+    float involvement must keep every integer magnitude (values and shifts)
+    inside float64's exact range.
+    """
+    profile = profile_components(
+        [getattr(column, name) for column in (left, right) for name in ("lb", "sg", "ub")]
+    )
+    if profile.has_object or profile.has_nan:
+        return False
+    shifts = [s for s in (low, high) if s is not None]
+    if any(type(s) not in (int, float) for s in shifts):
+        return False
+    if any(s != s for s in shifts):  # NaN shift: the scalar path owns it
+        return False
+    int_shift_magnitude = max((abs(s) for s in shifts if type(s) is int), default=0)
+    if profile.has_float or any(type(s) is float for s in shifts):
+        return (
+            profile.int_magnitude < FLOAT64_EXACT_MAX
+            and int_shift_magnitude < FLOAT64_EXACT_MAX
+        )
+    return profile.int_magnitude + int_shift_magnitude < 2**62
+
+
+def planned_join_kernel(
+    left: ColumnarAURelation,
+    right: ColumnarAURelation,
+    predicate: Expression | Callable[[AUTuple], RangeBool] | None = None,
+    *,
+    on: Sequence[str] | None = None,
+) -> str:
+    """The pair-enumeration kernel ``method="auto"`` would select (no pairs built).
+
+    Returns ``"searchsorted"``, ``"sweep"``, ``"band"``, or ``"grid"`` —
+    the benchmark runners record it per contender, and the property suite
+    asserts non-grid selection on qualifying inputs.  Costs one dtype
+    profile + certainty scan per key column; empty inputs report the kernel
+    the non-empty shape would pick (the join itself short-circuits them).
+    """
+    keys = list(on or ())
+    left.schema.require(keys)
+    right.schema.require(keys)
+    empty = len(left) == 0 or len(right) == 0
+    if keys:
+        if empty:  # the candidate builders early-return before the dtype gates
+            return "searchsorted"
+        left_columns = [left.column(name) for name in keys]
+        right_columns = [right.column(name) for name in keys]
+        if all(
+            _equality_vectorizable(lc, rc)
+            for lc, rc in zip(left_columns, right_columns)
+        ):
+            for lc, rc in zip(left_columns, right_columns):
+                if _column_certain(lc) or _column_certain(rc):
+                    return "searchsorted"
+            return "sweep"
+        return "grid"
+    if predicate is not None:
+        plan = band_join_plan(predicate, left.schema, right.schema)
+        if plan is not None:
+            left_name, right_name, low, high = plan
+            if empty or _band_vectorizable(
+                left.column(left_name), right.column(right_name), low, high
+            ):
+                return "band"
+    return "grid"
 
 
 def _join_pairs(

@@ -43,6 +43,7 @@ import multiprocessing
 import os
 import pickle
 import queue as queue_module
+import warnings
 from typing import Callable, Iterable, Sequence, TypeVar
 
 import numpy as np
@@ -74,12 +75,34 @@ MORSELS_PER_WORKER = 4
 _POLL_INTERVAL = 0.2
 
 
+def _warn_if_oversubscribed(workers: int) -> int:
+    """Warn once per call when ``workers`` exceeds the machine's CPU count.
+
+    Oversubscription makes the fork pool *slower* than serial (the committed
+    BENCH records show 2-16x regressions with 2-4 workers on a 1-core
+    container), so the footgun gets a one-line :class:`RuntimeWarning` —
+    never an error: the count is still honoured.
+    """
+    cpus = os.cpu_count()
+    if cpus is not None and workers > cpus:
+        warnings.warn(
+            f"workers={workers} exceeds os.cpu_count()={cpus}; the fork pool "
+            "will oversubscribe and typically runs slower than serial",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return workers
+
+
 def resolve_workers(workers: int | None = None) -> int:
     """Validate a worker count, or read it from ``REPRO_WORKERS``.
 
     ``None`` falls back to the environment variable (default ``1``);
     anything that is not a positive integer raises
-    :class:`~repro.errors.ParallelError`.
+    :class:`~repro.errors.ParallelError`.  A count above ``os.cpu_count()``
+    is honoured but draws a one-line :class:`RuntimeWarning` — on a 1-core
+    container the fork pool runs slower than serial, and the warning makes
+    the silently-regressed benchmark configuration visible.
     """
     if workers is None:
         raw = os.environ.get(WORKERS_ENV)
@@ -93,12 +116,12 @@ def resolve_workers(workers: int | None = None) -> int:
             ) from None
         if value < 1:
             raise ParallelError(f"{WORKERS_ENV} must be >= 1, got {raw!r}")
-        return value
+        return _warn_if_oversubscribed(value)
     if isinstance(workers, bool) or not isinstance(workers, int):
         raise ParallelError(f"workers must be a positive integer, got {workers!r}")
     if workers < 1:
         raise ParallelError(f"workers must be >= 1, got {workers!r}")
-    return workers
+    return _warn_if_oversubscribed(workers)
 
 
 def fork_capable() -> bool:

@@ -224,15 +224,20 @@ class ColumnarPlan:
     ) -> "ColumnarPlan":
         """Theta / equi-join against another plan or relation (stays columnar).
 
-        ``method`` picks the pair-enumeration kernel (``"auto"`` selects the
-        memory-safe sort/searchsorted path when the equi-join keys qualify,
-        the exact pair grid otherwise); see
-        :func:`repro.columnar.operators.join`.
+        ``method`` picks the pair-enumeration kernel — ``"searchsorted"``
+        (any ``on`` key certain on one side), ``"sweep"`` (both sides'
+        keys uncertain ``[lb, ub]`` intervals), ``"band"`` (key-less
+        predicate comparing a left attribute against a constant-shifted
+        right attribute), or the exact ``"grid"``.  ``"auto"`` selects the
+        cheapest applicable kernel in that order; see
+        :func:`repro.columnar.operators.join` and
+        :func:`repro.columnar.operators.planned_join_kernel`.
 
-        A qualifying equi-join stays factorised: the matched pairs are kept
-        as index vectors into the two inputs' fragments and only expand at
-        :meth:`to_rows`.  Non-qualifying joins (uncertain keys, ``"grid"``)
-        fall back to the eager expanded kernel automatically.
+        A join with a qualifying non-grid kernel stays factorised: the
+        matched pairs are kept as index vectors into the two inputs'
+        fragments and only expand at :meth:`to_rows`.  Non-qualifying joins
+        (object-dtype keys, ``"grid"``) fall back to the eager expanded
+        kernel automatically.
         """
         return self._chain(
             fx.fact_join(

@@ -46,6 +46,7 @@ def sort_stage(
     position_attribute: str = "pos",
     descending: bool = False,
     workers: int = 1,
+    strict_tiebreak: str | None = None,
 ) -> ColumnarAURelation:
     """Uncertain sort emitting a columnar relation (non-terminal plan stage).
 
@@ -64,6 +65,12 @@ def sort_stage(
     the Python backend's insertion-ordered dictionary ends up in) — so
     chained plans feed the next stage the same ``<ᵗᵒᵗᵃˡ_O`` sequence-number
     tiebreakers as the row-major path.
+
+    ``strict_tiebreak`` names a non-order-by attribute whose selected-guess
+    values are a strict total order (no duplicates); when given, it becomes
+    the sole ``<ᵗᵒᵗᵃˡ_O`` tiebreak key, skipping the rank-coding of the
+    remaining columns (the factorised layer's pre-ranked slim relations use
+    this).
     """
     if not order_by:
         raise OperatorError("sort requires at least one order-by attribute")
@@ -73,7 +80,11 @@ def sort_stage(
 
     n = len(columnar)
     lower, sg, upper, latest_rank = sort_position_bounds_ranked(
-        columnar, order_by, descending=descending, workers=workers
+        columnar,
+        order_by,
+        descending=descending,
+        workers=workers,
+        strict_tiebreak=strict_tiebreak,
     )
 
     # The native sweep emits a tuple once an incoming tuple certainly follows

@@ -237,6 +237,7 @@ def _partitioned_sweep(
     groups: list[list[int]] | None,
     *,
     workers: int = 1,
+    strict_tiebreak: str | None = None,
 ) -> ColumnarAURelation:
     """The kernel sweep, split per (certain) partition when requested.
 
@@ -246,19 +247,31 @@ def _partitioned_sweep(
     sweep instead parallelises internally over its query chunks.  Partition
     groups come only from :func:`_certain_partition_groups`, so an uncertain
     partition key can never be sharded — ``_classify`` already returned the
-    unsharded ``"native"`` fallback for it.
+    unsharded ``"native"`` fallback for it.  ``strict_tiebreak`` passes
+    through to the sweep's position-bound sort (see :func:`_sweep_stage`);
+    a strict column stays strict on every ``take`` subset, so the per-group
+    split preserves the contract.
     """
     if groups is None:
-        return _sweep_stage(columnar, spec, workers=workers)
+        return _sweep_stage(
+            columnar, spec, workers=workers, strict_tiebreak=strict_tiebreak
+        )
     if len(groups) > 1 and workers > 1 and len(groups) >= morsel_count(workers):
         partials = parallel_map(
-            lambda indices: _sweep_stage(columnar.take(indices), spec),
+            lambda indices: _sweep_stage(
+                columnar.take(indices), spec, strict_tiebreak=strict_tiebreak
+            ),
             groups,
             workers=workers,
         )
     else:
         partials = [
-            _sweep_stage(columnar.take(indices), spec, workers=workers)
+            _sweep_stage(
+                columnar.take(indices),
+                spec,
+                workers=workers,
+                strict_tiebreak=strict_tiebreak,
+            )
             for indices in groups
         ]
     if not partials:
@@ -319,7 +332,11 @@ def _certain_partition_groups(
 
 
 def _sweep_stage(
-    columnar: ColumnarAURelation, spec: WindowSpec, *, workers: int = 1
+    columnar: ColumnarAURelation,
+    spec: WindowSpec,
+    *,
+    workers: int = 1,
+    strict_tiebreak: str | None = None,
 ) -> ColumnarAURelation:
     """The vectorized window sweep over one partition (preceding-only frames).
 
@@ -344,7 +361,11 @@ def _sweep_stage(
     frame_size = spec.frame_size
 
     lower, sg, upper, latest_rank = sort_position_bounds_ranked(
-        columnar, spec.order_by, descending=spec.descending, workers=workers
+        columnar,
+        spec.order_by,
+        descending=spec.descending,
+        workers=workers,
+        strict_tiebreak=strict_tiebreak,
     )
 
     if spec.function == "count" or spec.attribute in (None, "*"):

@@ -55,6 +55,7 @@ __all__ = [
     "groupby_pipeline_scaling",
     "multiwindow_scaling",
     "equijoin_scaling",
+    "rangejoin_scaling",
     "factjoin_scaling",
     "ALL_EXPERIMENTS",
 ]
@@ -870,6 +871,64 @@ def equijoin_scaling(
     return result
 
 
+def rangejoin_scaling(
+    *,
+    sizes: Sequence[int] = (256, 1024, 4096),
+    quadratic_ceiling: int = 1024,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Range×range join kernels: Python loop vs columnar grid vs overlap sweep.
+
+    Both sides carry uncertain interval keys, so the searchsorted kernel's
+    certain-side requirement can never hold — before the interval-overlap
+    sweep this workload was grid-only.  The quadratic contenders run up to
+    ``quadratic_ceiling``; above it their columns degrade to ``-`` while the
+    sweep, which enumerates only the possibly-overlapping pairs, keeps
+    scaling.
+    """
+    from repro.workloads.pipeline import (
+        rangejoin_inputs,
+        run_rangejoin_columnar,
+        run_rangejoin_python,
+    )
+
+    result = ExperimentResult(
+        name="rangejoin",
+        description=(
+            "Range-key join runtime (ms): python / columnar grid / columnar sweep"
+        ),
+        headers=["Size", "Imp", "Grid", "Sweep"],
+    )
+    for size in sizes:
+        left, right = rangejoin_inputs(size, seed=seed)
+        imp_ms: object = "-"
+        grid_ms: object = "-"
+        if size <= quadratic_ceiling and backend_enabled("python"):
+            _, imp_ms = timed_ms(lambda: run_rangejoin_python(left, right))
+        sweep_ms: object = "-"
+        if backend_enabled("columnar"):
+            try:
+                from repro.columnar.relation import ColumnarAURelation
+            except ImportError:
+                pass
+            else:
+                columnar_left = ColumnarAURelation.from_relation(left)
+                columnar_right = ColumnarAURelation.from_relation(right)
+                if size <= quadratic_ceiling:
+                    _, grid_ms = timed_ms(
+                        lambda: run_rangejoin_columnar(
+                            columnar_left, columnar_right, method="grid"
+                        )
+                    )
+                _, sweep_ms = timed_ms(
+                    lambda: run_rangejoin_columnar(
+                        columnar_left, columnar_right, method="sweep"
+                    )
+                )
+        result.add(size, imp_ms, grid_ms, sweep_ms)
+    return result
+
+
 def factjoin_scaling(
     *,
     sizes: Sequence[int] = (256, 1024, 4096),
@@ -960,5 +1019,6 @@ ALL_EXPERIMENTS = {
     "groupby": groupby_pipeline_scaling,
     "multiwindow": multiwindow_scaling,
     "equijoin": equijoin_scaling,
+    "rangejoin": rangejoin_scaling,
     "factjoin": factjoin_scaling,
 }

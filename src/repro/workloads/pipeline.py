@@ -21,7 +21,11 @@ query plans — the compositions the AU-DB closure theorems are about:
   columnar-native window output removes), and
 * a large-N equi-join with certain integer keys and ~50% overlap
   (:func:`equijoin_inputs`, :func:`run_equijoin_python` /
-  :func:`run_equijoin_columnar` with ``method="grid" | "searchsorted"``).
+  :func:`run_equijoin_columnar` with ``method="grid" | "searchsorted"``), and
+* a large-N range×range join whose keys are uncertain intervals on *both*
+  sides — grid-only before the interval-overlap sweep kernel
+  (:func:`rangejoin_inputs`, :func:`run_rangejoin_python` /
+  :func:`run_rangejoin_columnar` with ``method="grid" | "sweep"``).
 
 Each python runner materialises a row-major
 :class:`~repro.core.relation.AURelation` between stages; the columnar
@@ -61,6 +65,9 @@ __all__ = [
     "equijoin_inputs",
     "run_equijoin_python",
     "run_equijoin_columnar",
+    "rangejoin_inputs",
+    "run_rangejoin_python",
+    "run_rangejoin_columnar",
     "FACTJOIN_WINDOW",
     "factjoin_inputs",
     "run_factjoin_python",
@@ -309,6 +316,62 @@ def run_equijoin_columnar(
 
     ``workers`` selects the partitioned parallel executor for both the join
     kernel and the row-major plan boundary (``None`` reads ``REPRO_WORKERS``).
+    """
+    from repro.columnar import operators as col_ops
+    from repro.columnar.parallel import resolve_workers
+    from repro.columnar.relation import as_columnar
+
+    workers = resolve_workers(workers)
+    return col_ops.join(
+        as_columnar(left), as_columnar(right), on=["k"], method=method, workers=workers
+    ).to_relation(workers=workers)
+
+
+def rangejoin_inputs(rows: int, *, seed: int = 0) -> tuple[AURelation, AURelation]:
+    """Two ``rows``-sized relations whose join keys are uncertain on *both* sides.
+
+    Left key centres cover ``[0, rows)``, right centres ``[rows // 2,
+    rows + rows // 2)`` (both shuffled), and every key is a narrow
+    ``[v, v + width]`` range with ``width ≤ 3`` — so the equi-join's possible
+    matches are the interval overlaps, ``O(rows)`` pairs in total, while
+    neither side offers the certain column the searchsorted kernel needs.
+    This is the workload the range×range sweep exists for: before it, the
+    only sound kernel was the ``O(rows²)`` grid.  ~10% of left rows carry
+    bag multiplicities ``(0, 1, 2)`` so annotations stay non-trivial.
+    """
+    rng = random.Random(seed)
+    left_keys = list(range(rows))
+    right_keys = list(range(rows // 2, rows + rows // 2))
+    rng.shuffle(left_keys)
+    rng.shuffle(right_keys)
+    left = AURelation.from_rows(["k", "a"], [])
+    right = AURelation.from_rows(["k", "b"], [])
+    for base in left_keys:
+        width = rng.randint(0, 3)
+        key = RangeValue(base, base + rng.randint(0, width), base + width)
+        mult = (1, 1, 1) if rng.random() < 0.9 else (0, 1, 2)
+        left.add_values([key, rng.randint(0, 1000)], mult)
+    for base in right_keys:
+        width = rng.randint(0, 3)
+        key = RangeValue(base, base + rng.randint(0, width), base + width)
+        right.add_values([key, rng.randint(0, 1000)], 1)
+    return left, right
+
+
+def run_rangejoin_python(left: AURelation, right: AURelation) -> AURelation:
+    from repro.core.operators import join
+
+    return join(left, right, on=["k"])
+
+
+def run_rangejoin_columnar(
+    left, right, *, method: str = "auto", workers: int | None = None
+) -> AURelation:
+    """Columnar range×range join via the selected pair-enumeration kernel.
+
+    ``method="auto"`` (and ``"sweep"``) enumerate only the possibly
+    overlapping ``[lb, ub]×[lb, ub]`` candidate pairs; ``method="grid"``
+    forces the quadratic contender for the differential cross-check.
     """
     from repro.columnar import operators as col_ops
     from repro.columnar.parallel import resolve_workers

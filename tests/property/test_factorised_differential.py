@@ -46,8 +46,12 @@ from repro.columnar.relation import ColumnarAURelation  # noqa: E402
 
 SETTINGS = settings(max_examples=60, deadline=None)
 
-#: Post-join stages; join output schema is ``(k, a, k_r, b)``.
-STAGES = ("select", "project", "groupby", "window")
+#: Post-join stages; join output schema is ``(k, a, k_r, b)``.  The sort and
+#: window stages pin the folded tiebreak: the factorised path pre-ranks the
+#: ``<ᵗᵒᵗᵃˡ_O`` comparator into one strict column and passes it as the stage
+#: kernels' sole non-order-by sort key (``strict_tiebreak``), which must stay
+#: bit-identical to the eager rank-coded key stack.
+STAGES = ("select", "project", "groupby", "window", "sort")
 
 GROUPBY_AGGREGATES = [("count", "*", "n"), ("sum", "b", "s")]
 WINDOW = WindowSpec(
@@ -69,6 +73,10 @@ def run_python(left, right, threshold, stage):
         return project(result, ["a", "b"])
     if stage == "groupby":
         return groupby_aggregate(result, ["a"], GROUPBY_AGGREGATES)
+    if stage == "sort":
+        from repro.ranking.native import sort_native
+
+        return sort_native(result, ["a"])
     return window_native(result, WINDOW)
 
 
@@ -89,6 +97,8 @@ def run_plans(left, right, threshold, stage, *, workers=None):
             staged = contender.project(["a", "b"])
         elif stage == "groupby":
             staged = contender.groupby_aggregate(["a"], GROUPBY_AGGREGATES)
+        elif stage == "sort":
+            staged = contender.sort(["a"])
         else:
             staged = contender.window(WINDOW)
         results.append(staged.to_rows())

@@ -386,11 +386,15 @@ def test_join_cross_empty_inputs_agree_all_methods():
         columnar_right = ColumnarAURelation.from_relation(right)
         python_joined = join(left, right, on=["k"])
         assert python_joined.is_empty()
-        for method in ("auto", "grid", "searchsorted"):
+        for method in ("auto", "grid", "searchsorted", "sweep"):
             columnar_joined = col_ops.join(
                 columnar_left, columnar_right, on=["k"], method=method
             )
             assert_same_relation(python_joined, columnar_joined.to_relation())
+        band_joined = col_ops.join(
+            columnar_left, columnar_right, attr("a").lt(attr("b")), method="band"
+        )
+        assert_same_relation(join(left, right, attr("a").lt(attr("b"))), band_joined.to_relation())
         python_crossed = cross(left, right)
         assert python_crossed.is_empty()
         assert_same_relation(python_crossed, cross(left, right, backend="columnar"))

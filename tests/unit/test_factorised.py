@@ -108,8 +108,8 @@ class TestJoinLayout:
             join(left_table(), right_table(), on=["k"]), fact.to_relation()
         )
 
-    def test_join_uncertain_keys_falls_back_to_columnar(self):
-        """Neither side certain on the first key: automatic expand-and-join."""
+    def test_join_uncertain_keys_stays_factorised_via_sweep(self):
+        """Neither side certain on the key: the range×range sweep keeps pairs."""
         uncertain_left = AURelation.from_rows(
             ["k", "a"], [((RangeValue(0, 1, 2), 10), (1, 1, 1))]
         )
@@ -119,10 +119,18 @@ class TestJoinLayout:
         result = fx.fact_join(
             factorise(uncertain_left), factorise(uncertain_right), on=["k"]
         )
-        assert isinstance(result, ColumnarAURelation)
+        assert isinstance(result, FactorisedAURelation)
         assert_same(
             join(uncertain_left, uncertain_right, on=["k"]), result.to_relation()
         )
+
+    def test_join_object_keys_fall_back_to_columnar(self):
+        """Non-vectorizable (object-dtype) keys: automatic expand-and-join."""
+        obj_left = AURelation.from_rows(["k", "a"], [(("x", 10), (1, 1, 1))])
+        obj_right = AURelation.from_rows(["k", "b"], [(("x", 7), (1, 1, 1))])
+        result = fx.fact_join(factorise(obj_left), factorise(obj_right), on=["k"])
+        assert isinstance(result, ColumnarAURelation)
+        assert_same(join(obj_left, obj_right, on=["k"]), result.to_relation())
 
     def test_cross_concatenates_groups(self):
         fact = fx.fact_cross(factorise(left_table()), factorise(right_table()))

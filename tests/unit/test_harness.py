@@ -91,6 +91,7 @@ class TestExperimentsRegistry:
             "groupby",
             "multiwindow",
             "equijoin",
+            "rangejoin",
             "factjoin",
         }
         assert expected == set(ALL_EXPERIMENTS)
@@ -113,6 +114,16 @@ class TestExperimentsRegistry:
         from repro.harness.figures import equijoin_scaling
 
         result = equijoin_scaling(sizes=(16, 64), quadratic_ceiling=16, seed=1)
+        assert len(result.rows) == 2
+        small, large = result.rows
+        assert small[1] != "-" and small[2] != "-"
+        assert large[1] == "-" and large[2] == "-" and large[3] != "-"
+
+    def test_rangejoin_driver_runs_small_and_caps_quadratic_kernels(self):
+        pytest.importorskip("numpy", reason="the columnar backend requires NumPy")
+        from repro.harness.figures import rangejoin_scaling
+
+        result = rangejoin_scaling(sizes=(16, 64), quadratic_ceiling=16, seed=1)
         assert len(result.rows) == 2
         small, large = result.rows
         assert small[1] != "-" and small[2] != "-"

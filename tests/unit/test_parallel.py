@@ -77,6 +77,26 @@ class TestResolveWorkers:
         monkeypatch.setenv(WORKERS_ENV, "8")
         assert resolve_workers(2) == 2
 
+    def test_oversubscription_warns_but_honours_the_count(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        with pytest.warns(RuntimeWarning, match="exceeds os.cpu_count"):
+            assert resolve_workers(3) == 3
+
+    def test_oversubscribed_env_value_warns(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        monkeypatch.setenv(WORKERS_ENV, "4")
+        with pytest.warns(RuntimeWarning, match="oversubscribe"):
+            assert resolve_workers(None) == 4
+
+    def test_fitting_counts_stay_silent(self, monkeypatch):
+        import warnings
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 4)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_workers(4) == 4
+            assert resolve_workers(1) == 1
+
 
 class TestShardRanges:
     def test_even_split(self):

@@ -1,28 +1,39 @@
-"""Append multiwindow / equijoin / factjoin timings to the perf trajectory file.
+"""Append multiwindow / equijoin / rangejoin / factjoin timings to a trajectory file.
 
-Each run appends one JSON record to ``BENCH_pipeline.json`` (a JSON array at
-the repository root) timing the large-N harness workloads —
-the multi-window plan (``select -> join -> window -> select -> window``) and
-the searchsorted equi-join at each requested worker count, plus the
-factorised ``select -> join -> select -> window`` chain (``factjoin``).  The
-factjoin block compares the fully expanded grid plan against the factorised
+Each run appends one JSON record to a ``BENCH_*.json`` trajectory (a JSON
+array at the repository root) timing the large-N harness workloads — the
+multi-window plan (``select -> join -> window -> select -> window``), the
+equi-join and range×range join at each requested worker count (each timing
+carries the pair-enumeration kernel ``method="auto"`` selects, via
+:func:`repro.columnar.operators.planned_join_kernel`, so a dispatch
+regression is diffable across records), plus the factorised
+``select -> join -> select -> window`` chain (``factjoin``).  The factjoin
+block compares the fully expanded grid plan against the factorised
 representation head-to-head: each path runs in a forked child process so
 ``resource.getrusage(RUSAGE_SELF).ru_maxrss`` isolates its peak RSS, and the
 record carries the estimated expanded pair-row count (``|L'| * |R|``)
 alongside the pair rows the factorised path actually materialised
 (:func:`repro.columnar.factorised.pair_rows_materialised`).  Above the grid
 ceiling only the factorised path runs — that asymmetry *is* the datapoint.
+The rangejoin block does the same for the both-sides-uncertain interval
+join: sweep-kernel timing plus its candidate-pair count, with the quadratic
+grid contender only below the ceiling.
 
 Records carry the host's core count: speedup numbers are only meaningful
 when ``cpus >= workers`` (an oversubscribed pool measures scheduling
 overhead, not scaling), so downstream tooling must filter on it rather than
 compare raw milliseconds across machines.
 
+Runs are config-driven: ``--config benchmarks/configs/<id>.json`` holds the
+workload shape (rows / reps / workers / harness ids / output file) as JSON,
+so every PR re-runs the *same* named configuration and the appended records
+diff cleanly across commits.  Explicit CLI flags override config values.
+
 Example::
 
+    PYTHONPATH=src python tools/bench_trajectory.py --config benchmarks/configs/pipeline.json
+    PYTHONPATH=src python tools/bench_trajectory.py --config benchmarks/configs/rangejoin.json
     PYTHONPATH=src python tools/bench_trajectory.py --rows 20000 --workers 1,2,4
-    PYTHONPATH=src python tools/bench_trajectory.py --rows 100000 --reps 3
-    PYTHONPATH=src python tools/bench_trajectory.py --factjoin-rows 4096
 
 The trajectory is append-only — committing the file over time charts the
 backend's perf history against a fixed workload shape.
@@ -40,6 +51,9 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
+
+#: Harness ids a config's ``harnesses`` list may name.
+HARNESSES = ("multiwindow", "equijoin", "rangejoin", "factjoin")
 
 
 def best_of(fn, reps: int) -> float:
@@ -90,6 +104,7 @@ def measure_factjoin(rows: int, reps: int, *, grid_ceiling: int = 1024) -> dict:
     ``grid_ceiling`` (its scratch is ``O(|L'| * |R|)``); the factorised path
     always runs.
     """
+    from repro.columnar import operators as col_ops
     from repro.columnar.factorised import pair_rows_materialised, reset_pair_rows
     from repro.columnar.relation import ColumnarAURelation
     from repro.core.expressions import attr, const
@@ -109,6 +124,7 @@ def measure_factjoin(rows: int, reps: int, *, grid_ceiling: int = 1024) -> dict:
 
     block = {
         "rows": rows,
+        "kernel": col_ops.planned_join_kernel(columnar_left, columnar_right, on=["k"]),
         "output_rows": len(result),
         "expanded_pair_rows": expanded_pairs,
         "factorised_pair_rows": factorised_pairs,
@@ -144,6 +160,55 @@ def measure_factjoin(rows: int, reps: int, *, grid_ceiling: int = 1024) -> dict:
     return block
 
 
+def measure_rangejoin(rows: int, reps: int, *, grid_ceiling: int = 1024) -> dict:
+    """Time the both-sides-uncertain range join: overlap sweep vs the grid.
+
+    Records the kernel ``method="auto"`` selects, the sweep's candidate-pair
+    count against the grid's ``|L|·|R|``, and the sweep timing; the grid
+    contender only runs below ``grid_ceiling``.
+    """
+    from repro.columnar import operators as col_ops
+    from repro.columnar.relation import ColumnarAURelation
+    from repro.workloads.pipeline import rangejoin_inputs, run_rangejoin_columnar
+
+    left, right = rangejoin_inputs(rows)
+    columnar_left = ColumnarAURelation.from_relation(left)
+    columnar_right = ColumnarAURelation.from_relation(right)
+
+    candidates = col_ops.candidate_key_pairs(
+        [columnar_left.column("k")], [columnar_right.column("k")], kernels=("sweep",)
+    )
+    block = {
+        "rows": rows,
+        "kernel": col_ops.planned_join_kernel(columnar_left, columnar_right, on=["k"]),
+        "sweep_candidate_pairs": 0 if candidates is None else len(candidates[0]),
+        "grid_pairs": len(columnar_left) * len(columnar_right),
+    }
+    sweep_ms = best_of(
+        lambda: run_rangejoin_columnar(columnar_left, columnar_right, method="sweep"),
+        reps,
+    )
+    block["sweep_ms"] = round(sweep_ms, 3)
+    if rows <= grid_ceiling:
+        grid_ms = best_of(
+            lambda: run_rangejoin_columnar(columnar_left, columnar_right, method="grid"),
+            reps,
+        )
+        block["grid_ms"] = round(grid_ms, 3)
+        print(
+            f"rangejoin rows={rows}: sweep={sweep_ms:.1f}ms "
+            f"({block['sweep_candidate_pairs']} candidates) grid={grid_ms:.1f}ms "
+            f"({block['grid_pairs']} pairs)"
+        )
+    else:
+        print(
+            f"rangejoin rows={rows}: sweep={sweep_ms:.1f}ms "
+            f"({block['sweep_candidate_pairs']} candidates) grid skipped "
+            f"(would expand {block['grid_pairs']} pairs)"
+        )
+    return block
+
+
 def parse_workers(raw: str) -> list[int]:
     try:
         values = sorted({int(part) for part in raw.split(",") if part.strip()})
@@ -158,87 +223,175 @@ def parse_workers(raw: str) -> list[int]:
     return values
 
 
-def measure(rows: int, workers: list[int], reps: int) -> list[dict]:
+def measure(
+    rows: int, workers: list[int], reps: int, harnesses: list[str]
+) -> list[dict]:
+    """Per-worker-count timings for the requested scaling harnesses.
+
+    Every join timing records the kernel the ``method="auto"`` dispatch
+    would select for the workload's inputs, so a silent dispatch regression
+    (a workload falling back to the grid) shows up in the trajectory diff
+    even when the milliseconds drift.
+    """
+    from repro.columnar import operators as col_ops
     from repro.columnar.relation import ColumnarAURelation
     from repro.workloads.pipeline import (
         equijoin_inputs,
         multiwindow_inputs,
+        rangejoin_inputs,
         run_equijoin_columnar,
         run_multiwindow_columnar,
+        run_rangejoin_columnar,
     )
 
-    fact, dim, threshold = multiwindow_inputs(rows)
-    columnar_fact = ColumnarAURelation.from_relation(fact)
-    columnar_dim = ColumnarAURelation.from_relation(dim)
-    left, right = equijoin_inputs(rows)
-    columnar_left = ColumnarAURelation.from_relation(left)
-    columnar_right = ColumnarAURelation.from_relation(right)
+    prepared = {}
+    if "multiwindow" in harnesses:
+        fact, dim, threshold = multiwindow_inputs(rows)
+        prepared["multiwindow"] = (
+            ColumnarAURelation.from_relation(fact),
+            ColumnarAURelation.from_relation(dim),
+            threshold,
+        )
+    if "equijoin" in harnesses:
+        left, right = equijoin_inputs(rows)
+        prepared["equijoin"] = (
+            ColumnarAURelation.from_relation(left),
+            ColumnarAURelation.from_relation(right),
+        )
+    if "rangejoin" in harnesses:
+        left, right = rangejoin_inputs(rows)
+        prepared["rangejoin"] = (
+            ColumnarAURelation.from_relation(left),
+            ColumnarAURelation.from_relation(right),
+        )
 
     results = []
     for count in workers:
-        multiwindow_ms = best_of(
-            lambda: run_multiwindow_columnar(
-                columnar_fact, columnar_dim, threshold, workers=count
-            ),
-            reps,
-        )
-        equijoin_ms = best_of(
-            lambda: run_equijoin_columnar(
-                columnar_left, columnar_right, method="searchsorted", workers=count
-            ),
-            reps,
-        )
-        results.append(
-            {"workers": count, "multiwindow_ms": round(multiwindow_ms, 3),
-             "equijoin_ms": round(equijoin_ms, 3)}
-        )
-        print(
-            f"workers={count}: multiwindow={multiwindow_ms:.1f}ms "
-            f"equijoin={equijoin_ms:.1f}ms"
-        )
+        entry: dict = {"workers": count}
+        report = []
+        if "multiwindow" in prepared:
+            fact, dim, threshold = prepared["multiwindow"]
+            ms = best_of(
+                lambda: run_multiwindow_columnar(fact, dim, threshold, workers=count),
+                reps,
+            )
+            entry["multiwindow_ms"] = round(ms, 3)
+            report.append(f"multiwindow={ms:.1f}ms")
+        if "equijoin" in prepared:
+            left, right = prepared["equijoin"]
+            kernel = col_ops.planned_join_kernel(left, right, on=["k"])
+            ms = best_of(
+                lambda: run_equijoin_columnar(left, right, method=kernel, workers=count),
+                reps,
+            )
+            entry["equijoin_ms"] = round(ms, 3)
+            entry["equijoin_kernel"] = kernel
+            report.append(f"equijoin={ms:.1f}ms[{kernel}]")
+        if "rangejoin" in prepared:
+            left, right = prepared["rangejoin"]
+            kernel = col_ops.planned_join_kernel(left, right, on=["k"])
+            ms = best_of(
+                lambda: run_rangejoin_columnar(left, right, method=kernel, workers=count),
+                reps,
+            )
+            entry["rangejoin_ms"] = round(ms, 3)
+            entry["rangejoin_kernel"] = kernel
+            report.append(f"rangejoin={ms:.1f}ms[{kernel}]")
+        results.append(entry)
+        print(f"workers={count}: " + " ".join(report))
     return results
+
+
+def load_config(path: Path) -> dict:
+    """Parse and validate one ``benchmarks/configs/<id>.json`` file."""
+    config = json.loads(path.read_text())
+    if not isinstance(config, dict):
+        raise SystemExit(f"{path} must hold a JSON object")
+    unknown = set(config) - {
+        "rows", "reps", "workers", "harnesses", "factjoin_rows", "output"
+    }
+    if unknown:
+        raise SystemExit(f"{path}: unknown config keys {sorted(unknown)}")
+    harnesses = config.get("harnesses", [])
+    bad = [h for h in harnesses if h not in HARNESSES]
+    if bad:
+        raise SystemExit(f"{path}: unknown harness ids {bad}; expected {HARNESSES}")
+    workers = config.get("workers", [])
+    if not isinstance(workers, list) or any(
+        not isinstance(w, int) or w < 1 for w in workers
+    ):
+        raise SystemExit(f"{path}: 'workers' must be a list of positive integers")
+    return config
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--rows", type=int, default=20000, help="workload size (default 20000)")
+    parser.add_argument(
+        "--config",
+        type=Path,
+        default=None,
+        help="JSON config (benchmarks/configs/<id>.json) supplying defaults "
+        "for rows/reps/workers/harnesses/output; explicit flags override",
+    )
+    parser.add_argument("--rows", type=int, default=None, help="workload size (default 20000)")
     parser.add_argument(
         "--workers",
         type=parse_workers,
-        default=[1, 2, 4],
+        default=None,
         help="comma-separated worker counts to time (default 1,2,4)",
     )
-    parser.add_argument("--reps", type=int, default=1, help="repetitions, best-of (default 1)")
+    parser.add_argument("--reps", type=int, default=None, help="repetitions, best-of (default 1)")
     parser.add_argument(
         "--factjoin-rows",
         type=int,
-        default=4096,
+        default=None,
         help="factjoin chain size; 0 skips the factjoin block (default 4096)",
     )
     parser.add_argument(
-        "--output", type=Path, default=DEFAULT_OUTPUT, help="trajectory file to append to"
+        "--output", type=Path, default=None, help="trajectory file to append to"
     )
     args = parser.parse_args(argv)
 
-    results = measure(args.rows, args.workers, args.reps)
+    config = load_config(args.config) if args.config else {}
+    rows = args.rows if args.rows is not None else config.get("rows", 20000)
+    reps = args.reps if args.reps is not None else config.get("reps", 1)
+    workers = (
+        args.workers if args.workers is not None else config.get("workers") or [1, 2, 4]
+    )
+    harnesses = config.get("harnesses") or ["multiwindow", "equijoin"]
+    factjoin_rows = (
+        args.factjoin_rows
+        if args.factjoin_rows is not None
+        else config.get("factjoin_rows", 4096 if "factjoin" in harnesses or not config else 0)
+    )
+    output = args.output or (
+        REPO_ROOT / config["output"] if "output" in config else DEFAULT_OUTPUT
+    )
+
+    scaling = [h for h in harnesses if h != "factjoin"]
+    results = measure(rows, workers, reps, scaling) if scaling else []
     record = {
         "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
-        "rows": args.rows,
-        "reps": args.reps,
+        "rows": rows,
+        "reps": reps,
         "cpus": os.cpu_count() or 1,
         "results": results,
     }
-    if args.factjoin_rows > 0:
-        record["factjoin"] = measure_factjoin(args.factjoin_rows, args.reps)
+    if args.config:
+        record["config"] = args.config.stem
+    if "rangejoin" in harnesses:
+        record["rangejoin"] = measure_rangejoin(max(rows, 4096), reps)
+    if factjoin_rows > 0:
+        record["factjoin"] = measure_factjoin(factjoin_rows, reps)
 
     trajectory = []
-    if args.output.exists():
-        trajectory = json.loads(args.output.read_text())
+    if output.exists():
+        trajectory = json.loads(output.read_text())
         if not isinstance(trajectory, list):
-            raise SystemExit(f"{args.output} is not a JSON array")
+            raise SystemExit(f"{output} is not a JSON array")
     trajectory.append(record)
-    args.output.write_text(json.dumps(trajectory, indent=2) + "\n")
-    print(f"appended record #{len(trajectory)} to {args.output}")
+    output.write_text(json.dumps(trajectory, indent=2) + "\n")
+    print(f"appended record #{len(trajectory)} to {output}")
     return 0
 
 
