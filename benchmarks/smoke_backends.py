@@ -28,6 +28,12 @@ timing is reported with the machine's core count; it only warns — and even
 strict mode ignores it when the host has fewer cores than workers, since
 an oversubscribed pool cannot demonstrate a speedup.
 
+The serving smoke drives the synthetic query/delta mix through all three
+serving modes (cached views patched per delta, cached views rebuilt per
+delta, from-scratch plan per query) and asserts the answered relations are
+bit-identical; in strict mode patched deltas must additionally beat view
+rebuilds (>= 3x from ``rows=4096`` up).
+
 Run directly: ``PYTHONPATH=src python benchmarks/smoke_backends.py [rows]``.
 Exits non-zero on divergence (always) or slowdown (strict mode only).
 """
@@ -531,6 +537,81 @@ def smoke_parallel(rows: int) -> int:
     return failures
 
 
+def smoke_serve(rows: int) -> int:
+    """Cached-incremental serving agrees with recompute over a query/delta mix.
+
+    Drives the same synthetic schedule (repeated parameterized top-k and
+    window queries with interleaved append/retract bursts) through all three
+    serving modes and asserts every answered relation is bit-identical —
+    cached views patched per delta must equal views rebuilt per delta must
+    equal a from-scratch plan run per query.  Divergence is always fatal.
+
+    The timing gate compares delta application: patching the cached views
+    against rebuilding them.  Under ``REPRO_SMOKE_STRICT_PERF=1`` the patch
+    path must beat rebuilds — by >= 3x from ``rows=4096`` up (the acceptance
+    ratio; at smoke sizes fixed per-delta overhead narrows the gap, so only
+    parity is required there).  The warm-query-vs-direct comparison only
+    warns: at tiny inputs the cold view builds dominate the cached side.
+    """
+    from repro.workloads.serve import (
+        SERVE_MODES,
+        latency_summary,
+        run_serve_mix,
+        serve_inputs,
+        serve_schedule,
+    )
+
+    base = serve_inputs(rows, seed=0)
+    schedule = serve_schedule(base, queries=60, deltas=6, delta_rows=6, seed=0)
+    runs = {mode: run_serve_mix(base, schedule, mode=mode) for mode in SERVE_MODES}
+
+    failures = 0
+    inc_results = runs["incremental"][0]
+    for mode in ("cached-recompute", "direct"):
+        other = runs[mode][0]
+        if len(other) != len(inc_results):
+            print(f"FAIL: serve mode {mode} answered {len(other)}/{len(inc_results)} queries")
+            failures += 1
+            continue
+        for index, (lhs, rhs) in enumerate(zip(inc_results, other)):
+            if lhs.schema != rhs.schema or list(lhs._rows.items()) != list(rhs._rows.items()):
+                print(f"FAIL: serve query {index} diverges (incremental vs {mode})")
+                failures += 1
+                break
+
+    inc_queries = latency_summary(runs["incremental"][1])
+    direct_queries = latency_summary(runs["direct"][1])
+    patched_ms = sum(runs["incremental"][2]) * 1000.0
+    rebuilt_ms = sum(runs["cached-recompute"][2]) * 1000.0
+    delta_speedup = rebuilt_ms / patched_ms if patched_ms else float("inf")
+    print(
+        f"serve rows={rows}: incremental qps={inc_queries['qps']:.0f} "
+        f"p99={inc_queries['p99_ms']:.2f}ms direct qps={direct_queries['qps']:.0f} "
+        f"p99={direct_queries['p99_ms']:.2f}ms | deltas patched={patched_ms:.2f}ms "
+        f"rebuilt={rebuilt_ms:.2f}ms speedup={delta_speedup:.2f}x"
+    )
+    required = 3.0 if rows >= 4096 else 1.0
+    if delta_speedup < required:
+        message = (
+            f"patched deltas only {delta_speedup:.2f}x faster than view rebuilds "
+            f"(required >= {required:.1f}x at rows={rows})"
+        )
+        if os.environ.get("REPRO_SMOKE_STRICT_PERF") == "1":
+            print(f"FAIL: {message}")
+            failures += 1
+        else:
+            print(f"WARN: {message} (not fatal; set REPRO_SMOKE_STRICT_PERF=1 to enforce)")
+    if inc_queries["qps"] < direct_queries["qps"]:
+        print(
+            "WARN: cached serving slower than per-query recompute at the smoke size "
+            "(cold view builds dominate tiny inputs; tools/bench_trajectory.py "
+            "measures the warm large-N ratios)"
+        )
+    if not failures:
+        print("OK: serve modes agree bit-for-bit over the query/delta mix")
+    return failures
+
+
 def main(rows: int = 200) -> int:
     failures = (
         smoke_sort(rows)
@@ -542,6 +623,7 @@ def main(rows: int = 200) -> int:
         + smoke_rangejoin(rows)
         + smoke_factjoin(rows)
         + smoke_parallel(rows)
+        + smoke_serve(rows)
     )
     if not failures:
         print("OK: backends agree bit-for-bit")

@@ -75,16 +75,28 @@ MORSELS_PER_WORKER = 4
 _POLL_INTERVAL = 0.2
 
 
+#: Whether the oversubscription warning has already fired in this process.
+#: The serving layer resolves a worker count on every cached-view build, so a
+#: per-call warning would spam the log once per query; one line per process
+#: is enough to surface the misconfiguration (tests reset the flag).
+_warned_oversubscription = False
+
+
 def _warn_if_oversubscribed(workers: int) -> int:
-    """Warn once per call when ``workers`` exceeds the machine's CPU count.
+    """Warn once per *process* when ``workers`` exceeds the machine's CPU count.
 
     Oversubscription makes the fork pool *slower* than serial (the committed
     BENCH records show 2-16x regressions with 2-4 workers on a 1-core
     container), so the footgun gets a one-line :class:`RuntimeWarning` —
-    never an error: the count is still honoured.
+    never an error: the count is still honoured.  The warning is deduplicated
+    to the first offending call of the process: serving loops resolve the
+    worker knob on every query, and repeating the same line per call buries
+    the signal.
     """
+    global _warned_oversubscription
     cpus = os.cpu_count()
-    if cpus is not None and workers > cpus:
+    if cpus is not None and workers > cpus and not _warned_oversubscription:
+        _warned_oversubscription = True
         warnings.warn(
             f"workers={workers} exceeds os.cpu_count()={cpus}; the fork pool "
             "will oversubscribe and typically runs slower than serial",

@@ -76,3 +76,12 @@ class EnumerationLimitError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator received inconsistent parameters."""
+
+
+class ServingError(ReproError):
+    """The serving layer (:mod:`repro.serving`) was misused.
+
+    Raised for malformed queries against a :class:`~repro.serving.QueryServer`
+    (unknown template names, parameter tuples that do not fit the template's
+    slots) and for cache misconfiguration such as a non-positive capacity.
+    """

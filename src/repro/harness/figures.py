@@ -57,6 +57,7 @@ __all__ = [
     "equijoin_scaling",
     "rangejoin_scaling",
     "factjoin_scaling",
+    "serve_scaling",
     "ALL_EXPERIMENTS",
 ]
 
@@ -1003,6 +1004,76 @@ def factjoin_scaling(
     return result
 
 
+def serve_scaling(
+    *,
+    sizes: Sequence[int] = (256, 512, 1024),
+    seed: int = 0,
+    queries: int = 120,
+    deltas: int = 8,
+) -> ExperimentResult:
+    """Cached-plan serving under a query/delta mix: incremental vs recompute.
+
+    Drives the same synthetic schedule (repeated parameterized top-k and
+    partitioned-window queries, interleaved append/retract bursts — see
+    :mod:`repro.workloads.serve`) through three serving configurations:
+    cached views patched in place per delta (``Inc``), the plan re-run from
+    the accumulated base on every query (``Direct`` — recompute-per-query,
+    the query-cost contender), and cached views rebuilt per delta
+    (``delta speedup``'s denominator — the delta-cost contender).  Reports
+    query throughput (QPS) and tail latency (p99 ms) for the first two, plus
+    the patched-vs-rebuilt delta-application speedup; all three modes'
+    answers are asserted bit-identical at every size.
+    """
+    from repro.errors import ReproError
+
+    result = ExperimentResult(
+        name="serve",
+        description=(
+            "Cached-plan serving (QPS / p99 ms): incremental views (Inc) vs "
+            "recompute-per-query (Direct), plus patched-vs-rebuilt delta speedup"
+        ),
+        headers=[
+            "Size", "Inc QPS", "Direct QPS", "Inc p99", "Direct p99", "delta speedup",
+        ],
+    )
+    if not backend_enabled("columnar"):
+        for size in sizes:
+            result.add(size, "-", "-", "-", "-", "-")
+        return result
+    try:
+        from repro.workloads.serve import (
+            latency_summary, run_serve_mix, serve_inputs, serve_schedule,
+        )
+    except ImportError:  # pragma: no cover - environment dependent
+        for size in sizes:
+            result.add(size, "-", "-", "-", "-", "-")
+        return result
+    for size in sizes:
+        base = serve_inputs(size, seed=seed)
+        schedule = serve_schedule(base, queries=queries, deltas=deltas, seed=seed)
+        inc_rows, inc_q, inc_d = run_serve_mix(base, schedule, mode="incremental")
+        direct_rows, direct_q, _ = run_serve_mix(base, schedule, mode="direct")
+        rebuilt_rows, _, rebuilt_d = run_serve_mix(
+            base, schedule, mode="cached-recompute"
+        )
+        for label, other in (("direct", direct_rows), ("rebuilt", rebuilt_rows)):
+            for a, b in zip(inc_rows, other):
+                if a.schema != b.schema or a._rows != b._rows:
+                    raise ReproError(
+                        f"serve: incremental serving diverges from the {label} "
+                        f"mode at size {size}"
+                    )
+        inc, direct = latency_summary(inc_q), latency_summary(direct_q)
+        delta_speedup: object = "-"
+        if inc_d and sum(inc_d):
+            delta_speedup = sum(rebuilt_d) / sum(inc_d)
+        result.add(
+            size, inc["qps"], direct["qps"], inc["p99_ms"], direct["p99_ms"],
+            delta_speedup,
+        )
+    return result
+
+
 #: Registry used by the CLI: experiment id -> driver.
 ALL_EXPERIMENTS = {
     "heap_table": heap_table,
@@ -1021,4 +1092,5 @@ ALL_EXPERIMENTS = {
     "equijoin": equijoin_scaling,
     "rangejoin": rangejoin_scaling,
     "factjoin": factjoin_scaling,
+    "serve": serve_scaling,
 }

@@ -35,6 +35,9 @@ DOCTEST_MODULES_NUMPY = [
     "repro.columnar.factorised",
     "repro.columnar.sort",
     "repro.columnar.window",
+    "repro.columnar.incremental",
+    "repro.serving.cache",
+    "repro.serving.server",
 ]
 
 DOCUMENTS = [
@@ -97,5 +100,7 @@ def test_architecture_doc_covers_the_subsystems():
         "Parallel execution",
         "Module map",
         "bounding",
+        "IncrementalView",
+        "shape_key",
     ):
         assert needle in text, f"ARCHITECTURE.md no longer mentions {needle}"

@@ -93,6 +93,7 @@ class TestExperimentsRegistry:
             "equijoin",
             "rangejoin",
             "factjoin",
+            "serve",
         }
         assert expected == set(ALL_EXPERIMENTS)
 

@@ -77,18 +77,45 @@ class TestResolveWorkers:
         monkeypatch.setenv(WORKERS_ENV, "8")
         assert resolve_workers(2) == 2
 
-    def test_oversubscription_warns_but_honours_the_count(self, monkeypatch):
+    @pytest.fixture
+    def fresh_warning_flag(self, monkeypatch):
+        """Reset the once-per-process oversubscription warning dedup flag."""
+        from repro.columnar import parallel
+
+        monkeypatch.setattr(parallel, "_warned_oversubscription", False)
+
+    def test_oversubscription_warns_but_honours_the_count(
+        self, monkeypatch, fresh_warning_flag
+    ):
         monkeypatch.setattr(os, "cpu_count", lambda: 2)
         with pytest.warns(RuntimeWarning, match="exceeds os.cpu_count"):
             assert resolve_workers(3) == 3
 
-    def test_oversubscribed_env_value_warns(self, monkeypatch):
+    def test_oversubscribed_env_value_warns(self, monkeypatch, fresh_warning_flag):
         monkeypatch.setattr(os, "cpu_count", lambda: 1)
         monkeypatch.setenv(WORKERS_ENV, "4")
         with pytest.warns(RuntimeWarning, match="oversubscribe"):
             assert resolve_workers(None) == 4
 
-    def test_fitting_counts_stay_silent(self, monkeypatch):
+    def test_oversubscription_warns_once_per_process(
+        self, monkeypatch, fresh_warning_flag
+    ):
+        """Repeated oversubscribed calls warn exactly once (regression).
+
+        The serving loop resolves the worker knob on every cached-view
+        build; before the dedup flag, each call repeated the warning.
+        """
+        import warnings
+
+        monkeypatch.setattr(os, "cpu_count", lambda: 2)
+        with pytest.warns(RuntimeWarning, match="exceeds os.cpu_count"):
+            assert resolve_workers(5) == 5
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_workers(5) == 5  # deduped: silent, still honoured
+            assert resolve_workers(8) == 8
+
+    def test_fitting_counts_stay_silent(self, monkeypatch, fresh_warning_flag):
         import warnings
 
         monkeypatch.setattr(os, "cpu_count", lambda: 4)

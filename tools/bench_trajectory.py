@@ -17,7 +17,11 @@ alongside the pair rows the factorised path actually materialised
 ceiling only the factorised path runs — that asymmetry *is* the datapoint.
 The rangejoin block does the same for the both-sides-uncertain interval
 join: sweep-kernel timing plus its candidate-pair count, with the quadratic
-grid contender only below the ceiling.
+grid contender only below the ceiling.  The ``serve`` harness drives the
+synthetic query/delta serving mix through all three serving modes
+(cached-incremental, cached-recompute, direct) and records QPS/p99 per
+mode plus the patched-vs-rebuilt delta totals, asserting bit-identity
+across the modes first.
 
 Records carry the host's core count: speedup numbers are only meaningful
 when ``cpus >= workers`` (an oversubscribed pool measures scheduling
@@ -53,7 +57,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
 
 #: Harness ids a config's ``harnesses`` list may name.
-HARNESSES = ("multiwindow", "equijoin", "rangejoin", "factjoin")
+HARNESSES = ("multiwindow", "equijoin", "rangejoin", "factjoin", "serve")
 
 
 def best_of(fn, reps: int) -> float:
@@ -209,6 +213,76 @@ def measure_rangejoin(rows: int, reps: int, *, grid_ceiling: int = 1024) -> dict
     return block
 
 
+def measure_serve(rows: int, reps: int, *, queries: int = 200, deltas: int = 10) -> dict:
+    """Time the cached-incremental serving mix against recompute-per-query.
+
+    Runs the same synthetic query/delta schedule under all three serving
+    modes (:data:`repro.workloads.serve.SERVE_MODES`), asserts the answered
+    relations are bit-identical, and records per-mode QPS/p99 plus the
+    patched-vs-rebuilt delta totals — the two ratios the serving layer
+    exists to improve.  ``reps`` keeps the best (lowest total wall-clock)
+    run per mode.
+    """
+    from repro.workloads.serve import (
+        SERVE_MODES,
+        latency_summary,
+        run_serve_mix,
+        serve_inputs,
+        serve_schedule,
+    )
+
+    base = serve_inputs(rows, seed=0)
+    schedule = serve_schedule(base, queries=queries, deltas=deltas, seed=0)
+    best: dict[str, tuple] = {}
+    reference = None
+    for mode in SERVE_MODES:
+        for _ in range(max(1, reps)):
+            results, query_seconds, delta_seconds = run_serve_mix(
+                base, schedule, mode=mode
+            )
+            total = sum(query_seconds) + sum(delta_seconds)
+            if mode not in best or total < best[mode][0]:
+                best[mode] = (total, query_seconds, delta_seconds)
+        if reference is None:
+            reference = results
+        else:
+            for lhs, rhs in zip(reference, results):
+                if lhs.schema != rhs.schema or list(lhs._rows.items()) != list(
+                    rhs._rows.items()
+                ):
+                    raise SystemExit(
+                        f"serve harness: mode {mode!r} diverges from incremental results"
+                    )
+
+    incremental = latency_summary(best["incremental"][1])
+    direct = latency_summary(best["direct"][1])
+    patched_ms = sum(best["incremental"][2]) * 1000.0
+    rebuilt_ms = sum(best["cached-recompute"][2]) * 1000.0
+    query_speedup = incremental["qps"] / direct["qps"] if direct["qps"] else float("inf")
+    delta_speedup = rebuilt_ms / patched_ms if patched_ms else float("inf")
+    block = {
+        "rows": rows,
+        "queries": queries,
+        "deltas": deltas,
+        "incremental_qps": round(incremental["qps"], 1),
+        "incremental_p99_ms": round(incremental["p99_ms"], 3),
+        "direct_qps": round(direct["qps"], 1),
+        "direct_p99_ms": round(direct["p99_ms"], 3),
+        "query_speedup": round(query_speedup, 2),
+        "patched_delta_ms": round(patched_ms, 3),
+        "rebuilt_delta_ms": round(rebuilt_ms, 3),
+        "delta_speedup": round(delta_speedup, 2),
+    }
+    print(
+        f"serve rows={rows} queries={queries} deltas={deltas}: "
+        f"incremental qps={incremental['qps']:.0f} p99={incremental['p99_ms']:.1f}ms "
+        f"direct qps={direct['qps']:.0f} p99={direct['p99_ms']:.1f}ms "
+        f"({query_speedup:.2f}x) | deltas patched={patched_ms:.1f}ms "
+        f"rebuilt={rebuilt_ms:.1f}ms ({delta_speedup:.2f}x)"
+    )
+    return block
+
+
 def parse_workers(raw: str) -> list[int]:
     try:
         values = sorted({int(part) for part in raw.split(",") if part.strip()})
@@ -308,7 +382,8 @@ def load_config(path: Path) -> dict:
     if not isinstance(config, dict):
         raise SystemExit(f"{path} must hold a JSON object")
     unknown = set(config) - {
-        "rows", "reps", "workers", "harnesses", "factjoin_rows", "output"
+        "rows", "reps", "workers", "harnesses", "factjoin_rows", "output",
+        "queries", "deltas",
     }
     if unknown:
         raise SystemExit(f"{path}: unknown config keys {sorted(unknown)}")
@@ -368,7 +443,7 @@ def main(argv: list[str] | None = None) -> int:
         REPO_ROOT / config["output"] if "output" in config else DEFAULT_OUTPUT
     )
 
-    scaling = [h for h in harnesses if h != "factjoin"]
+    scaling = [h for h in harnesses if h not in ("factjoin", "serve")]
     results = measure(rows, workers, reps, scaling) if scaling else []
     record = {
         "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
@@ -383,6 +458,13 @@ def main(argv: list[str] | None = None) -> int:
         record["rangejoin"] = measure_rangejoin(max(rows, 4096), reps)
     if factjoin_rows > 0:
         record["factjoin"] = measure_factjoin(factjoin_rows, reps)
+    if "serve" in harnesses:
+        record["serve"] = measure_serve(
+            rows,
+            reps,
+            queries=config.get("queries", 200),
+            deltas=config.get("deltas", 10),
+        )
 
     trajectory = []
     if output.exists():
