@@ -34,6 +34,12 @@ delta, from-scratch plan per query) and asserts the answered relations are
 bit-identical; in strict mode patched deltas must additionally beat view
 rebuilds (>= 3x from ``rows=4096`` up).
 
+The SQL smoke compiles the scaling query through the full rule pipeline and
+asserts the optimized columnar plan is bit-identical to both the unoptimized
+literal lowering and the row-at-a-time Python execution, and that its joins
+avoid the quadratic grid kernel; in strict mode the optimized plan must beat
+the unoptimized one (>= 5x from ``rows=1024`` up).
+
 Run directly: ``PYTHONPATH=src python benchmarks/smoke_backends.py [rows]``.
 Exits non-zero on divergence (always) or slowdown (strict mode only).
 """
@@ -612,6 +618,70 @@ def smoke_serve(rows: int) -> int:
     return failures
 
 
+def smoke_sql(rows: int) -> int:
+    """The SQL frontend's optimized plan agrees with its oracles and stays fast.
+
+    Compiles the scaling query (``repro.workloads.sql``) against a fresh
+    catalog and asserts three-way bit-identity: the optimized columnar plan
+    must equal the unoptimized (literal-lowering) columnar plan must equal
+    the row-at-a-time Python execution.  The optimized plan's joins must
+    also resolve to a non-quadratic kernel — a ``grid`` join here means the
+    kernel-preference rule regressed.  Divergence is always fatal.
+
+    The timing gate brackets what the optimizer rules buy: optimized vs
+    unoptimized (grid join, no pushdown, no pruning).  As with the other
+    smokes the gap only warns by default and turns fatal under
+    ``REPRO_SMOKE_STRICT_PERF=1`` — at ``rows >= 1024`` strict mode requires
+    the acceptance ratio of >= 5x; below that, parity.
+    """
+    from repro.workloads.sql import (
+        run_sql_optimized,
+        run_sql_python,
+        run_sql_unoptimized,
+        sql_catalog,
+        sql_join_kernels,
+    )
+
+    catalog = sql_catalog(rows, seed=0)
+    optimized = run_sql_optimized(catalog)
+    failures = 0
+    for label, oracle in (
+        ("unoptimized", run_sql_unoptimized),
+        ("python", run_sql_python),
+    ):
+        other = oracle(catalog)
+        if optimized.schema != other.schema or optimized._rows != other._rows:
+            print(f"FAIL: sql optimized plan diverges from the {label} execution")
+            failures += 1
+    kernels = sql_join_kernels(catalog)
+    if "grid" in kernels:
+        print(f"FAIL: sql optimized plan fell back to a grid join (kernels={kernels})")
+        failures += 1
+
+    optimized_ms = best_of(lambda: run_sql_optimized(catalog), reps=3)
+    unoptimized_ms = best_of(lambda: run_sql_unoptimized(catalog), reps=3)
+    speedup = unoptimized_ms / optimized_ms if optimized_ms else float("inf")
+    print(
+        f"sql rows={rows}: unoptimized={unoptimized_ms:.2f}ms "
+        f"optimized={optimized_ms:.2f}ms speedup={speedup:.2f}x "
+        f"kernels={'+'.join(kernels)}"
+    )
+    required = 5.0 if rows >= 1024 else 1.0
+    if speedup < required:
+        message = (
+            f"optimized sql plan only {speedup:.2f}x faster than the unoptimized "
+            f"lowering (required >= {required:.1f}x at rows={rows})"
+        )
+        if os.environ.get("REPRO_SMOKE_STRICT_PERF") == "1":
+            print(f"FAIL: {message}")
+            failures += 1
+        else:
+            print(f"WARN: {message} (not fatal; set REPRO_SMOKE_STRICT_PERF=1 to enforce)")
+    if not failures:
+        print("OK: sql executions agree bit-for-bit (optimized vs unoptimized vs python)")
+    return failures
+
+
 def main(rows: int = 200) -> int:
     failures = (
         smoke_sort(rows)
@@ -624,6 +694,7 @@ def main(rows: int = 200) -> int:
         + smoke_factjoin(rows)
         + smoke_parallel(rows)
         + smoke_serve(rows)
+        + smoke_sql(rows)
     )
     if not failures:
         print("OK: backends agree bit-for-bit")

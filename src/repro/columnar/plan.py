@@ -185,6 +185,21 @@ class ColumnarPlan:
             return self._chain(fx.fact_project(self._relation, attributes))
         return self._chain(ops.project(self._relation, attributes))
 
+    def narrow(self, attributes: Sequence[str]) -> "ColumnarPlan":
+        """Drop columns *without* merging rows (the SQL pruner's projection).
+
+        Unlike :meth:`project` — the bag projection, which merges equal
+        projected hypercubes — ``narrow`` keeps the exact row sequence, so
+        every downstream stage (including the tie-break-sensitive ranked
+        stages fed indirectly through joins and aggregates) sees the same
+        rows in the same order, just with slimmer column caches.  On a
+        factorised intermediate it is a no-op: fragments only gather the
+        columns later stages actually touch, so there is nothing to drop.
+        """
+        if isinstance(self._relation, FactorisedAURelation):
+            return self
+        return self._chain(self._relation.restrict(list(attributes)))
+
     def extend(
         self, name: str, expression: Expression | Callable[[AUTuple], RangeValue]
     ) -> "ColumnarPlan":
@@ -365,9 +380,9 @@ class ColumnarPlan:
 #: Stage names guarded on materialised plan results (kept in sync with the
 #: ColumnarPlan methods above).
 _STAGE_NAMES = (
-    "select", "project", "extend", "rename", "distinct", "union", "cross",
-    "join", "groupby_aggregate", "sort", "topk", "window", "to_rows", "columnar",
-    "factorised",
+    "select", "project", "narrow", "extend", "rename", "distinct", "union",
+    "cross", "join", "groupby_aggregate", "sort", "topk", "window", "to_rows",
+    "columnar", "factorised",
 )
 
 

@@ -85,3 +85,44 @@ class ServingError(ReproError):
     (unknown template names, parameter tuples that do not fit the template's
     slots) and for cache misconfiguration such as a non-positive capacity.
     """
+
+
+class SqlError(ReproError):
+    """A SQL query failed to tokenize, parse, resolve, or compile.
+
+    Carries the offending query position; the rendered message includes the
+    source line with a caret under the offending column::
+
+        unknown column 'vv' at line 1, column 8
+          SELECT vv FROM t
+                 ^
+
+    ``line`` and ``column`` are 1-based.  Errors raised before a position is
+    known (or for whole-query problems) omit the caret block.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        query: str | None = None,
+        line: int | None = None,
+        column: int | None = None,
+    ):
+        self.reason = reason
+        self.query = query
+        self.line = line
+        self.column = column
+        super().__init__(self._render())
+
+    def _render(self) -> str:
+        if self.line is None or self.column is None:
+            return self.reason
+        message = f"{self.reason} at line {self.line}, column {self.column}"
+        if self.query is not None:
+            lines = self.query.splitlines()
+            if 1 <= self.line <= len(lines):
+                source = lines[self.line - 1]
+                caret = " " * (self.column - 1) + "^"
+                message += f"\n  {source}\n  {caret}"
+        return message

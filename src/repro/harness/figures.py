@@ -58,6 +58,7 @@ __all__ = [
     "rangejoin_scaling",
     "factjoin_scaling",
     "serve_scaling",
+    "sql_scaling",
     "ALL_EXPERIMENTS",
 ]
 
@@ -1074,6 +1075,79 @@ def serve_scaling(
     return result
 
 
+def sql_scaling(
+    *,
+    sizes: Sequence[int] = (256, 1024, 4096),
+    quadratic_ceiling: int = 1024,
+    seed: int = 0,
+) -> ExperimentResult:
+    """The SQL frontend's optimizer bracket: optimized vs literal vs python.
+
+    One query (certain-key equi-join, one-sided WHERE conjuncts, untouched
+    payload columns, GROUP BY, top-k — see :mod:`repro.workloads.sql`) runs
+    three ways: through the full rule pipeline (pushdown + pruning + kernel
+    preference), as the literal grid-joining unpruned lowering, and on the
+    row-at-a-time python backend.  The quadratic contenders stop at
+    ``quadratic_ceiling`` (their columns degrade to ``-``); at every size
+    that runs more than one mode the results are checked bit-identical at
+    ``.to_rows()`` before any timing is reported, and the ``Kernels`` column
+    records what the optimized joins resolved to (never the grid on this
+    workload's certain keys).
+    """
+    from repro.errors import ReproError
+    from repro.workloads.sql import (
+        run_sql_optimized,
+        run_sql_python,
+        run_sql_unoptimized,
+        sql_catalog,
+        sql_join_kernels,
+    )
+
+    result = ExperimentResult(
+        name="sql",
+        description=(
+            "SQL query runtime (ms): python / unoptimized lowering / "
+            "optimized plan, plus the optimized joins' kernels"
+        ),
+        headers=["Size", "Imp", "Unopt", "Opt", "Kernels"],
+    )
+    for size in sizes:
+        catalog = sql_catalog(size, seed=seed)
+        imp_ms: object = "-"
+        python_rows = None
+        if size <= quadratic_ceiling and backend_enabled("python"):
+            python_rows, imp_ms = timed_ms(lambda: run_sql_python(catalog))
+        unopt_ms: object = "-"
+        opt_ms: object = "-"
+        kernels: object = "-"
+        if backend_enabled("columnar"):
+            try:
+                import numpy  # noqa: F401 - the columnar backend needs it
+            except ImportError:
+                pass
+            else:
+                unopt_rows = None
+                if size <= quadratic_ceiling:
+                    unopt_rows, unopt_ms = timed_ms(
+                        lambda: run_sql_unoptimized(catalog)
+                    )
+                opt_rows, opt_ms = timed_ms(lambda: run_sql_optimized(catalog))
+                kernels = "+".join(sql_join_kernels(catalog))
+                for label, other in (
+                    ("python", python_rows), ("unoptimized", unopt_rows),
+                ):
+                    if other is not None and (
+                        opt_rows.schema != other.schema
+                        or opt_rows._rows != other._rows
+                    ):
+                        raise ReproError(
+                            f"sql: the optimized plan diverges from the "
+                            f"{label} execution at size {size}"
+                        )
+        result.add(size, imp_ms, unopt_ms, opt_ms, kernels)
+    return result
+
+
 #: Registry used by the CLI: experiment id -> driver.
 ALL_EXPERIMENTS = {
     "heap_table": heap_table,
@@ -1093,4 +1167,5 @@ ALL_EXPERIMENTS = {
     "rangejoin": rangejoin_scaling,
     "factjoin": factjoin_scaling,
     "serve": serve_scaling,
+    "sql": sql_scaling,
 }

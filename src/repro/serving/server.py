@@ -75,8 +75,19 @@ class QueryServer:
 
     # -- template registry ---------------------------------------------------
 
-    def register(self, name: str, spec: PlanSpec) -> None:
-        """Register a named plan template (its constants become slots)."""
+    def register(self, name: str, spec: "PlanSpec | str") -> None:
+        """Register a named plan template (its constants become slots).
+
+        ``spec`` may also be a single-table SQL template string — it is
+        compiled to a :class:`PlanSpec` once, here, via
+        :func:`repro.sql.sql_to_spec` (the ``FROM`` table stands for this
+        server's base relation); subsequent :meth:`query` calls re-bind the
+        constants through the spec's shape key without re-parsing the SQL.
+        """
+        if isinstance(spec, str):
+            from repro.sql import sql_to_spec
+
+            spec = sql_to_spec(spec, self._base.schema)
         if not isinstance(spec, PlanSpec):
             raise ServingError(f"template {name!r} must be a PlanSpec, got {type(spec).__name__}")
         shape, _params = spec.shape_key()

@@ -1,0 +1,341 @@
+"""Recursive-descent parser for the ``repro.sql`` SQL subset.
+
+Grammar (keywords case-insensitive)::
+
+    query       := SELECT select_item ("," select_item)*
+                   FROM table_ref join_clause*
+                   [WHERE condition]
+                   [GROUP BY column_ref ("," column_ref)*]
+                   [ORDER BY order_item ("," order_item)*]
+                   [LIMIT number]
+    select_item := expression [[AS] ident]
+    table_ref   := ident [[AS] ident]
+    join_clause := [INNER] JOIN table_ref ON condition
+    order_item  := column_ref [ASC | DESC]
+    condition   := and_expr (OR and_expr)*
+    and_expr    := not_expr (AND not_expr)*
+    not_expr    := NOT not_expr | comparison
+    comparison  := additive [("=" | "!=" | "<>" | "<" | "<=" | ">" | ">=") additive]
+    additive    := term (("+" | "-") term)*
+    term        := unary ("*" unary)*
+    unary       := "-" unary | primary
+    primary     := number | string | column_ref | func_call | "(" condition ")"
+    column_ref  := ident ["." ident]
+    func_call   := ident "(" ("*" | expression) ")" [over_clause]
+    over_clause := OVER "(" [PARTITION BY column_ref ("," column_ref)*]
+                   ORDER BY order_item ("," order_item)*
+                   [ROWS BETWEEN frame_bound AND frame_bound] ")"
+    frame_bound := number PRECEDING | number FOLLOWING | CURRENT ROW
+
+Only syntax is checked here; name resolution (unknown columns/tables,
+ambiguous references) happens during lowering in :mod:`repro.sql.compiler`.
+All errors raise :class:`~repro.errors.SqlError` with a line/column caret.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SqlError
+from repro.sql.ast import (
+    BinaryOp, ColumnRef, FuncCall, JoinClause, Literal, NotExpr, OrderItem,
+    SelectItem, SelectStatement, SqlExpr, TableRef, WindowClause,
+)
+from repro.sql.tokenizer import Token, tokenize
+
+__all__ = ["parse"]
+
+_COMPARISONS = {"=", "!=", "<>", "<", "<=", ">", ">="}
+
+
+def parse(query: str) -> SelectStatement:
+    """Parse ``query`` into a :class:`~repro.sql.ast.SelectStatement`.
+
+    >>> stmt = parse("SELECT v FROM t WHERE v > 1")
+    >>> stmt.items[0].expression.name, stmt.where.op
+    ('v', '>')
+    >>> parse("SELECT FROM t")
+    Traceback (most recent call last):
+        ...
+    repro.errors.SqlError: expected an expression, found 'FROM' at line 1, column 8
+      SELECT FROM t
+             ^
+    """
+    return _Parser(query).parse_statement()
+
+
+class _Parser:
+    def __init__(self, query: str):
+        self._query = query
+        self._tokens = tokenize(query)
+        self._pos = 0
+
+    # -- token plumbing ------------------------------------------------------
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.type != "EOF":
+            self._pos += 1
+        return token
+
+    def _error(self, reason: str, token: Token | None = None) -> SqlError:
+        token = token or self._current
+        return SqlError(reason, query=self._query, line=token.line, column=token.column)
+
+    def _at_keyword(self, *words: str) -> bool:
+        return self._current.type == "KEYWORD" and self._current.value in words
+
+    def _at_op(self, *ops: str) -> bool:
+        return self._current.type == "OP" and self._current.value in ops
+
+    def _expect_keyword(self, word: str) -> Token:
+        if not self._at_keyword(word):
+            raise self._error(f"expected {word}, found {self._current.describe()}")
+        return self._advance()
+
+    def _expect_op(self, op: str) -> Token:
+        if not self._at_op(op):
+            raise self._error(f"expected {op!r}, found {self._current.describe()}")
+        return self._advance()
+
+    def _expect_ident(self, what: str) -> Token:
+        if self._current.type != "IDENT":
+            raise self._error(f"expected {what}, found {self._current.describe()}")
+        return self._advance()
+
+    # -- statement -----------------------------------------------------------
+
+    def parse_statement(self) -> SelectStatement:
+        self._expect_keyword("SELECT")
+        items = [self._select_item()]
+        while self._at_op(","):
+            self._advance()
+            items.append(self._select_item())
+        self._expect_keyword("FROM")
+        source = self._table_ref()
+        joins = []
+        while self._at_keyword("JOIN", "INNER"):
+            if self._at_keyword("INNER"):
+                self._advance()
+            self._expect_keyword("JOIN")
+            table = self._table_ref()
+            self._expect_keyword("ON")
+            joins.append(JoinClause(table, self._condition()))
+        where = None
+        if self._at_keyword("WHERE"):
+            self._advance()
+            where = self._condition()
+        group_by: list[ColumnRef] = []
+        if self._at_keyword("GROUP"):
+            self._advance()
+            self._expect_keyword("BY")
+            group_by.append(self._column_ref())
+            while self._at_op(","):
+                self._advance()
+                group_by.append(self._column_ref())
+        order_by: list[OrderItem] = []
+        if self._at_keyword("ORDER"):
+            self._advance()
+            self._expect_keyword("BY")
+            order_by.append(self._order_item())
+            while self._at_op(","):
+                self._advance()
+                order_by.append(self._order_item())
+        limit = None
+        if self._at_keyword("LIMIT"):
+            self._advance()
+            token = self._current
+            if token.type != "NUMBER" or not isinstance(token.value, int) or token.value < 0:
+                raise self._error("LIMIT expects a non-negative integer")
+            self._advance()
+            limit = token.value
+        if self._current.type != "EOF":
+            raise self._error(f"unexpected {self._current.describe()} after the query")
+        return SelectStatement(
+            items=tuple(items), source=source, joins=tuple(joins), where=where,
+            group_by=tuple(group_by), order_by=tuple(order_by), limit=limit,
+        )
+
+    def _select_item(self) -> SelectItem:
+        expression = self._condition()
+        alias = None
+        if self._at_keyword("AS"):
+            self._advance()
+            alias = self._expect_ident("an alias").value
+        elif self._current.type == "IDENT":
+            alias = self._advance().value
+        return SelectItem(expression, alias)
+
+    def _table_ref(self) -> TableRef:
+        token = self._expect_ident("a table name")
+        alias = None
+        if self._at_keyword("AS"):
+            self._advance()
+            alias = self._expect_ident("a table alias").value
+        elif self._current.type == "IDENT":
+            alias = self._advance().value
+        return TableRef(token.value, alias, token.line, token.column)
+
+    def _column_ref(self) -> ColumnRef:
+        token = self._expect_ident("a column name")
+        if self._at_op("."):
+            self._advance()
+            name = self._expect_ident("a column name")
+            return ColumnRef(token.value, name.value, token.line, token.column)
+        return ColumnRef(None, token.value, token.line, token.column)
+
+    def _order_item(self) -> OrderItem:
+        ref = self._column_ref()
+        descending = False
+        if self._at_keyword("ASC"):
+            self._advance()
+        elif self._at_keyword("DESC"):
+            self._advance()
+            descending = True
+        return OrderItem(ref, descending)
+
+    # -- expressions ---------------------------------------------------------
+
+    def _condition(self) -> SqlExpr:
+        left = self._and_expr()
+        while self._at_keyword("OR"):
+            token = self._advance()
+            left = BinaryOp("OR", left, self._and_expr(), token.line, token.column)
+        return left
+
+    def _and_expr(self) -> SqlExpr:
+        left = self._not_expr()
+        while self._at_keyword("AND"):
+            token = self._advance()
+            left = BinaryOp("AND", left, self._not_expr(), token.line, token.column)
+        return left
+
+    def _not_expr(self) -> SqlExpr:
+        if self._at_keyword("NOT"):
+            token = self._advance()
+            return NotExpr(self._not_expr(), token.line, token.column)
+        return self._comparison()
+
+    def _comparison(self) -> SqlExpr:
+        left = self._additive()
+        if self._current.type == "OP" and self._current.value in _COMPARISONS:
+            token = self._advance()
+            op = "!=" if token.value == "<>" else token.value
+            return BinaryOp(op, left, self._additive(), token.line, token.column)
+        return left
+
+    def _additive(self) -> SqlExpr:
+        left = self._term()
+        while self._at_op("+", "-"):
+            token = self._advance()
+            left = BinaryOp(token.value, left, self._term(), token.line, token.column)
+        return left
+
+    def _term(self) -> SqlExpr:
+        left = self._unary()
+        while self._at_op("*"):
+            token = self._advance()
+            left = BinaryOp("*", left, self._unary(), token.line, token.column)
+        return left
+
+    def _unary(self) -> SqlExpr:
+        if self._at_op("-"):
+            token = self._advance()
+            operand = self._unary()
+            if isinstance(operand, Literal) and isinstance(operand.value, (int, float)):
+                return Literal(-operand.value, token.line, token.column)
+            return BinaryOp(
+                "*", Literal(-1, token.line, token.column), operand,
+                token.line, token.column,
+            )
+        return self._primary()
+
+    def _primary(self) -> SqlExpr:
+        token = self._current
+        if token.type == "NUMBER" or token.type == "STRING":
+            self._advance()
+            return Literal(token.value, token.line, token.column)
+        if self._at_op("("):
+            self._advance()
+            inner = self._condition()
+            self._expect_op(")")
+            return inner
+        if token.type == "IDENT":
+            # function call?
+            next_token = self._tokens[self._pos + 1]
+            if next_token.type == "OP" and next_token.value == "(":
+                return self._func_call()
+            return self._column_ref()
+        raise self._error(f"expected an expression, found {token.describe()}")
+
+    def _func_call(self) -> FuncCall:
+        name_token = self._expect_ident("a function name")
+        name = name_token.value.lower()
+        self._expect_op("(")
+        star = False
+        arg: SqlExpr | None = None
+        if self._at_op("*"):
+            self._advance()
+            star = True
+        else:
+            arg = self._condition()
+        self._expect_op(")")
+        window = None
+        if self._at_keyword("OVER"):
+            window = self._over_clause()
+        return FuncCall(name, arg, star, window, name_token.line, name_token.column)
+
+    def _over_clause(self) -> WindowClause:
+        over = self._expect_keyword("OVER")
+        self._expect_op("(")
+        partition_by: list[ColumnRef] = []
+        if self._at_keyword("PARTITION"):
+            self._advance()
+            self._expect_keyword("BY")
+            partition_by.append(self._column_ref())
+            while self._at_op(","):
+                self._advance()
+                partition_by.append(self._column_ref())
+        self._expect_keyword("ORDER")
+        self._expect_keyword("BY")
+        order_by = [self._order_item()]
+        while self._at_op(","):
+            self._advance()
+            order_by.append(self._order_item())
+        frame = None
+        if self._at_keyword("ROWS"):
+            self._advance()
+            self._expect_keyword("BETWEEN")
+            lower = self._frame_bound()
+            self._expect_keyword("AND")
+            upper = self._frame_bound()
+            frame = (lower, upper)
+        self._expect_op(")")
+        return WindowClause(
+            tuple(partition_by), tuple(order_by), frame, over.line, over.column
+        )
+
+    def _frame_bound(self) -> int:
+        token = self._current
+        if self._at_keyword("CURRENT"):
+            self._advance()
+            self._expect_keyword("ROW")
+            return 0
+        if self._at_keyword("UNBOUNDED"):
+            raise self._error(
+                "UNBOUNDED frames are not supported; use bounded ROWS offsets", token
+            )
+        if token.type == "NUMBER" and isinstance(token.value, int):
+            self._advance()
+            if self._at_keyword("PRECEDING"):
+                self._advance()
+                return -token.value
+            if self._at_keyword("FOLLOWING"):
+                self._advance()
+                return token.value
+            raise self._error("expected PRECEDING or FOLLOWING after the frame offset")
+        raise self._error(
+            f"expected a frame bound, found {token.describe()}", token
+        )

@@ -25,6 +25,9 @@ DOCTEST_MODULES = [
     "repro.core.operators.join",
     "repro.core.operators.select",
     "repro.harness.report",
+    "repro.sql.tokenizer",
+    "repro.sql.parser",
+    "repro.sql.ast",
 ]
 
 #: Modules needing NumPy (skipped, not failed, when it is unavailable).
@@ -38,18 +41,20 @@ DOCTEST_MODULES_NUMPY = [
     "repro.columnar.incremental",
     "repro.serving.cache",
     "repro.serving.server",
+    "repro.sql.compiler",
 ]
 
 DOCUMENTS = [
     "docs/ARCHITECTURE.md",
     "docs/PLAN_GUIDE.md",
+    "docs/SQL_GUIDE.md",
     "benchmarks/README.md",
     "examples/README.md",
 ]
 
 #: Markdown files whose fenced examples are executable doctests (the CI docs
 #: job runs ``python -m doctest`` over the same list — keep in sync).
-DOCTEST_DOCUMENTS = ["docs/PLAN_GUIDE.md"]
+DOCTEST_DOCUMENTS = ["docs/PLAN_GUIDE.md", "docs/SQL_GUIDE.md"]
 
 
 @pytest.mark.parametrize("module_name", DOCTEST_MODULES)
@@ -102,5 +107,7 @@ def test_architecture_doc_covers_the_subsystems():
         "bounding",
         "IncrementalView",
         "shape_key",
+        "SQL frontend",
+        "SqlError",
     ):
         assert needle in text, f"ARCHITECTURE.md no longer mentions {needle}"

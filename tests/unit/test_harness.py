@@ -94,6 +94,7 @@ class TestExperimentsRegistry:
             "rangejoin",
             "factjoin",
             "serve",
+            "sql",
         }
         assert expected == set(ALL_EXPERIMENTS)
 

@@ -329,3 +329,69 @@ class TestFaultInjection:
         assert_bit_identical(
             _expected(_groupby_spec(), accumulated), server.query("agg")
         )
+
+
+SQL_TEMPLATE = "SELECT g AS g, v AS v FROM base WHERE v > 5 ORDER BY v DESC"
+
+
+class TestSqlTemplates:
+    """SQL strings register as plan templates; constants re-bind shape-keyed.
+
+    ``register`` parses the SQL exactly once (via
+    :func:`repro.sql.sql_to_spec`); every subsequent ``query`` binds a new
+    constant tuple through the spec's shape key, so differently-bound
+    constants share one template entry and each lands its own cached view.
+    """
+
+    def test_sql_string_registers_as_a_template(self):
+        server = QueryServer(_base())
+        server.register("big", SQL_TEMPLATE)
+        assert server.templates() == ("big",)
+
+    def test_rebinding_matches_reparsing_with_the_constant_inlined(self):
+        from repro.sql import run_sql
+
+        base = _base()
+        server = QueryServer(base)
+        server.register("big", SQL_TEMPLATE)
+        for threshold in (5, 2, 7):
+            reparsed = run_sql(
+                SQL_TEMPLATE.replace("> 5", f"> {threshold}"), {"base": base}
+            )
+            assert_bit_identical(reparsed, server.query("big", (threshold,)))
+
+    def test_differently_bound_constants_hit_the_cache_when_warm(self):
+        server = QueryServer(_base())
+        server.register("big", SQL_TEMPLATE)
+        for threshold in (5, 2, 7):  # three cold misses, one template
+            server.query("big", (threshold,))
+        stats = server.stats()
+        assert stats["templates"] == 1
+        assert stats["views"] == 3 and stats["misses"] == 3 and stats["hits"] == 0
+        for threshold in (5, 2, 7):  # warm: every re-bound constant hits
+            server.query("big", (threshold,))
+        assert server.stats()["hits"] == 3
+
+    def test_deltas_patch_sql_template_views(self):
+        from repro.sql import run_sql
+
+        base = _base()
+        server = QueryServer(base)
+        server.register("big", SQL_TEMPLATE)
+        server.query("big", (3,))
+        inserts = AURelation(Schema(SCHEMA))
+        inserts.add_values([1, 8], 1)
+        server.apply_delta(inserts=inserts)
+        accumulated, _ = merge_delta(base, inserts, None)
+        expected = run_sql(
+            SQL_TEMPLATE.replace("> 5", "> 3"), {"base": accumulated}
+        )
+        assert_bit_identical(expected, server.query("big", (3,)))
+        assert server.stats()["hits"] == 1  # warm — the patched view answered
+
+    def test_multi_table_sql_templates_are_rejected(self):
+        from repro.errors import SqlError
+
+        server = QueryServer(_base())
+        with pytest.raises(SqlError, match="single table"):
+            server.register("joined", "SELECT t.g AS g FROM t JOIN s ON t.g = s.g")

@@ -1,0 +1,189 @@
+"""Parser goldens per clause family, plus positioned SqlError carets.
+
+The statement-AST dataclasses carry their source positions as
+``field(compare=False)``, so golden comparisons here are purely structural —
+equality checks spell out the expected tree without pinning every
+line/column.  Error tests assert the rendered message ends with the
+``at line L, column C`` suffix and a caret under the offending token.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SqlError
+from repro.sql import parse, tokenize
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    FuncCall,
+    JoinClause,
+    Literal,
+    NotExpr,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    TableRef,
+    WindowClause,
+)
+
+
+def ref(name, table=None):
+    return ColumnRef(table, name)
+
+
+# -- tokenizer ----------------------------------------------------------------
+
+
+def test_tokenizer_positions_and_kinds():
+    kinds = [(t.type, t.value) for t in tokenize("SELECT a1 <> 2.5 -- trailing\n")]
+    assert kinds == [
+        ("KEYWORD", "SELECT"),
+        ("IDENT", "a1"),
+        ("OP", "<>"),
+        ("NUMBER", 2.5),
+        ("EOF", None),
+    ]
+    token = tokenize("SELECT\n  foo")[1]
+    assert (token.line, token.column) == (2, 3)
+
+
+def test_tokenizer_string_literals_and_unterminated():
+    assert tokenize("'it''s'")[0].value == "it's"
+    with pytest.raises(SqlError, match="unterminated string"):
+        tokenize("SELECT 'oops FROM t")
+
+
+# -- goldens per clause family ------------------------------------------------
+
+
+def test_select_list_aliases_and_bare_columns():
+    assert parse("SELECT a, b AS beta, t.c gamma FROM t") == SelectStatement(
+        items=(
+            SelectItem(ref("a")),
+            SelectItem(ref("b"), "beta"),
+            SelectItem(ref("c", "t"), "gamma"),
+        ),
+        source=TableRef("t"),
+    )
+
+
+def test_expression_precedence_and_normalisation():
+    stmt = parse("SELECT a + 2 * 3 AS e FROM t WHERE NOT a < 5 AND b <> 1 OR c = 0")
+    # * binds tighter than +; <> normalises to !=; OR is the loosest.
+    assert stmt.items[0].expression == BinaryOp(
+        "+", ref("a"), BinaryOp("*", Literal(2), Literal(3))
+    )
+    assert stmt.where == BinaryOp(
+        "OR",
+        BinaryOp(
+            "AND",
+            NotExpr(BinaryOp("<", ref("a"), Literal(5))),
+            BinaryOp("!=", ref("b"), Literal(1)),
+        ),
+        BinaryOp("=", ref("c"), Literal(0)),
+    )
+
+
+def test_unary_minus_folds_into_literals_only():
+    stmt = parse("SELECT -3 AS m FROM t WHERE a > -b")
+    assert stmt.items[0].expression == Literal(-3)
+    assert stmt.where == BinaryOp(">", ref("a"), BinaryOp("*", Literal(-1), ref("b")))
+
+
+def test_join_clauses_left_deep():
+    stmt = parse("SELECT x FROM t a INNER JOIN s ON a.k = s.k JOIN u ON u.j = s.j")
+    assert stmt.source == TableRef("t", "a")
+    assert stmt.joins == (
+        JoinClause(TableRef("s"), BinaryOp("=", ref("k", "a"), ref("k", "s"))),
+        JoinClause(TableRef("u"), BinaryOp("=", ref("j", "u"), ref("j", "s"))),
+    )
+
+
+def test_group_order_limit():
+    stmt = parse("SELECT g, SUM(v) AS s FROM t GROUP BY g, h ORDER BY s DESC LIMIT 3")
+    assert stmt.items[1] == SelectItem(FuncCall("sum", ref("v")), "s")
+    assert stmt.group_by == (ref("g"), ref("h"))
+    assert stmt.order_by == (OrderItem(ref("s"), descending=True),)
+    assert stmt.limit == 3
+
+
+def test_count_star():
+    stmt = parse("SELECT COUNT(*) AS n FROM t")
+    assert stmt.items[0].expression == FuncCall("count", None, star=True)
+
+
+def test_window_clause_frames():
+    stmt = parse(
+        "SELECT SUM(v) OVER (PARTITION BY g ORDER BY a "
+        "ROWS BETWEEN 2 PRECEDING AND CURRENT ROW) AS w FROM t"
+    )
+    assert stmt.items[0].expression == FuncCall(
+        "sum",
+        ref("v"),
+        window=WindowClause((ref("g"),), (OrderItem(ref("a")),), (-2, 0)),
+    )
+    # omitted frame parses as None (the engine defaults it to (0, 0))
+    stmt = parse("SELECT COUNT(*) OVER (ORDER BY a DESC) AS n FROM t")
+    assert stmt.items[0].expression.window == WindowClause(
+        (), (OrderItem(ref("a"), descending=True),), None
+    )
+
+
+def test_following_only_frame():
+    stmt = parse(
+        "SELECT MAX(v) OVER (ORDER BY a ROWS BETWEEN CURRENT ROW AND 3 FOLLOWING) AS m FROM t"
+    )
+    assert stmt.items[0].expression.window.frame == (0, 3)
+
+
+# -- positioned errors --------------------------------------------------------
+
+
+def assert_caret(excinfo, needle: str, line: int, column: int):
+    message = str(excinfo.value)
+    assert needle in message
+    assert f"at line {line}, column {column}" in message
+    source_line, caret_line = message.splitlines()[-2:]
+    assert caret_line.strip() == "^"
+    assert len(caret_line) - len(caret_line.rstrip("^").rstrip()) >= 0
+    assert caret_line.index("^") - source_line.index(source_line.strip()[0]) == column - 1
+
+
+def test_missing_expression_caret():
+    with pytest.raises(SqlError) as excinfo:
+        parse("SELECT FROM t")
+    assert_caret(excinfo, "expected an expression, found 'FROM'", 1, 8)
+
+
+def test_trailing_garbage_caret():
+    with pytest.raises(SqlError) as excinfo:
+        parse("SELECT a FROM t LIMIT 2 2")
+    assert_caret(excinfo, "unexpected", 1, 25)
+
+
+def test_unbounded_frame_rejected():
+    with pytest.raises(SqlError) as excinfo:
+        parse(
+            "SELECT SUM(v) OVER (ORDER BY a "
+            "ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) AS w FROM t"
+        )
+    assert "UNBOUNDED frames are not supported" in str(excinfo.value)
+
+
+def test_malformed_frame_bound():
+    with pytest.raises(SqlError, match="expected PRECEDING or FOLLOWING"):
+        parse("SELECT SUM(v) OVER (ORDER BY a ROWS BETWEEN 2 AND 3 FOLLOWING) AS w FROM t")
+
+
+def test_limit_requires_integer():
+    with pytest.raises(SqlError, match="LIMIT expects a non-negative integer"):
+        parse("SELECT a FROM t ORDER BY a LIMIT 2.5")
+
+
+def test_multiline_caret_points_into_the_right_line():
+    with pytest.raises(SqlError) as excinfo:
+        parse("SELECT a\nFROM t\nWHERE AND")
+    error = excinfo.value
+    assert (error.line, error.column) == (3, 7)
+    assert str(error).splitlines()[-2] == "  WHERE AND"

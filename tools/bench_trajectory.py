@@ -21,7 +21,10 @@ grid contender only below the ceiling.  The ``serve`` harness drives the
 synthetic query/delta serving mix through all three serving modes
 (cached-incremental, cached-recompute, direct) and records QPS/p99 per
 mode plus the patched-vs-rebuilt delta totals, asserting bit-identity
-across the modes first.
+across the modes first.  The ``sql`` harness compiles the SQL scaling query
+through the full rule pipeline and brackets optimized vs unoptimized
+(literal-lowering) vs Python-oracle timings, asserting three-way
+bit-identity and recording the join kernels the optimizer steered onto.
 
 Records carry the host's core count: speedup numbers are only meaningful
 when ``cpus >= workers`` (an oversubscribed pool measures scheduling
@@ -57,7 +60,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUTPUT = REPO_ROOT / "BENCH_pipeline.json"
 
 #: Harness ids a config's ``harnesses`` list may name.
-HARNESSES = ("multiwindow", "equijoin", "rangejoin", "factjoin", "serve")
+HARNESSES = ("multiwindow", "equijoin", "rangejoin", "factjoin", "serve", "sql")
 
 
 def best_of(fn, reps: int) -> float:
@@ -283,6 +286,65 @@ def measure_serve(rows: int, reps: int, *, queries: int = 200, deltas: int = 10)
     return block
 
 
+def measure_sql(rows: int, reps: int, *, grid_ceiling: int = 4096) -> dict:
+    """Time the SQL scaling query: optimized rule pipeline vs literal lowering.
+
+    Asserts three-way bit-identity first — the optimized columnar plan must
+    equal the unoptimized (grid join, no pushdown, no pruning) plan and the
+    row-at-a-time Python oracle — then records both columnar timings plus
+    the pair-enumeration kernels the optimized joins resolve to, so a
+    kernel-preference regression (a join falling back to the grid) shows in
+    the trajectory diff.  The quadratic contenders (unoptimized, python)
+    only run up to ``grid_ceiling``.
+    """
+    from repro.workloads.sql import (
+        run_sql_optimized,
+        run_sql_python,
+        run_sql_unoptimized,
+        sql_catalog,
+        sql_join_kernels,
+    )
+
+    catalog = sql_catalog(rows, seed=0)
+    optimized = run_sql_optimized(catalog)
+    kernels = sql_join_kernels(catalog)
+    block: dict = {
+        "rows": rows,
+        "kernels": list(kernels),
+        "output_rows": len(optimized),
+    }
+    optimized_ms = best_of(lambda: run_sql_optimized(catalog), reps)
+    block["optimized_ms"] = round(optimized_ms, 3)
+    if rows <= grid_ceiling:
+        for label, oracle in (
+            ("unoptimized", run_sql_unoptimized),
+            ("python", run_sql_python),
+        ):
+            other = oracle(catalog)
+            if optimized.schema != other.schema or optimized._rows != other._rows:
+                raise SystemExit(
+                    f"sql harness: optimized plan diverges from the {label} execution"
+                )
+        unoptimized_ms = best_of(lambda: run_sql_unoptimized(catalog), reps)
+        python_ms = best_of(lambda: run_sql_python(catalog), reps)
+        speedup = unoptimized_ms / optimized_ms if optimized_ms else float("inf")
+        block["unoptimized_ms"] = round(unoptimized_ms, 3)
+        block["python_ms"] = round(python_ms, 3)
+        block["optimizer_speedup"] = round(speedup, 2)
+        print(
+            f"sql rows={rows}: optimized={optimized_ms:.1f}ms "
+            f"unoptimized={unoptimized_ms:.1f}ms python={python_ms:.1f}ms "
+            f"({speedup:.2f}x) kernels={'+'.join(kernels)}"
+        )
+    else:
+        print(
+            f"sql rows={rows}: optimized={optimized_ms:.1f}ms "
+            f"quadratic contenders skipped above rows={grid_ceiling} "
+            f"kernels={'+'.join(kernels)}"
+        )
+    return block
+
+
 def parse_workers(raw: str) -> list[int]:
     try:
         values = sorted({int(part) for part in raw.split(",") if part.strip()})
@@ -443,7 +505,7 @@ def main(argv: list[str] | None = None) -> int:
         REPO_ROOT / config["output"] if "output" in config else DEFAULT_OUTPUT
     )
 
-    scaling = [h for h in harnesses if h not in ("factjoin", "serve")]
+    scaling = [h for h in harnesses if h not in ("factjoin", "serve", "sql")]
     results = measure(rows, workers, reps, scaling) if scaling else []
     record = {
         "timestamp": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
@@ -458,6 +520,8 @@ def main(argv: list[str] | None = None) -> int:
         record["rangejoin"] = measure_rangejoin(max(rows, 4096), reps)
     if factjoin_rows > 0:
         record["factjoin"] = measure_factjoin(factjoin_rows, reps)
+    if "sql" in harnesses:
+        record["sql"] = measure_sql(rows, reps)
     if "serve" in harnesses:
         record["serve"] = measure_serve(
             rows,

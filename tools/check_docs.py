@@ -26,6 +26,7 @@ REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
 DEFAULT_FILES = [
     "docs/ARCHITECTURE.md",
     "docs/PLAN_GUIDE.md",
+    "docs/SQL_GUIDE.md",
     "benchmarks/README.md",
     "examples/README.md",
 ]
